@@ -1,0 +1,150 @@
+// Benchmarks: one per table and figure of the paper's evaluation
+// section. Analytic artifacts benchmark the calibrated device models;
+// training artifacts (Table 2, Table 3, Figure 5, §4.3) run real
+// optimization at reduced ("quick") scale so `go test -bench` stays
+// tractable — run `go run ./cmd/nessa-bench` for the full-scale
+// reproduction.
+package nessa_test
+
+import (
+	"io"
+	"testing"
+
+	"nessa/internal/bench"
+)
+
+func renderTo(b *testing.B, t *bench.Table) {
+	b.Helper()
+	if err := t.Render(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTable1DatasetRegistry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderTo(b, bench.Table1())
+	}
+}
+
+func BenchmarkFigure1TrainingTimeByModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderTo(b, bench.Figure1())
+	}
+}
+
+func BenchmarkFigure2DataMovementShare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderTo(b, bench.Figure2())
+	}
+}
+
+func BenchmarkTable2AccuracyVsFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := bench.AccuracyRuns(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderTo(b, bench.Table2(runs))
+	}
+}
+
+func BenchmarkTable3Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable3([]float64{0.10, 0.30, 0.50}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderTo(b, bench.Table3(res))
+	}
+}
+
+func BenchmarkFigure4EpochTimeByMethod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderTo(b, bench.Figure4())
+	}
+}
+
+func BenchmarkFigure5Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := bench.AccuracyRuns(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderTo(b, bench.Figure5(runs, 5))
+	}
+}
+
+func BenchmarkTable4FPGAUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderTo(b, bench.Table4())
+	}
+}
+
+func BenchmarkFigure6P2PThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderTo(b, bench.Figure6())
+	}
+}
+
+func BenchmarkSection43EndToEndSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := bench.AccuracyRuns(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderTo(b, bench.Section43(runs))
+	}
+}
+
+func BenchmarkSection44DataMovementReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderTo(b, bench.Section44(map[string]float64{
+			"CIFAR-10": 0.28, "SVHN": 0.15, "CINIC-10": 0.30,
+			"CIFAR-100": 0.38, "TinyImageNet": 0.34, "ImageNet-100": 0.28,
+		}))
+	}
+}
+
+// Extension ablations beyond the paper's artifacts (DESIGN.md §5).
+
+func BenchmarkAblationStochasticGreedyEps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderTo(b, bench.AblationEps())
+	}
+}
+
+func BenchmarkAblationPartitionChunkSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderTo(b, bench.AblationPartition())
+	}
+}
+
+func BenchmarkAblationFeedbackBitWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderTo(b, bench.AblationBits())
+	}
+}
+
+func BenchmarkAblationFPGADesignSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderTo(b, bench.AblationDSE())
+	}
+}
+
+func BenchmarkAblationMultiSmartSSD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderTo(b, bench.AblationCluster())
+	}
+}
+
+func BenchmarkAblationSelectionEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderTo(b, bench.AblationEnergy())
+	}
+}
+
+func BenchmarkAblationScaleOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderTo(b, bench.AblationScaleOut())
+	}
+}

@@ -1,0 +1,163 @@
+// nessa-bench regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	nessa-bench [-quick] [-only table2,figure5] [-csv dir] [-stride 5]
+//
+// Analytic artifacts (figures 1, 2, 4, 6; tables 1, 4) evaluate the
+// calibrated device models instantly. Training artifacts (tables 2–3,
+// figure 5, §4.3/§4.4) run real optimization: a few minutes at full
+// scale, seconds with -quick.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nessa/internal/bench"
+	"nessa/internal/data"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run training artifacts at reduced scale")
+	only := flag.String("only", "", "comma-separated artifact ids (table1..4, figure1..6, section4.3, section4.4, ablations, seed-variance); empty = all")
+	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
+	stride := flag.Int("stride", 5, "epoch stride for figure5 rows")
+	seeds := flag.Int("seeds", 3, "seed count for the seed-variance artifact")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	var tables []*bench.Table
+	add := func(t *bench.Table) { tables = append(tables, t) }
+
+	if selected("table1") {
+		add(bench.Table1())
+	}
+	if selected("figure1") {
+		add(bench.Figure1())
+	}
+	if selected("figure2") {
+		add(bench.Figure2())
+	}
+	if selected("table4") {
+		add(bench.Table4())
+	}
+	if selected("figure6") {
+		add(bench.Figure6())
+	}
+	if selected("figure4") {
+		add(bench.Figure4())
+	}
+
+	needRuns := selected("table2") || selected("figure5") || selected("section4.3") || selected("section4.4")
+	if needRuns {
+		fmt.Fprintln(os.Stderr, "running accuracy experiments (full + NeSSA + baselines on all datasets)...")
+		runs, err := bench.AccuracyRuns(*quick)
+		if err != nil {
+			fatal(err)
+		}
+		if selected("table2") {
+			add(bench.Table2(runs))
+		}
+		if selected("figure5") {
+			add(bench.Figure5(runs, *stride))
+		}
+		if selected("section4.3") {
+			add(bench.Section43(runs))
+		}
+		if selected("section4.4") {
+			add(bench.Section44(bench.FinalSubsetFracs(runs)))
+		}
+	}
+	if selected("table3") {
+		fmt.Fprintln(os.Stderr, "running table 3 ablation grid (CIFAR-10)...")
+		res, err := bench.RunTable3([]float64{0.10, 0.30, 0.50}, *quick)
+		if err != nil {
+			fatal(err)
+		}
+		add(bench.Table3(res))
+	}
+	if selected("table3-starved") {
+		fmt.Fprintln(os.Stderr, "running table 3 in the sample-starved regime...")
+		res, err := bench.RunTable3([]float64{0.10, 0.30, 0.50}, true)
+		if err != nil {
+			fatal(err)
+		}
+		tab := bench.Table3(res)
+		tab.ID = "table3-starved"
+		tab.Title = "CIFAR-10 ablation in the sample-starved regime (750 samples): where selection quality matters"
+		tab.Note = "reduced-scale dataset; reproduces the paper's method differentiation (see EXPERIMENTS.md)"
+		add(tab)
+	}
+	// Extension ablations (beyond the paper's artifacts): included with
+	// -only ablations, -only ablation-<name>, or by default with no
+	// -only filter.
+	ablations := []struct {
+		id   string
+		emit func() *bench.Table
+	}{
+		{"ablation-eps", bench.AblationEps},
+		{"ablation-partition", bench.AblationPartition},
+		{"ablation-bits", bench.AblationBits},
+		{"ablation-dse", bench.AblationDSE},
+		{"ablation-cluster", bench.AblationCluster},
+		{"ablation-energy", bench.AblationEnergy},
+		{"ablation-scaleout", bench.AblationScaleOut},
+	}
+	for _, a := range ablations {
+		if len(want) == 0 || want["ablations"] || want[a.id] {
+			add(a.emit())
+		}
+	}
+	if want["seed-variance"] {
+		spec, _ := data.Lookup("CIFAR-10")
+		list := make([]uint64, *seeds)
+		for i := range list {
+			list[i] = uint64(i + 1)
+		}
+		tab, err := bench.SeedVariance(spec, *quick, list)
+		if err != nil {
+			fatal(err)
+		}
+		add(tab)
+	}
+
+	for _, t := range tables {
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, t.ID+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := t.CSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nessa-bench:", err)
+	os.Exit(1)
+}

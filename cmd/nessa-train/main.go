@@ -1,0 +1,126 @@
+// nessa-train trains one Table 1 dataset end to end with a chosen
+// selection strategy and prints the measured report, including the
+// data-movement accounting from the SmartSSD simulator.
+//
+// Usage:
+//
+//	nessa-train [-dataset CIFAR-10] [-method nessa|craig|kcenters|random|full]
+//	            [-epochs 60] [-subset 0.4] [-seed 7] [-no-device]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nessa"
+)
+
+func main() {
+	dataset := flag.String("dataset", "CIFAR-10", "dataset name from Table 1 (or MNIST)")
+	method := flag.String("method", "nessa", "nessa | craig | kcenters | random | full")
+	epochs := flag.Int("epochs", 0, "training epochs (0 = recipe default)")
+	subset := flag.Float64("subset", 0, "initial subset fraction (0 = method default)")
+	seed := flag.Uint64("seed", 7, "controller seed")
+	noDevice := flag.Bool("no-device", false, "skip the SmartSSD simulation / movement accounting")
+	flag.Parse()
+
+	spec, ok := nessa.LookupDataset(*dataset)
+	if !ok {
+		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+	train, test := nessa.Generate(spec)
+	cfg := nessa.DefaultTrainConfig()
+	if *epochs > 0 {
+		cfg.Epochs = *epochs
+	}
+
+	if *method == "full" {
+		met := nessa.TrainFullData(train, test, cfg)
+		fmt.Printf("dataset=%s method=full epochs=%d\n", spec.Name, cfg.Epochs)
+		fmt.Printf("final accuracy: %.2f%%  best: %.2f%%  samples seen: %d\n",
+			met.FinalAcc*100, met.BestAcc()*100, met.SamplesSeen())
+		return
+	}
+
+	opt := nessa.DefaultOptions()
+	opt.Seed = *seed
+	switch *method {
+	case "nessa":
+	case "craig":
+		opt.Selector = nessa.SelectorFacility
+		opt.QuantFeedback = false
+		opt.SelectEvery = 5
+		opt.SubsetBias = false
+		opt.Partition = false
+		opt.DynamicSizing = false
+		opt.SubsetFrac = 0.30
+	case "kcenters":
+		opt.Selector = nessa.SelectorKCenters
+		opt.QuantFeedback = false
+		opt.SelectEvery = 5
+		opt.SubsetBias = false
+		opt.Partition = false
+		opt.DynamicSizing = false
+		opt.SubsetFrac = 0.30
+	case "random":
+		opt.Selector = nessa.SelectorRandom
+		opt.SubsetBias = false
+		opt.Partition = false
+		opt.DynamicSizing = false
+		opt.SubsetFrac = 0.30
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+	if *subset > 0 {
+		opt.SubsetFrac = *subset
+		if opt.MinSubsetFrac > opt.SubsetFrac {
+			opt.MinSubsetFrac = opt.SubsetFrac
+		}
+	}
+
+	var dev *nessa.SmartSSD
+	if !*noDevice {
+		var err error
+		dev, err = nessa.NewSmartSSD()
+		if err != nil {
+			fatal(err)
+		}
+		img, err := nessa.EncodeDataset(train)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dev.StoreDataset(spec.Name, img); err != nil {
+			fatal(err)
+		}
+		opt.Device = dev
+		opt.DatasetName = spec.Name
+	}
+
+	rep, err := nessa.Train(train, test, cfg, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset=%s method=%s epochs=%d\n", spec.Name, *method, cfg.Epochs)
+	fmt.Printf("final accuracy: %.2f%%  best: %.2f%%\n", rep.Metrics.FinalAcc*100, rep.Metrics.BestAcc()*100)
+	fmt.Printf("subset: final %.0f%%  average %.0f%%  biasing dropped %d of %d samples\n",
+		rep.FinalSubsetFrac*100, rep.AvgSubsetFrac*100, rep.Dropped, train.Len())
+	fmt.Printf("gradient computations: %d (full training: %d)\n",
+		rep.Metrics.SamplesSeen(), cfg.Epochs*train.Len())
+
+	if dev != nil {
+		fmt.Println("\nsimulated data movement:")
+		for _, b := range dev.Acct.ByteBuckets() {
+			fmt.Printf("  %-14s %10.2f MB\n", b.Name, float64(b.Bytes)/1e6)
+		}
+		fmt.Println("simulated device time:")
+		for _, b := range dev.Acct.TimeBuckets() {
+			fmt.Printf("  %-14s %12v\n", b.Name, b.Duration)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nessa-train:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module nessa
+
+go 1.22

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cellFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.Fields(cell)[0], "x"), 64)
+	if err != nil {
+		t.Fatalf("cannot parse cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestAblationEpsQualityNearExact(t *testing.T) {
+	tab := AblationEps()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		ratio := cellFloat(t, row[1])
+		// Stochastic greedy's (1−1/e−ε) guarantee is loose; in practice
+		// facility-location objectives stay near-exact.
+		if ratio < 0.95 || ratio > 1.001 {
+			t.Errorf("eps=%s objective ratio %v outside [0.95, 1.001]", row[0], ratio)
+		}
+	}
+}
+
+func TestAblationPartitionTradeoff(t *testing.T) {
+	tab := AblationPartition()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	// All chunk sizes must fit the 4.32 MB on-chip memory (that is the
+	// optimization's purpose), and quality should not degrade as m
+	// grows (fewer, larger chunks).
+	prev := 0.0
+	for _, row := range tab.Rows {
+		if row[3] != "true" {
+			t.Errorf("m=%s working set does not fit on chip", row[0])
+		}
+		ratio := cellFloat(t, row[1])
+		if ratio < prev-0.02 {
+			t.Errorf("objective ratio decreased at m=%s: %v -> %v", row[0], prev, ratio)
+		}
+		prev = ratio
+	}
+}
+
+func TestAblationBitsMonotone(t *testing.T) {
+	tab := AblationBits()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	prevAgr := 0.0
+	prevBytes := 0.0
+	for _, row := range tab.Rows {
+		agr := cellFloat(t, row[1])
+		bytes := cellFloat(t, row[2])
+		if agr < prevAgr-0.05 {
+			t.Errorf("agreement regressed at %s bits: %v -> %v", row[0], prevAgr, agr)
+		}
+		if bytes <= prevBytes {
+			t.Errorf("feedback bytes not growing at %s bits", row[0])
+		}
+		prevAgr, prevBytes = agr, bytes
+	}
+	// The deployed int8 point: high agreement at ~4× compression.
+	int8Row := tab.Rows[2]
+	if a := cellFloat(t, int8Row[1]); a < 0.97 {
+		t.Errorf("int8 agreement = %v, want >= 0.97 (the §3.2.1 design point)", a)
+	}
+}
+
+func TestAblationDSEDeployedPointPresent(t *testing.T) {
+	tab := AblationDSE()
+	found := false
+	for _, row := range tab.Rows {
+		if row[0] == "512" && row[1] == "64" {
+			found = true
+			if row[4] != "true" {
+				t.Error("deployed 512/64 kernel reported as not fitting")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("deployed design point missing from DSE table")
+	}
+}
+
+func TestAblationClusterLinearScaling(t *testing.T) {
+	tab := AblationCluster()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	last := tab.Rows[3]
+	speedup := cellFloat(t, last[2])
+	if speedup < 7.5 || speedup > 8.5 {
+		t.Errorf("8-drive speed-up = %v, want ~8x", speedup)
+	}
+}
+
+func TestAblationScaleOutGrid(t *testing.T) {
+	tab := AblationScaleOut()
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 3×3 grid", len(tab.Rows))
+	}
+	// The 4×4 corner must beat the 1×1 corner substantially.
+	last := tab.Rows[8]
+	if last[0] != "4" || last[1] != "4" {
+		t.Fatalf("unexpected final row %v", last)
+	}
+	speed := cellFloat(t, last[5])
+	if speed < 2.0 {
+		t.Errorf("4 drives × 4 GPUs speed-up = %.2fx, want > 2x", speed)
+	}
+	// First row is the baseline.
+	if got := cellFloat(t, tab.Rows[0][5]); got != 1.0 {
+		t.Errorf("1×1 baseline = %v, want 1.00x", got)
+	}
+}
+
+func TestAblationEnergyFPGAWins(t *testing.T) {
+	tab := AblationEnergy()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	fpgaJ := cellFloat(t, tab.Rows[0][3])
+	for _, row := range tab.Rows[1:] {
+		if gpuJ := cellFloat(t, row[3]); gpuJ <= fpgaJ {
+			t.Errorf("%s energy %v J not above FPGA's %v J", row[0], gpuJ, fpgaJ)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package bench
+
+import (
+	"fmt"
+
+	"nessa/internal/data"
+)
+
+// fmtSscan wraps fmt.Sscan for the cell-parsing tests.
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+// fmtSscanStat parses a "mean ± std" cell.
+func fmtSscanStat(s string, mean, std *float64) (int, error) {
+	return fmt.Sscanf(s, "%f ± %f", mean, std)
+}
+
+// lookupSpec wraps data.Lookup for tests.
+func lookupSpec(name string) (data.Spec, bool) { return data.Lookup(name) }

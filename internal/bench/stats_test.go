@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewStat(t *testing.T) {
+	s := NewStat([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Fatalf("mean = %v, want 5", s.Mean)
+	}
+	if math.Abs(s.Std-2.138) > 0.01 {
+		t.Fatalf("std = %v, want ~2.138 (sample std)", s.Std)
+	}
+	if s.N != 8 {
+		t.Fatalf("n = %d, want 8", s.N)
+	}
+}
+
+func TestNewStatDegenerate(t *testing.T) {
+	if s := NewStat(nil); s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty stat = %+v", s)
+	}
+	if s := NewStat([]float64{3}); s.Mean != 3 || s.Std != 0 {
+		t.Fatalf("single-value stat = %+v", s)
+	}
+}
+
+func TestSeedVarianceStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	spec, _ := lookupSpec("CIFAR-10")
+	tab, err := SeedVariance(spec, true, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	// The NeSSA accuracy std across seeds should be modest (a few
+	// points at quick scale); a blow-up indicates seed-sensitive
+	// instability in the controller.
+	var mean, std float64
+	if _, err := fmtSscanStat(tab.Rows[1][1], &mean, &std); err != nil {
+		t.Fatalf("cannot parse %q", tab.Rows[1][1])
+	}
+	if mean < 50 {
+		t.Errorf("NeSSA mean accuracy %v%% implausibly low", mean)
+	}
+	if std > 6 {
+		t.Errorf("NeSSA accuracy std %v%% across seeds; controller is unstable", std)
+	}
+}

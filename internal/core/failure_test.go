@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"nessa/internal/data"
+	"nessa/internal/smartssd"
+	"nessa/internal/storage"
+)
+
+// Failure-injection tests: the controller must surface storage-layer
+// failures as errors rather than silently training without the device
+// accounting it was asked for.
+
+func TestRunFailsWhenDatasetMissingFromDrive(t *testing.T) {
+	tr, te := data.Generate(tinySpec())
+	dev, err := smartssd.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := tinyOptions()
+	opt.Device = dev
+	opt.DatasetName = "never-stored"
+	if _, err := Run(tr, te, tinyCfg(), opt); err == nil {
+		t.Fatal("expected error for dataset missing from the drive")
+	}
+}
+
+func TestRunFailsWhenStoredImageTruncated(t *testing.T) {
+	spec := tinySpec()
+	tr, te := data.Generate(spec)
+	dev, err := smartssd.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store fewer records than the in-memory dataset: the candidate
+	// scan reads past the stored extent and must fail.
+	img, err := data.Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.StoreDataset("truncated", img[:len(img)/2]); err != nil {
+		t.Fatal(err)
+	}
+	opt := tinyOptions()
+	opt.Device = dev
+	opt.DatasetName = "truncated"
+	if _, err := Run(tr, te, tinyCfg(), opt); err == nil {
+		t.Fatal("expected error for truncated stored dataset")
+	}
+}
+
+func TestRunFailsWhenFPGADRAMTooSmall(t *testing.T) {
+	spec := tinySpec()
+	tr, te := data.Generate(spec)
+	dev, err := smartssd.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := data.Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.StoreDataset("tiny", img); err != nil {
+		t.Fatal(err)
+	}
+	dev.Spec.DRAMBytes = 1024 // candidate scan cannot fit device DRAM
+	opt := tinyOptions()
+	opt.Device = dev
+	opt.DatasetName = "tiny"
+	if _, err := Run(tr, te, tinyCfg(), opt); err == nil {
+		t.Fatal("expected error when the candidate scan exceeds FPGA DRAM")
+	}
+}
+
+func TestStoreFailsOnFullDrive(t *testing.T) {
+	cfg := storage.DefaultConfig()
+	cfg.Capacity = 4 * 1024
+	ssd, err := storage.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := smartssd.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SSD = ssd
+	if err := dev.StoreDataset("big", make([]byte, 1<<20)); err == nil {
+		t.Fatal("expected device-full error")
+	}
+}
+
+func TestEmptyTrainingSetRejected(t *testing.T) {
+	spec := tinySpec()
+	empty := &data.Dataset{Spec: spec}
+	_, te := data.Generate(spec)
+	if _, err := Run(empty, te, tinyCfg(), tinyOptions()); err == nil {
+		t.Fatal("expected error for empty training set")
+	}
+}

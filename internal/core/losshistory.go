@@ -1,0 +1,66 @@
+package core
+
+// lossHistory keeps the most recent `window` observed losses per
+// sample — the record behind subset biasing (§3.2.2): "We record
+// losses of the current training examples from the most recent five
+// epochs, mark the samples with small values, and drop the marked
+// samples from the training set every twenty epochs."
+type lossHistory struct {
+	window int
+	buf    [][]float32 // per-sample ring of recent losses
+	pos    []int
+	count  []int
+}
+
+func newLossHistory(n, window int) *lossHistory {
+	if window <= 0 {
+		window = 1
+	}
+	h := &lossHistory{
+		window: window,
+		buf:    make([][]float32, n),
+		pos:    make([]int, n),
+		count:  make([]int, n),
+	}
+	return h
+}
+
+// record stores one observed loss per listed sample.
+func (h *lossHistory) record(indices []int, losses []float32) {
+	for i, idx := range indices {
+		if h.buf[idx] == nil {
+			h.buf[idx] = make([]float32, h.window)
+		}
+		h.buf[idx][h.pos[idx]] = losses[i]
+		h.pos[idx] = (h.pos[idx] + 1) % h.window
+		if h.count[idx] < h.window {
+			h.count[idx]++
+		}
+	}
+}
+
+// mean reports the mean of the recorded losses for sample idx and
+// whether any observation exists.
+func (h *lossHistory) mean(idx int) (float32, bool) {
+	c := h.count[idx]
+	if c == 0 {
+		return 0, false
+	}
+	var sum float32
+	for i := 0; i < c; i++ {
+		sum += h.buf[idx][i]
+	}
+	return sum / float32(c), true
+}
+
+// learned reports whether the sample's full recent window sits below
+// the threshold — i.e. the model has confidently learned it. Samples
+// with an incomplete window are never marked: the paper gives the
+// model "sufficient time to learn all the data points".
+func (h *lossHistory) learned(idx int, threshold float32) bool {
+	if h.count[idx] < h.window {
+		return false
+	}
+	m, ok := h.mean(idx)
+	return ok && m < threshold
+}

@@ -1,0 +1,357 @@
+// Package core implements NeSSA itself: the SmartSSD+GPU training
+// controller of paper §3. Each epoch it
+//
+//  1. runs the selection model (an int8-quantized snapshot of the
+//     target model) over the remaining candidate pool near storage,
+//  2. selects the most important subset by per-class facility-location
+//     maximization over last-layer gradient embeddings (§3.1, Eq. 5),
+//     optionally chunked to fit the FPGA's on-chip memory (§3.2.3),
+//  3. ships only the subset to the GPU and trains the target model on
+//     it with medoid-weighted SGD,
+//  4. feeds the newly quantized weights and observed losses back to
+//     the selection model (§3.2.1), drops learned samples from the
+//     candidate pool (§3.2.2), and shrinks the subset when the loss
+//     reduction rate decays (contribution 4).
+//
+// The controller runs real training (accuracy results are measured,
+// not modelled); when a smartssd.Device is attached it also charges
+// every byte the pipeline moves, so the same run yields the data-
+// movement accounting of §4.4.
+package core
+
+import (
+	"fmt"
+
+	"nessa/internal/data"
+	"nessa/internal/nn"
+	"nessa/internal/quant"
+	"nessa/internal/selection"
+	"nessa/internal/smartssd"
+	"nessa/internal/tensor"
+	"nessa/internal/trainer"
+)
+
+// Selector names the subset-selection algorithm driving the loop.
+type Selector string
+
+const (
+	// SelectorFacility is NeSSA's facility-location selection (and
+	// CRAIG's, which differs by feedback staleness — see SelectEvery).
+	SelectorFacility Selector = "facility"
+	// SelectorKCenters is the Sener–Savarese k-Centers baseline.
+	SelectorKCenters Selector = "kcenters"
+	// SelectorRandom is the uniform random baseline.
+	SelectorRandom Selector = "random"
+	// SelectorTopLoss is the loss-based importance heuristic ("biggest
+	// losers", §2.1's training-dynamics line of prior work).
+	SelectorTopLoss Selector = "toploss"
+)
+
+// Options configures a NeSSA (or baseline) run. The zero value is not
+// valid; start from DefaultOptions.
+type Options struct {
+	Selector   Selector
+	SubsetFrac float64 // initial |S|/|V|
+
+	// Feedback (§3.2.1). When true the selection model is the int8-
+	// quantized snapshot of the target model, refreshed every
+	// SelectEvery epochs. When false selection still uses the target
+	// model's weights directly (an idealized, un-quantized feedback).
+	QuantFeedback bool
+	// SelectEvery is the number of epochs between selection-model
+	// refreshes + re-selections. NeSSA's near-storage feedback loop
+	// affords 1; the CPU-side CRAIG baseline re-selects every 5 epochs
+	// because staging data to the host each epoch is prohibitive.
+	SelectEvery int
+
+	// Subset biasing (§3.2.2).
+	SubsetBias    bool
+	BiasWindow    int     // epochs of loss history considered (paper: 5)
+	BiasEvery     int     // drop marked samples every this many epochs (paper: 20)
+	BiasThreshold float32 // mean recent loss below which a sample is "learned"
+
+	// Dataset partitioning (§3.2.3).
+	Partition  bool
+	PartitionM int // medoids selected per chunk (the paper's m)
+
+	// Dynamic subset sizing (contribution 4).
+	DynamicSizing  bool
+	LossDecayRate  float64 // reduction rate below which the subset shrinks
+	ShrinkFactor   float64 // multiplicative subset shrink
+	MinSubsetFrac  float64
+	ShrinkPatience int // consecutive slow epochs required
+
+	Eps  float64 // stochastic-greedy ε
+	Seed uint64
+
+	// Optional storage integration: when Device is non-nil every
+	// selection read, subset transfer, and feedback transfer is charged
+	// to the device's clock and accountant. DatasetName must identify a
+	// stored dataset image on the device.
+	Device      *smartssd.Device
+	DatasetName string
+}
+
+// DefaultOptions returns the full NeSSA configuration (the "SB+PA"
+// column of Table 3) with the paper's constants.
+func DefaultOptions() Options {
+	return Options{
+		Selector:       SelectorFacility,
+		SubsetFrac:     0.40,
+		QuantFeedback:  true,
+		SelectEvery:    1,
+		SubsetBias:     true,
+		BiasWindow:     5,
+		BiasEvery:      20,
+		BiasThreshold:  0.10,
+		Partition:      true,
+		PartitionM:     16,
+		DynamicSizing:  true,
+		LossDecayRate:  0.01,
+		ShrinkFactor:   0.90,
+		MinSubsetFrac:  0.15,
+		ShrinkPatience: 5,
+		Eps:            0.1,
+		Seed:           7,
+	}
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Metrics trainer.Metrics
+
+	EpochSubsetFrac []float64 // |S|/|V| per epoch
+	FinalSubsetFrac float64   // Table 2's "Subset (%)"
+	AvgSubsetFrac   float64
+	CandidatesLeft  int // candidate-pool size after biasing
+	Dropped         int // samples pruned by subset biasing
+}
+
+// Run trains on (train, test) with the given training recipe and
+// selection options and returns the measured report.
+func Run(train, test *data.Dataset, tcfg trainer.Config, opt Options) (*Report, error) {
+	if err := validateOptions(&opt); err != nil {
+		return nil, err
+	}
+	n := train.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	rng := tensor.NewRNG(opt.Seed)
+	tr := trainer.New(train.Spec, tcfg)
+
+	cands := make([]int, n)
+	for i := range cands {
+		cands[i] = i
+	}
+	hist := newLossHistory(n, opt.BiasWindow)
+	frac := opt.SubsetFrac
+	slowEpochs := 0
+	prevLoss := -1.0
+	dropped := 0
+
+	rep := &Report{}
+	var current selection.Result
+	recBytes := int64(0)
+	if opt.Device != nil {
+		var err error
+		recBytes, err = data.RecordSize(train.Spec)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for e := 0; e < tcfg.Epochs; e++ {
+		tr.SetEpoch(e)
+
+		reselect := e%opt.SelectEvery == 0 || current.Selected == nil
+		if reselect {
+			selModel := tr.Model
+			if opt.QuantFeedback {
+				qm := quant.QuantizeModel(tr.Model)
+				selModel = qm.Dequantized()
+				if opt.Device != nil {
+					opt.Device.ReceiveFeedback(qm.SizeBytes())
+				}
+			}
+			if opt.Device != nil {
+				// Near-storage scan of the remaining candidates.
+				length := int64(len(cands)) * recBytes
+				if _, err := opt.Device.ReadToFPGA(opt.DatasetName, 0, length, len(cands)); err != nil {
+					return nil, fmt.Errorf("core: candidate scan: %w", err)
+				}
+			}
+			res, losses, err := selectSubset(selModel, train, cands, frac, opt, rng)
+			if err != nil {
+				return nil, err
+			}
+			current = res
+			hist.record(cands, losses)
+			if opt.Device != nil {
+				opt.Device.SendToGPU(int64(len(current.Selected))*recBytes, len(current.Selected))
+			}
+		}
+
+		subset := train.Subset(current.Selected)
+		loss := tr.TrainEpoch(subset.X, subset.Labels, current.Weights)
+
+		rep.Metrics.EpochLoss = append(rep.Metrics.EpochLoss, loss)
+		rep.Metrics.EpochAcc = append(rep.Metrics.EpochAcc, tr.Evaluate(test))
+		rep.Metrics.SubsetSizes = append(rep.Metrics.SubsetSizes, subset.Len())
+		rep.EpochSubsetFrac = append(rep.EpochSubsetFrac, float64(subset.Len())/float64(n))
+
+		// Subset biasing (§3.2.2): every BiasEvery epochs drop samples
+		// whose recent losses mark them as learned.
+		if opt.SubsetBias && (e+1)%opt.BiasEvery == 0 {
+			kept := cands[:0]
+			for _, c := range cands {
+				if hist.learned(c, opt.BiasThreshold) {
+					dropped++
+					continue
+				}
+				kept = append(kept, c)
+			}
+			// Never bias below the current subset budget.
+			minPool := int(frac*float64(n)) + 1
+			if len(kept) >= minPool {
+				cands = kept
+				current.Selected = nil // force reselection from the pruned pool
+			} else {
+				dropped -= len(cands) - len(kept)
+			}
+		}
+
+		// Dynamic subset sizing: shrink when the loss stops improving.
+		if opt.DynamicSizing {
+			if prevLoss > 0 {
+				rate := (prevLoss - loss) / prevLoss
+				if rate < opt.LossDecayRate {
+					slowEpochs++
+				} else {
+					slowEpochs = 0
+				}
+				if slowEpochs >= opt.ShrinkPatience {
+					next := frac * opt.ShrinkFactor
+					if next < opt.MinSubsetFrac {
+						next = opt.MinSubsetFrac
+					}
+					if next < frac {
+						frac = next
+						current.Selected = nil // reselect at the new size
+					}
+					slowEpochs = 0
+				}
+			}
+			prevLoss = loss
+		}
+	}
+
+	rep.Metrics.FinalAcc = rep.Metrics.EpochAcc[len(rep.Metrics.EpochAcc)-1]
+	rep.FinalSubsetFrac = rep.EpochSubsetFrac[len(rep.EpochSubsetFrac)-1]
+	var sum float64
+	for _, f := range rep.EpochSubsetFrac {
+		sum += f
+	}
+	rep.AvgSubsetFrac = sum / float64(len(rep.EpochSubsetFrac))
+	rep.CandidatesLeft = len(cands)
+	rep.Dropped = dropped
+	return rep, nil
+}
+
+// selectSubset runs one near-storage selection pass: a forward of the
+// selection model over the candidates, gradient-embedding extraction,
+// and the configured selector. It returns the selection and the
+// candidates' current losses (the §3.2.2 feedback signal).
+func selectSubset(selModel *nn.MLP, train *data.Dataset, cands []int, frac float64, opt Options, rng *tensor.RNG) (selection.Result, []float32, error) {
+	candSet := train.Subset(cands)
+	logits := selModel.Forward(candSet.X)
+	losses := nn.SoftmaxCE(logits, candSet.Labels, nil, nil)
+	localEmb := nn.GradEmbeddings(logits, candSet.Labels)
+
+	k := int(frac * float64(train.Len()))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+
+	// Selection runs on local candidate positions; map back after.
+	local := make([]int, len(cands))
+	for i := range local {
+		local[i] = i
+	}
+
+	var res selection.Result
+	var err error
+	switch opt.Selector {
+	case SelectorFacility:
+		inner := selection.StochasticMaximizer(opt.Eps, rng)
+		if opt.Partition {
+			inner = selection.PartitionedMaximizer(opt.PartitionM, rng, inner)
+		}
+		classes := make([][]int, train.Spec.Classes)
+		for i, y := range candSet.Labels {
+			classes[y] = append(classes[y], i)
+		}
+		res, err = selection.PerClass(localEmb, classes, k, inner)
+	case SelectorKCenters:
+		res, err = selection.KCenters(localEmb, local, k)
+		if err == nil {
+			// Sener & Savarese train the k-centers subset unweighted
+			// (active-learning style): no medoid reweighting corrects
+			// the boundary-heavy sampling — the reason the baseline
+			// collapses at small subsets in Table 3.
+			for i := range res.Weights {
+				res.Weights[i] = 1
+			}
+		}
+	case SelectorRandom:
+		res, err = selection.Random(local, k, rng)
+	case SelectorTopLoss:
+		res, err = selection.TopLoss(losses, local, k)
+	default:
+		err = fmt.Errorf("core: unknown selector %q", opt.Selector)
+	}
+	if err != nil {
+		return selection.Result{}, nil, err
+	}
+	for i, s := range res.Selected {
+		res.Selected[i] = cands[s]
+	}
+	return res, losses, nil
+}
+
+func validateOptions(opt *Options) error {
+	if opt.SubsetFrac <= 0 || opt.SubsetFrac > 1 {
+		return fmt.Errorf("core: subset fraction %v out of (0,1]", opt.SubsetFrac)
+	}
+	if opt.SelectEvery <= 0 {
+		opt.SelectEvery = 1
+	}
+	if opt.SubsetBias {
+		if opt.BiasWindow <= 0 || opt.BiasEvery <= 0 {
+			return fmt.Errorf("core: subset biasing needs positive window/interval, got %d/%d",
+				opt.BiasWindow, opt.BiasEvery)
+		}
+	}
+	if opt.Partition && opt.PartitionM <= 0 {
+		return fmt.Errorf("core: partitioning needs positive m, got %d", opt.PartitionM)
+	}
+	if opt.DynamicSizing {
+		if opt.ShrinkFactor <= 0 || opt.ShrinkFactor >= 1 {
+			return fmt.Errorf("core: shrink factor %v out of (0,1)", opt.ShrinkFactor)
+		}
+		if opt.MinSubsetFrac <= 0 || opt.MinSubsetFrac > opt.SubsetFrac {
+			return fmt.Errorf("core: min subset fraction %v invalid for initial %v",
+				opt.MinSubsetFrac, opt.SubsetFrac)
+		}
+		if opt.ShrinkPatience <= 0 {
+			opt.ShrinkPatience = 1
+		}
+	}
+	if opt.Device != nil && opt.DatasetName == "" {
+		return fmt.Errorf("core: device attached without a dataset name")
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nessa/internal/data"
+	"nessa/internal/trainer"
+)
+
+// TestControllerRobustToOptionCombinations drives the controller with
+// randomized (valid) option combinations on a small dataset and checks
+// the run-level invariants: no error, per-epoch series complete,
+// subset fractions within [MinSubsetFrac·0.99, SubsetFrac·1.01], and
+// pool accounting consistent.
+func TestControllerRobustToOptionCombinations(t *testing.T) {
+	spec := data.Spec{
+		Name: "prop", Classes: 4, Train: 100, BytesPerImage: 2048, Network: "ResNet-20",
+		SimTrain: 240, SimTest: 80, FeatureDim: 12, Spread: 0.15, HardFrac: 0.1,
+		NoiseFrac: 0.01, Seed: 33, Modes: 3, ModeSpread: 1.0, ModeDecay: 0.5,
+	}
+	train, test := data.Generate(spec)
+	cfg := trainer.Default()
+	cfg.Epochs = 10
+
+	f := func(seed uint64) bool {
+		rng := seed
+		next := func(n int) int { // cheap deterministic chooser
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return int(rng>>33) % n
+		}
+		opt := DefaultOptions()
+		opt.Seed = seed
+		opt.Selector = []Selector{SelectorFacility, SelectorKCenters, SelectorRandom, SelectorTopLoss}[next(4)]
+		opt.SubsetFrac = []float64{0.15, 0.3, 0.5, 1.0}[next(4)]
+		opt.MinSubsetFrac = opt.SubsetFrac / 2
+		opt.QuantFeedback = next(2) == 0
+		opt.SelectEvery = 1 + next(3)
+		opt.SubsetBias = next(2) == 0
+		opt.BiasEvery = 3 + next(4)
+		opt.BiasWindow = 1 + next(3)
+		opt.Partition = next(2) == 0
+		opt.PartitionM = 2 + next(8)
+		opt.DynamicSizing = next(2) == 0
+		opt.ShrinkPatience = 1 + next(3)
+
+		rep, err := Run(train, test, cfg, opt)
+		if err != nil {
+			t.Logf("seed %d options %+v: %v", seed, opt, err)
+			return false
+		}
+		if len(rep.Metrics.EpochAcc) != cfg.Epochs || len(rep.EpochSubsetFrac) != cfg.Epochs {
+			return false
+		}
+		for _, f := range rep.EpochSubsetFrac {
+			if f < opt.MinSubsetFrac*0.99 || f > opt.SubsetFrac*1.01 {
+				t.Logf("seed %d: subset frac %v outside [%v, %v]", seed, f, opt.MinSubsetFrac, opt.SubsetFrac)
+				return false
+			}
+		}
+		if rep.CandidatesLeft+rep.Dropped != train.Len() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

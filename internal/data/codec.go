@@ -1,0 +1,118 @@
+package data
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"nessa/internal/tensor"
+)
+
+// Record layout on the simulated SSD. Every sample occupies exactly
+// Spec.BytesPerImage bytes so that storage-side byte accounting matches
+// the paper's per-image sizes (§4.4: CIFAR-10 images are 0.003 MB,
+// ImageNet-100 images 0.126 MB). The payload is:
+//
+//	[0:2]   uint16 label (little endian)
+//	[2:6]   uint32 feature count
+//	[6:..]  float32 features
+//	[..:]   zero padding up to BytesPerImage
+//
+// RecordSize validates that the features fit the record.
+const recordHeader = 6
+
+// RecordSize reports the per-sample on-disk record size for spec and
+// validates that the simulated feature payload fits within it.
+func RecordSize(spec Spec) (int64, error) {
+	need := int64(recordHeader + 4*spec.FeatureDim)
+	if spec.BytesPerImage < need {
+		return 0, fmt.Errorf("data: %s record size %d cannot hold %d feature bytes",
+			spec.Name, spec.BytesPerImage, need)
+	}
+	return spec.BytesPerImage, nil
+}
+
+// EncodeSample serializes sample i of d into a fresh record buffer.
+func EncodeSample(d *Dataset, i int) ([]byte, error) {
+	size, err := RecordSize(d.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= d.Len() {
+		return nil, fmt.Errorf("data: sample index %d out of range [0,%d)", i, d.Len())
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(d.Labels[i]))
+	binary.LittleEndian.PutUint32(buf[2:6], uint32(d.X.Cols))
+	row := d.X.Row(i)
+	for j, v := range row {
+		binary.LittleEndian.PutUint32(buf[recordHeader+4*j:], math.Float32bits(v))
+	}
+	return buf, nil
+}
+
+// DecodeSample parses a record buffer into a label and feature vector.
+func DecodeSample(buf []byte) (label int, features []float32, err error) {
+	if len(buf) < recordHeader {
+		return 0, nil, fmt.Errorf("data: record too short (%d bytes)", len(buf))
+	}
+	label = int(binary.LittleEndian.Uint16(buf[0:2]))
+	n := int(binary.LittleEndian.Uint32(buf[2:6]))
+	if len(buf) < recordHeader+4*n {
+		return 0, nil, fmt.Errorf("data: record truncated: %d features need %d bytes, have %d",
+			n, recordHeader+4*n, len(buf))
+	}
+	features = make([]float32, n)
+	for j := range features {
+		features[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[recordHeader+4*j:]))
+	}
+	return label, features, nil
+}
+
+// Encode serializes the whole dataset into one contiguous byte image
+// (sample i at offset i*BytesPerImage), the layout written to the
+// simulated SSD.
+func Encode(d *Dataset) ([]byte, error) {
+	size, err := RecordSize(d.Spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, size*int64(d.Len()))
+	for i := 0; i < d.Len(); i++ {
+		rec, err := EncodeSample(d, i)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[int64(i)*size:], rec)
+	}
+	return out, nil
+}
+
+// Decode parses a byte image produced by Encode back into a Dataset.
+// spec must match the encoding spec.
+func Decode(spec Spec, img []byte) (*Dataset, error) {
+	size, err := RecordSize(spec)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(img))%size != 0 {
+		return nil, fmt.Errorf("data: image length %d not a multiple of record size %d", len(img), size)
+	}
+	n := int(int64(len(img)) / size)
+	d := &Dataset{Spec: spec, Labels: make([]int, n)}
+	for i := 0; i < n; i++ {
+		label, feats, err := DecodeSample(img[int64(i)*size : int64(i+1)*size])
+		if err != nil {
+			return nil, fmt.Errorf("data: sample %d: %w", i, err)
+		}
+		if d.X == nil {
+			d.X = tensor.NewMatrix(n, len(feats))
+		}
+		copy(d.X.Row(i), feats)
+		d.Labels[i] = label
+	}
+	if d.X == nil {
+		d.X = tensor.NewMatrix(0, spec.FeatureDim)
+	}
+	return d, nil
+}

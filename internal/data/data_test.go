@@ -1,0 +1,289 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nessa/internal/tensor"
+)
+
+func TestRegistryMatchesTable1(t *testing.T) {
+	want := []struct {
+		name    string
+		classes int
+		train   int
+		network string
+	}{
+		{"CIFAR-10", 10, 50000, "ResNet-20"},
+		{"SVHN", 10, 73000, "ResNet-18"},
+		{"CINIC-10", 10, 90000, "ResNet-18"},
+		{"CIFAR-100", 100, 50000, "ResNet-18"},
+		{"TinyImageNet", 200, 100000, "ResNet-18"},
+		{"ImageNet-100", 100, 130000, "ResNet-50"},
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d datasets, want %d", len(reg), len(want))
+	}
+	for i, w := range want {
+		got := reg[i]
+		if got.Name != w.name || got.Classes != w.classes || got.Train != w.train || got.Network != w.network {
+			t.Errorf("registry[%d] = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestRegistryImageSizesMatchPaper(t *testing.T) {
+	// §1/§4.4: CIFAR-scale images ~3 KB, ImageNet-100 ~0.126 MB.
+	c10, _ := Lookup("CIFAR-10")
+	if c10.BytesPerImage != 3*1024 {
+		t.Errorf("CIFAR-10 bytes/image = %d, want 3072", c10.BytesPerImage)
+	}
+	in100, _ := Lookup("ImageNet-100")
+	mb := float64(in100.BytesPerImage) / (1024 * 1024)
+	if mb < 0.12 || mb > 0.13 {
+		t.Errorf("ImageNet-100 image = %.4f MB, want ~0.126", mb)
+	}
+	mnist := MNIST()
+	if mnist.BytesPerImage != 512 {
+		t.Errorf("MNIST bytes/image = %d, want 512 (0.5 KB)", mnist.BytesPerImage)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("CIFAR-100"); !ok {
+		t.Error("CIFAR-100 not found")
+	}
+	if _, ok := Lookup("MNIST"); !ok {
+		t.Error("MNIST not found")
+	}
+	if _, ok := Lookup("ImageNet-1k"); !ok {
+		t.Error("ImageNet-1k not found")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("unexpected dataset found")
+	}
+}
+
+func TestGenerateShapesAndDeterminism(t *testing.T) {
+	spec, _ := Lookup("CIFAR-10")
+	tr1, te1 := Generate(spec)
+	tr2, _ := Generate(spec)
+
+	if tr1.Len() != spec.SimTrain || te1.Len() != spec.SimTest {
+		t.Fatalf("sizes = %d/%d, want %d/%d", tr1.Len(), te1.Len(), spec.SimTrain, spec.SimTest)
+	}
+	if tr1.X.Cols != spec.FeatureDim {
+		t.Fatalf("feature dim = %d, want %d", tr1.X.Cols, spec.FeatureDim)
+	}
+	for i := range tr1.X.Data {
+		if tr1.X.Data[i] != tr2.X.Data[i] {
+			t.Fatal("generation is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestGenerateBalancedClasses(t *testing.T) {
+	spec, _ := Lookup("CIFAR-10")
+	spec.NoiseFrac = 0 // label noise perturbs exact balance
+	tr, _ := Generate(spec)
+	counts := make([]int, spec.Classes)
+	for _, y := range tr.Labels {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != spec.SimTrain/spec.Classes {
+			t.Errorf("class %d has %d samples, want %d", c, n, spec.SimTrain/spec.Classes)
+		}
+	}
+}
+
+func TestGenerateLabelsInRange(t *testing.T) {
+	for _, spec := range Registry() {
+		tr, te := Generate(spec)
+		for _, d := range []*Dataset{tr, te} {
+			for i, y := range d.Labels {
+				if y < 0 || y >= spec.Classes {
+					t.Fatalf("%s sample %d label %d out of range", spec.Name, i, y)
+				}
+			}
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	spec, _ := Lookup("CIFAR-10")
+	tr, _ := Generate(spec)
+	idx := []int{5, 0, 17}
+	s := tr.Subset(idx)
+	if s.Len() != 3 {
+		t.Fatalf("subset len = %d, want 3", s.Len())
+	}
+	for i, src := range idx {
+		if s.Labels[i] != tr.Labels[src] {
+			t.Errorf("subset label %d = %d, want %d", i, s.Labels[i], tr.Labels[src])
+		}
+		for j := 0; j < s.X.Cols; j++ {
+			if s.X.At(i, j) != tr.X.At(src, j) {
+				t.Fatalf("subset row %d differs from source row %d", i, src)
+			}
+		}
+	}
+}
+
+func TestClassIndexPartition(t *testing.T) {
+	spec, _ := Lookup("CIFAR-100")
+	tr, _ := Generate(spec)
+	idx := tr.ClassIndex()
+	if len(idx) != spec.Classes {
+		t.Fatalf("class index has %d classes, want %d", len(idx), spec.Classes)
+	}
+	total := 0
+	for c, list := range idx {
+		total += len(list)
+		for _, i := range list {
+			if tr.Labels[i] != c {
+				t.Fatalf("index %d listed under class %d but has label %d", i, c, tr.Labels[i])
+			}
+		}
+	}
+	if total != tr.Len() {
+		t.Fatalf("class index covers %d samples, want %d", total, tr.Len())
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	spec, _ := Lookup("CIFAR-10")
+	spec.SimTrain, spec.SimTest = 50, 10
+	tr, _ := Generate(spec)
+	img, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(img)) != int64(tr.Len())*spec.BytesPerImage {
+		t.Fatalf("encoded %d bytes, want %d", len(img), int64(tr.Len())*spec.BytesPerImage)
+	}
+	back, err := Decode(spec, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("decoded %d samples, want %d", back.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if back.Labels[i] != tr.Labels[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for j := 0; j < tr.X.Cols; j++ {
+			if back.X.At(i, j) != tr.X.At(i, j) {
+				t.Fatalf("feature (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		spec := Spec{
+			Name: "prop", Classes: 1 + r.Intn(20), BytesPerImage: 4096,
+			SimTrain: 1 + r.Intn(20), SimTest: 1, FeatureDim: 1 + r.Intn(64),
+			Spread: 0.5, Seed: seed,
+		}
+		tr, _ := Generate(spec)
+		img, err := Encode(tr)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(spec, img)
+		if err != nil || back.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Labels {
+			if back.Labels[i] != tr.Labels[i] {
+				return false
+			}
+		}
+		for i := range tr.X.Data {
+			if back.X.Data[i] != tr.X.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordSizeTooSmall(t *testing.T) {
+	spec := Spec{Name: "tiny", BytesPerImage: 8, FeatureDim: 100}
+	if _, err := RecordSize(spec); err == nil {
+		t.Fatal("expected error for record too small")
+	}
+}
+
+func TestDecodeBadImage(t *testing.T) {
+	spec, _ := Lookup("CIFAR-10")
+	if _, err := Decode(spec, make([]byte, 100)); err == nil {
+		t.Fatal("expected error for non-multiple image length")
+	}
+}
+
+func TestDecodeTruncatedRecord(t *testing.T) {
+	if _, _, err := DecodeSample([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected error for short record")
+	}
+	// Header claims more features than the buffer holds.
+	buf := make([]byte, recordHeader+4)
+	buf[2] = 200
+	if _, _, err := DecodeSample(buf); err == nil {
+		t.Fatal("expected error for truncated features")
+	}
+}
+
+func TestPaperBytes(t *testing.T) {
+	spec, _ := Lookup("ImageNet-100")
+	want := int64(130000) * 129 * 1024
+	if got := spec.PaperBytes(); got != want {
+		t.Fatalf("PaperBytes = %d, want %d", got, want)
+	}
+}
+
+func TestHardFracProducesBoundarySamples(t *testing.T) {
+	// With a large HardFrac and tiny spread, hard samples sit measurably
+	// farther from their own class center than clean ones.
+	spec := Spec{
+		Name: "hard", Classes: 4, BytesPerImage: 4096,
+		SimTrain: 400, SimTest: 10, FeatureDim: 16,
+		Spread: 0.05, HardFrac: 0.5, Seed: 9,
+	}
+	tr, _ := Generate(spec)
+	// Recompute per-class means as center estimates.
+	idx := tr.ClassIndex()
+	var near, far int
+	for c, list := range idx {
+		mean := make([]float32, spec.FeatureDim)
+		for _, i := range list {
+			row := tr.X.Row(i)
+			for j := range mean {
+				mean[j] += row[j]
+			}
+		}
+		for j := range mean {
+			mean[j] /= float32(len(list))
+		}
+		for _, i := range list {
+			d := tensor.SqDist(tr.X.Row(i), mean)
+			if d < 0.05 {
+				near++
+			} else if d > 0.1 {
+				far++
+			}
+		}
+		_ = c
+	}
+	if near == 0 || far == 0 {
+		t.Fatalf("expected a bimodal near/far split, got near=%d far=%d", near, far)
+	}
+}

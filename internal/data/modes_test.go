@@ -1,0 +1,150 @@
+package data
+
+import (
+	"testing"
+
+	"nessa/internal/tensor"
+)
+
+// Tests of the long-tail intra-class mode structure that makes subset
+// selection a meaningful problem (DESIGN.md §1).
+
+func TestModeFrequenciesDecayGeometrically(t *testing.T) {
+	spec := Spec{
+		Name: "modes", Classes: 2, BytesPerImage: 4096,
+		SimTrain: 20000, SimTest: 10, FeatureDim: 16,
+		Spread: 0.01, Seed: 5, Modes: 4, ModeSpread: 1.0, ModeDecay: 0.5,
+	}
+	rng := tensor.NewRNG(spec.Seed)
+	mix := newMixture(rng, spec)
+
+	counts := make([]int, mix.modes)
+	draw := tensor.NewRNG(7)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[mix.pick(draw)]++
+	}
+	// Expected frequencies with decay 0.5 over 4 modes: 8/15, 4/15, 2/15, 1/15.
+	want := []float64{8.0 / 15, 4.0 / 15, 2.0 / 15, 1.0 / 15}
+	for j, c := range counts {
+		got := float64(c) / n
+		if got < want[j]*0.9 || got > want[j]*1.1 {
+			t.Errorf("mode %d frequency = %.4f, want ~%.4f", j, got, want[j])
+		}
+	}
+	// Rarer modes must actually be rarer.
+	for j := 1; j < mix.modes; j++ {
+		if counts[j] >= counts[j-1] {
+			t.Errorf("mode %d (%d draws) not rarer than mode %d (%d)", j, counts[j], j-1, counts[j-1])
+		}
+	}
+}
+
+func TestRareModesSitNearForeignClasses(t *testing.T) {
+	spec := Spec{
+		Name: "hardmodes", Classes: 6, BytesPerImage: 4096,
+		SimTrain: 60, SimTest: 10, FeatureDim: 32,
+		Spread: 0.01, Seed: 9, Modes: 6, ModeSpread: 1.0, ModeDecay: 0.6,
+	}
+	rng := tensor.NewRNG(spec.Seed)
+	base := classCenters(rng, spec.Classes, spec.FeatureDim)
+	mix := newMixture(tensor.NewRNG(spec.Seed), spec)
+
+	// The rarest mode of each class must be closer to some foreign
+	// class center than the dominant mode is.
+	for c := 0; c < spec.Classes; c++ {
+		nearestForeign := func(x []float32) float32 {
+			best := float32(1e30)
+			for o := 0; o < spec.Classes; o++ {
+				if o == c {
+					continue
+				}
+				if d := tensor.SqDist(x, base.Row(o)); d < best {
+					best = d
+				}
+			}
+			return best
+		}
+		domDist := nearestForeign(mix.center(c, 0))
+		rareDist := nearestForeign(mix.center(c, mix.modes-1))
+		if rareDist >= domDist {
+			t.Errorf("class %d rare mode (%.3f) not nearer a foreign class than its dominant mode (%.3f)",
+				c, rareDist, domDist)
+		}
+	}
+}
+
+func TestUnimodalSpecUnchangedByModeFields(t *testing.T) {
+	spec := Spec{
+		Name: "uni", Classes: 3, BytesPerImage: 4096,
+		SimTrain: 90, SimTest: 30, FeatureDim: 8,
+		Spread: 0.05, Seed: 11, // Modes zero: unimodal
+	}
+	tr, _ := Generate(spec)
+	// With a single mode and tiny spread, samples of a class cluster
+	// tightly around one center.
+	idx := tr.ClassIndex()
+	for c, list := range idx {
+		mean := make([]float32, spec.FeatureDim)
+		for _, i := range list {
+			row := tr.X.Row(i)
+			for j := range mean {
+				mean[j] += row[j]
+			}
+		}
+		for j := range mean {
+			mean[j] /= float32(len(list))
+		}
+		for _, i := range list {
+			if d := tensor.SqDist(tr.X.Row(i), mean); d > 0.5 {
+				t.Fatalf("class %d sample %d far from its center (%.3f) despite unimodal spec", c, i, d)
+			}
+		}
+	}
+}
+
+func TestRandomSubsetUndersamplesRareModes(t *testing.T) {
+	// The structural premise of Table 3: a small random subset contains
+	// proportionally few rare-mode samples, while the dataset's rare
+	// modes carry a disproportionate share of the decision boundary.
+	spec := Spec{
+		Name: "tail", Classes: 4, BytesPerImage: 4096,
+		SimTrain: 4000, SimTest: 10, FeatureDim: 16,
+		Spread: 0.02, Seed: 13, Modes: 6, ModeSpread: 1.0, ModeDecay: 0.6,
+	}
+	tr, _ := Generate(spec)
+	rng := tensor.NewRNG(spec.Seed)
+	mix := newMixture(rng, spec)
+
+	modeOf := func(i int) int {
+		c := tr.Labels[i]
+		best, bd := 0, float32(1e30)
+		for j := 0; j < mix.modes; j++ {
+			if d := tensor.SqDist(tr.X.Row(i), mix.center(c, j)); d < bd {
+				bd, best = d, j
+			}
+		}
+		return best
+	}
+	rareTotal := 0
+	for i := 0; i < tr.Len(); i++ {
+		if modeOf(i) >= 4 {
+			rareTotal++
+		}
+	}
+	if rareTotal == 0 {
+		t.Fatal("no rare-mode samples generated; tail structure broken")
+	}
+	// A 5 % uniform subset carries ~5 % of the rare samples.
+	sub := tensor.NewRNG(17).Perm(tr.Len())[:tr.Len()/20]
+	rareInSub := 0
+	for _, i := range sub {
+		if modeOf(i) >= 4 {
+			rareInSub++
+		}
+	}
+	frac := float64(rareInSub) / float64(rareTotal)
+	if frac > 0.12 {
+		t.Errorf("random 5%% subset holds %.0f%% of rare samples; tail should be undersampled", frac*100)
+	}
+}

@@ -1,0 +1,116 @@
+// Package data provides the dataset substrate: the registry of the
+// paper's evaluation datasets (Table 1 plus the MNIST and ImageNet-1k
+// workloads used in Figs 1–2), a seeded synthetic generator that stands
+// in for the image datasets (see DESIGN.md §1), and a binary codec for
+// laying datasets out on the simulated SSD.
+//
+// Each Spec carries two scales: the paper scale (Train, BytesPerImage)
+// drives every storage- and time-model experiment, byte for byte; the
+// sim scale (SimTrain, FeatureDim, difficulty knobs) drives the real
+// training runs that produce accuracy numbers.
+package data
+
+import "fmt"
+
+// Spec describes one dataset at both paper scale and simulation scale.
+type Spec struct {
+	Name          string
+	Classes       int
+	Train         int    // paper training-set size (Table 1)
+	BytesPerImage int64  // on-disk record size per image
+	Network       string // target model the paper trains (Table 1)
+
+	// Synthetic-proxy parameters for real training runs.
+	SimTrain   int     // generated training samples
+	SimTest    int     // generated test samples
+	FeatureDim int     // feature-vector dimensionality
+	Spread     float64 // intra-class Gaussian std (unit class separation)
+	HardFrac   float64 // fraction of samples pulled toward a foreign class
+	NoiseFrac  float64 // fraction of labels flipped uniformly
+	Seed       uint64  // generator seed
+
+	// Intra-class structure: each class is a mixture of Modes
+	// sub-concepts whose frequencies decay geometrically (mode j has
+	// weight ModeDecay^j). Rare modes are what make subset *choice*
+	// matter: a random or poorly chosen subset undersamples them,
+	// while facility-location medoids cover every mode (Table 3).
+	Modes      int     // sub-modes per class (0/1 = unimodal)
+	ModeSpread float64 // distance of mode centers from the class center
+	ModeDecay  float64 // geometric frequency decay across modes
+}
+
+// PaperBytes reports the total on-disk size of the paper-scale
+// training set.
+func (s Spec) PaperBytes() int64 { return int64(s.Train) * s.BytesPerImage }
+
+// String implements fmt.Stringer.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(%d classes, %d train, %s)", s.Name, s.Classes, s.Train, s.Network)
+}
+
+// Registry returns the six Table 1 datasets in paper order. Image byte
+// sizes follow §1 and §4.4: CIFAR-scale images are 3 KB (0.003 MB),
+// ImageNet-100 images are 126 KB (0.126 MB); SVHN/CINIC are CIFAR-sized
+// crops; TinyImageNet 64×64×3 ≈ 12 KB.
+func Registry() []Spec {
+	return []Spec{
+		{
+			Name: "CIFAR-10", Classes: 10, Train: 50000, BytesPerImage: 3 * 1024, Network: "ResNet-20",
+			SimTrain: 3000, SimTest: 1000, FeatureDim: 32, Spread: 0.05, HardFrac: 0.22, NoiseFrac: 0.01, Seed: 101, Modes: 6, ModeSpread: 1.0, ModeDecay: 0.6,
+		},
+		{
+			Name: "SVHN", Classes: 10, Train: 73000, BytesPerImage: 3 * 1024, Network: "ResNet-18",
+			SimTrain: 3600, SimTest: 1200, FeatureDim: 32, Spread: 0.04, HardFrac: 0.14, NoiseFrac: 0.005, Seed: 102, Modes: 6, ModeSpread: 1.0, ModeDecay: 0.6,
+		},
+		{
+			Name: "CINIC-10", Classes: 10, Train: 90000, BytesPerImage: 3 * 1024, Network: "ResNet-18",
+			SimTrain: 4000, SimTest: 1200, FeatureDim: 32, Spread: 0.14, HardFrac: 0.30, NoiseFrac: 0.04, Seed: 103, Modes: 6, ModeSpread: 1.0, ModeDecay: 0.6,
+		},
+		{
+			Name: "CIFAR-100", Classes: 100, Train: 50000, BytesPerImage: 3 * 1024, Network: "ResNet-18",
+			SimTrain: 5000, SimTest: 1500, FeatureDim: 64, Spread: 0.185, HardFrac: 0.25, NoiseFrac: 0.02, Seed: 104, Modes: 6, ModeSpread: 1.0, ModeDecay: 0.6,
+		},
+		{
+			Name: "TinyImageNet", Classes: 200, Train: 100000, BytesPerImage: 12 * 1024, Network: "ResNet-18",
+			SimTrain: 10000, SimTest: 2000, FeatureDim: 96, Spread: 0.185, HardFrac: 0.28, NoiseFrac: 0.03, Seed: 105, Modes: 6, ModeSpread: 1.0, ModeDecay: 0.6,
+		},
+		{
+			Name: "ImageNet-100", Classes: 100, Train: 130000, BytesPerImage: 129 * 1024, Network: "ResNet-50",
+			SimTrain: 5000, SimTest: 1500, FeatureDim: 64, Spread: 0.138, HardFrac: 0.18, NoiseFrac: 0.01, Seed: 106, Modes: 6, ModeSpread: 1.0, ModeDecay: 0.6,
+		},
+	}
+}
+
+// Lookup finds a registry dataset by name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range Registry() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	switch name {
+	case "MNIST":
+		return MNIST(), true
+	case "ImageNet-1k":
+		return ImageNet1k(), true
+	}
+	return Spec{}, false
+}
+
+// MNIST is the smallest workload of the Fig 2 data-movement profile
+// (0.5 KB/image, 50 K train in the paper's profiling run).
+func MNIST() Spec {
+	return Spec{
+		Name: "MNIST", Classes: 10, Train: 50000, BytesPerImage: 512, Network: "ResNet-20",
+		SimTrain: 2000, SimTest: 800, FeatureDim: 24, Spread: 0.05, HardFrac: 0.05, NoiseFrac: 0.002, Seed: 100, Modes: 6, ModeSpread: 1.0, ModeDecay: 0.6,
+	}
+}
+
+// ImageNet1k is the Fig 1 workload: 1.28 M images at roughly 130 KB
+// each, the scale at which per-epoch training time explodes.
+func ImageNet1k() Spec {
+	return Spec{
+		Name: "ImageNet-1k", Classes: 1000, Train: 1281167, BytesPerImage: 130 * 1024, Network: "varied",
+		SimTrain: 0, SimTest: 0, FeatureDim: 0, Seed: 107,
+	}
+}

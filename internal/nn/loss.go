@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"math"
+
+	"nessa/internal/tensor"
+)
+
+// SoftmaxCE computes, for a batch of logits (n × C) and integer labels,
+// the per-sample cross-entropy losses and, if dLogits is non-nil, the
+// gradient of the *weighted mean* loss with respect to the logits:
+//
+//	dLogits[i] = w_i/Σw · (softmax(logits_i) − onehot(y_i))
+//
+// weights may be nil for uniform weighting. This weighted form is what
+// coreset training uses: each selected medoid carries the size of the
+// cluster it represents (CRAIG, Mirzasoleiman et al. 2020).
+func SoftmaxCE(logits *tensor.Matrix, labels []int, weights []float32, dLogits *tensor.Matrix) []float32 {
+	n := logits.Rows
+	if len(labels) != n {
+		panic("nn: SoftmaxCE labels length mismatch")
+	}
+	if weights != nil && len(weights) != n {
+		panic("nn: SoftmaxCE weights length mismatch")
+	}
+	var wsum float64
+	if weights == nil {
+		wsum = float64(n)
+	} else {
+		for _, w := range weights {
+			wsum += float64(w)
+		}
+	}
+	if wsum == 0 {
+		wsum = 1
+	}
+	losses := make([]float32, n)
+	probs := make([]float32, logits.Cols)
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		tensor.Softmax(probs, row)
+		y := labels[i]
+		if y < 0 || y >= logits.Cols {
+			panic("nn: SoftmaxCE label out of range")
+		}
+		p := float64(probs[y])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		losses[i] = float32(-math.Log(p))
+		if dLogits != nil {
+			w := float32(1)
+			if weights != nil {
+				w = weights[i]
+			}
+			scale := w / float32(wsum)
+			drow := dLogits.Row(i)
+			for j := range drow {
+				drow[j] = probs[j] * scale
+			}
+			drow[y] -= scale
+		}
+	}
+	return losses
+}
+
+// GradEmbeddings returns the last-layer gradient embedding of each
+// sample: softmax(logits_i) − onehot(y_i), a C-dimensional vector.
+// This is the exact gradient of cross-entropy with respect to the
+// output-layer pre-activations and is the gradient proxy CRAIG and
+// NeSSA cluster on (paper §3.1, Eq. 4–5).
+func GradEmbeddings(logits *tensor.Matrix, labels []int) *tensor.Matrix {
+	n := logits.Rows
+	emb := tensor.NewMatrix(n, logits.Cols)
+	probs := make([]float32, logits.Cols)
+	for i := 0; i < n; i++ {
+		tensor.Softmax(probs, logits.Row(i))
+		row := emb.Row(i)
+		copy(row, probs)
+		row[labels[i]] -= 1
+	}
+	return emb
+}
+
+// Accuracy reports the fraction of rows whose argmax logit equals the
+// label.
+func Accuracy(logits *tensor.Matrix, labels []int) float64 {
+	if logits.Rows == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < logits.Rows; i++ {
+		if tensor.Argmax(logits.Row(i)) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(logits.Rows)
+}

@@ -1,0 +1,196 @@
+// Package nn is a from-scratch neural-network training substrate: a
+// multi-layer perceptron classifier with softmax cross-entropy loss,
+// per-sample loss and gradient-embedding extraction (what the NeSSA
+// selection model consumes), and SGD with Nesterov momentum, weight
+// decay, and the step learning-rate schedule the paper trains with.
+//
+// The paper trains ResNet-20/18/50 on images; here the target models
+// are MLP proxies over feature vectors (see DESIGN.md §1). Everything
+// the selection pipeline touches — last-layer gradients, per-sample
+// losses, quantizable weight tensors — has the same shape and
+// semantics as it would on the real networks.
+package nn
+
+import (
+	"fmt"
+
+	"nessa/internal/tensor"
+)
+
+// Dense is one fully connected layer. Weights are stored row-major as
+// (out × in) so a forward pass is X·Wᵀ + b.
+type Dense struct {
+	W *tensor.Matrix // out × in
+	B []float32      // out
+}
+
+// MLP is a feed-forward classifier: zero or more ReLU hidden layers
+// followed by a linear output layer producing one logit per class.
+type MLP struct {
+	Layers  []*Dense
+	In      int // input feature dimension
+	Classes int // output dimension
+
+	// scratch per-layer activations from the most recent Forward,
+	// reused across calls to avoid reallocation. acts[0] is the input,
+	// acts[i] the post-activation output of layer i-1.
+	acts []*tensor.Matrix
+}
+
+// NewMLP builds an MLP with the given input dimension, hidden layer
+// widths, and class count, initialized with He-style scaling from r.
+func NewMLP(r *tensor.RNG, in int, hidden []int, classes int) *MLP {
+	if in <= 0 || classes <= 0 {
+		panic(fmt.Sprintf("nn: invalid MLP dims in=%d classes=%d", in, classes))
+	}
+	dims := append([]int{in}, hidden...)
+	dims = append(dims, classes)
+	m := &MLP{In: in, Classes: classes}
+	for i := 0; i < len(dims)-1; i++ {
+		l := &Dense{
+			W: tensor.NewMatrix(dims[i+1], dims[i]),
+			B: make([]float32, dims[i+1]),
+		}
+		// He initialization keeps ReLU activations well-scaled.
+		std := float32(1.0)
+		if dims[i] > 0 {
+			std = float32(1.41421356 / sqrtf(float32(dims[i])))
+		}
+		l.W.FillNormal(r, std)
+		m.Layers = append(m.Layers, l)
+	}
+	return m
+}
+
+func sqrtf(x float32) float32 {
+	// Newton iterations are plenty for init scaling.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 20; i++ {
+		z = 0.5 * (z + x/z)
+	}
+	return z
+}
+
+// Clone returns a deep copy of the model (weights and biases).
+func (m *MLP) Clone() *MLP {
+	c := &MLP{In: m.In, Classes: m.Classes}
+	for _, l := range m.Layers {
+		c.Layers = append(c.Layers, &Dense{
+			W: l.W.Clone(),
+			B: append([]float32(nil), l.B...),
+		})
+	}
+	return c
+}
+
+// NumParams reports the total scalar parameter count.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += len(l.W.Data) + len(l.B)
+	}
+	return n
+}
+
+// Forward runs a batch X (n × In) through the network and returns the
+// logits (n × Classes). Intermediate activations are retained for a
+// subsequent Backward.
+func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != m.In {
+		panic(fmt.Sprintf("nn: Forward input has %d features, model wants %d", x.Cols, m.In))
+	}
+	if len(m.acts) != len(m.Layers)+1 {
+		m.acts = make([]*tensor.Matrix, len(m.Layers)+1)
+	}
+	m.acts[0] = x
+	cur := x
+	for i, l := range m.Layers {
+		out := m.acts[i+1]
+		if out == nil || out.Rows != cur.Rows || out.Cols != l.W.Rows {
+			out = tensor.NewMatrix(cur.Rows, l.W.Rows)
+			m.acts[i+1] = out
+		}
+		tensor.MatMulTransB(out, cur, l.W)
+		tensor.AddRowVec(out, l.B)
+		if i < len(m.Layers)-1 {
+			relu(out)
+		}
+		cur = out
+	}
+	return cur
+}
+
+func relu(m *tensor.Matrix) {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+// Grads holds one gradient tensor per layer, mirroring MLP.Layers.
+type Grads struct {
+	W []*tensor.Matrix
+	B [][]float32
+}
+
+// NewGrads allocates zeroed gradients shaped like m.
+func NewGrads(m *MLP) *Grads {
+	g := &Grads{}
+	for _, l := range m.Layers {
+		g.W = append(g.W, tensor.NewMatrix(l.W.Rows, l.W.Cols))
+		g.B = append(g.B, make([]float32, len(l.B)))
+	}
+	return g
+}
+
+// Zero clears all gradient tensors.
+func (g *Grads) Zero() {
+	for i := range g.W {
+		g.W[i].Zero()
+		for j := range g.B[i] {
+			g.B[i][j] = 0
+		}
+	}
+}
+
+// Backward computes parameter gradients into g given dLogits, the
+// gradient of the loss with respect to the logits of the most recent
+// Forward batch. dLogits is clobbered. Gradients are accumulated into
+// g (call g.Zero first for a fresh batch).
+func (m *MLP) Backward(g *Grads, dLogits *tensor.Matrix) {
+	if len(m.acts) == 0 || m.acts[0] == nil {
+		panic("nn: Backward called before Forward")
+	}
+	delta := dLogits
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		l := m.Layers[i]
+		in := m.acts[i]
+		// dW += deltaᵀ·in ; dB += column sums of delta.
+		tmp := tensor.NewMatrix(l.W.Rows, l.W.Cols)
+		tensor.MatMulTransA(tmp, delta, in)
+		tensor.AXPY(g.W[i], 1, tmp)
+		gb := g.B[i]
+		for r := 0; r < delta.Rows; r++ {
+			row := delta.Row(r)
+			for j := range gb {
+				gb[j] += row[j]
+			}
+		}
+		if i == 0 {
+			break
+		}
+		// Propagate: dIn = delta·W, then mask by ReLU derivative of in.
+		dIn := tensor.NewMatrix(delta.Rows, l.W.Cols)
+		tensor.MatMul(dIn, delta, l.W)
+		for k, v := range in.Data {
+			if v <= 0 {
+				dIn.Data[k] = 0
+			}
+		}
+		delta = dIn
+	}
+}

@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"nessa/internal/tensor"
+)
+
+// Binary model serialization: a compact, versioned little-endian
+// format used for checkpointing trained target models and for sizing
+// full-precision feedback transfers. Layout:
+//
+//	magic   uint32  'NSSA'
+//	version uint32  1
+//	in      uint32
+//	classes uint32
+//	layers  uint32
+//	per layer: rows uint32, cols uint32, rows*cols float32 weights,
+//	           rows float32 biases
+const (
+	modelMagic   = 0x4e535341 // "NSSA"
+	modelVersion = 1
+)
+
+// MarshalModel serializes m.
+func MarshalModel(m *MLP) []byte {
+	size := 20
+	for _, l := range m.Layers {
+		size += 8 + 4*len(l.W.Data) + 4*len(l.B)
+	}
+	buf := make([]byte, size)
+	off := 0
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[off:], v)
+		off += 4
+	}
+	put(modelMagic)
+	put(modelVersion)
+	put(uint32(m.In))
+	put(uint32(m.Classes))
+	put(uint32(len(m.Layers)))
+	for _, l := range m.Layers {
+		put(uint32(l.W.Rows))
+		put(uint32(l.W.Cols))
+		for _, v := range l.W.Data {
+			put(math.Float32bits(v))
+		}
+		for _, v := range l.B {
+			put(math.Float32bits(v))
+		}
+	}
+	return buf
+}
+
+// UnmarshalModel parses a buffer produced by MarshalModel.
+func UnmarshalModel(buf []byte) (*MLP, error) {
+	off := 0
+	get := func() (uint32, error) {
+		if off+4 > len(buf) {
+			return 0, fmt.Errorf("nn: model buffer truncated at offset %d", off)
+		}
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return v, nil
+	}
+	magic, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if magic != modelMagic {
+		return nil, fmt.Errorf("nn: bad model magic %#x", magic)
+	}
+	version, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if version != modelVersion {
+		return nil, fmt.Errorf("nn: unsupported model version %d", version)
+	}
+	in, err := get()
+	if err != nil {
+		return nil, err
+	}
+	classes, err := get()
+	if err != nil {
+		return nil, err
+	}
+	layers, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if in == 0 || classes == 0 || layers == 0 || layers > 64 {
+		return nil, fmt.Errorf("nn: implausible model header in=%d classes=%d layers=%d", in, classes, layers)
+	}
+	m := &MLP{In: int(in), Classes: int(classes)}
+	prev := int(in)
+	for li := uint32(0); li < layers; li++ {
+		rows, err := get()
+		if err != nil {
+			return nil, err
+		}
+		cols, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if int(cols) != prev {
+			return nil, fmt.Errorf("nn: layer %d input dim %d, want %d", li, cols, prev)
+		}
+		w := tensor.NewMatrix(int(rows), int(cols))
+		for i := range w.Data {
+			v, err := get()
+			if err != nil {
+				return nil, err
+			}
+			w.Data[i] = math.Float32frombits(v)
+		}
+		b := make([]float32, rows)
+		for i := range b {
+			v, err := get()
+			if err != nil {
+				return nil, err
+			}
+			b[i] = math.Float32frombits(v)
+		}
+		m.Layers = append(m.Layers, &Dense{W: w, B: b})
+		prev = int(rows)
+	}
+	if prev != int(classes) {
+		return nil, fmt.Errorf("nn: final layer width %d, want %d classes", prev, classes)
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("nn: %d trailing bytes after model", len(buf)-off)
+	}
+	return m, nil
+}

@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nessa/internal/tensor"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	r := tensor.NewRNG(1)
+	m := NewMLP(r, 12, []int{24, 16}, 5)
+	buf := MarshalModel(m)
+	back, err := UnmarshalModel(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.In != m.In || back.Classes != m.Classes || len(back.Layers) != len(m.Layers) {
+		t.Fatal("model shape changed in round trip")
+	}
+	for li, l := range m.Layers {
+		bl := back.Layers[li]
+		for i := range l.W.Data {
+			if bl.W.Data[i] != l.W.Data[i] {
+				t.Fatalf("layer %d weight %d mismatch", li, i)
+			}
+		}
+		for i := range l.B {
+			if bl.B[i] != l.B[i] {
+				t.Fatalf("layer %d bias %d mismatch", li, i)
+			}
+		}
+	}
+}
+
+func TestModelRoundTripPredictionsIdentical(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		hidden := []int{1 + r.Intn(16)}
+		m := NewMLP(r, 1+r.Intn(8), hidden, 2+r.Intn(5))
+		back, err := UnmarshalModel(MarshalModel(m))
+		if err != nil {
+			return false
+		}
+		x := tensor.NewMatrix(4, m.In)
+		x.FillNormal(r, 1)
+		a := m.Forward(x).Clone()
+		b := back.Forward(x)
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	r := tensor.NewRNG(2)
+	m := NewMLP(r, 4, []int{6}, 3)
+	buf := MarshalModel(m)
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { c := append([]byte(nil), b...); c[0] ^= 0xff; return c }},
+		{"bad version", func(b []byte) []byte { c := append([]byte(nil), b...); c[4] = 99; return c }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"trailing bytes", func(b []byte) []byte { return append(append([]byte(nil), b...), 0) }},
+		{"empty", func([]byte) []byte { return nil }},
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalModel(c.mutate(buf)); err == nil {
+			t.Errorf("%s: corruption accepted", c.name)
+		}
+	}
+}
+
+func TestUnmarshalRejectsInconsistentDims(t *testing.T) {
+	r := tensor.NewRNG(3)
+	m := NewMLP(r, 4, nil, 3)
+	buf := MarshalModel(m)
+	// Header says 5 classes but the single layer has 3 output rows.
+	buf[12] = 5
+	if _, err := UnmarshalModel(buf); err == nil {
+		t.Fatal("class/width mismatch accepted")
+	}
+}

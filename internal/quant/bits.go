@@ -1,0 +1,133 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"nessa/internal/nn"
+	"nessa/internal/tensor"
+)
+
+// BitTensor is a symmetric fixed-point quantization of a matrix at an
+// arbitrary bit width (2..16). It generalizes the int8 Tensor for the
+// bit-width ablation: how much selection quality does NeSSA's feedback
+// loop lose as the weight transfer shrinks?
+type BitTensor struct {
+	Rows, Cols int
+	Bits       int
+	Scale      float32
+	Data       []int16 // values in [-(2^(b-1)-1), 2^(b-1)-1]
+}
+
+// QuantizeBits converts m to a signed fixed-point representation with
+// the given bit width.
+func QuantizeBits(m *tensor.Matrix, bits int) (*BitTensor, error) {
+	if bits < 2 || bits > 16 {
+		return nil, fmt.Errorf("quant: bit width %d out of [2,16]", bits)
+	}
+	q := &BitTensor{Rows: m.Rows, Cols: m.Cols, Bits: bits, Data: make([]int16, len(m.Data))}
+	limit := float64(int32(1)<<(bits-1) - 1)
+	var maxAbs float32
+	for _, v := range m.Data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		q.Scale = 1
+		return q, nil
+	}
+	q.Scale = maxAbs / float32(limit)
+	inv := 1 / q.Scale
+	for i, v := range m.Data {
+		r := math.Round(float64(v * inv))
+		if r > limit {
+			r = limit
+		} else if r < -limit {
+			r = -limit
+		}
+		q.Data[i] = int16(r)
+	}
+	return q, nil
+}
+
+// Dequantize expands q back to float32.
+func (q *BitTensor) Dequantize() *tensor.Matrix {
+	m := tensor.NewMatrix(q.Rows, q.Cols)
+	for i, v := range q.Data {
+		m.Data[i] = float32(v) * q.Scale
+	}
+	return m
+}
+
+// SizeBytes reports the packed wire size: bits·elements/8 rounded up,
+// plus the 4-byte scale.
+func (q *BitTensor) SizeBytes() int64 {
+	return int64(len(q.Data)*q.Bits+7)/8 + 4
+}
+
+// BitModel is a bit-width-parameterized quantized model snapshot.
+type BitModel struct {
+	In, Classes int
+	Bits        int
+	Weights     []*BitTensor
+	Biases      [][]float32
+}
+
+// QuantizeModelBits snapshots m at the given bit width.
+func QuantizeModelBits(m *nn.MLP, bits int) (*BitModel, error) {
+	qm := &BitModel{In: m.In, Classes: m.Classes, Bits: bits}
+	for _, l := range m.Layers {
+		w, err := QuantizeBits(l.W, bits)
+		if err != nil {
+			return nil, err
+		}
+		qm.Weights = append(qm.Weights, w)
+		qm.Biases = append(qm.Biases, append([]float32(nil), l.B...))
+	}
+	return qm, nil
+}
+
+// Dequantized reconstructs the float32 model carrying the fixed-point
+// rounding error.
+func (qm *BitModel) Dequantized() *nn.MLP {
+	m := &nn.MLP{In: qm.In, Classes: qm.Classes}
+	for i, w := range qm.Weights {
+		m.Layers = append(m.Layers, &nn.Dense{
+			W: w.Dequantize(),
+			B: append([]float32(nil), qm.Biases[i]...),
+		})
+	}
+	return m
+}
+
+// SizeBytes reports the total feedback-transfer size at this bit width.
+func (qm *BitModel) SizeBytes() int64 {
+	var n int64
+	for i, w := range qm.Weights {
+		n += w.SizeBytes() + int64(4*len(qm.Biases[i]))
+	}
+	return n
+}
+
+// AgreementWithFloat measures, on a batch of inputs, the fraction of
+// argmax predictions the quantized model shares with the float model —
+// the selection-fidelity proxy for the bit-width ablation.
+func AgreementWithFloat(m *nn.MLP, qm *BitModel, x *tensor.Matrix) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	orig := m.Forward(x).Clone()
+	deq := qm.Dequantized().Forward(x)
+	agree := 0
+	for i := 0; i < x.Rows; i++ {
+		if tensor.Argmax(orig.Row(i)) == tensor.Argmax(deq.Row(i)) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(x.Rows)
+}

@@ -1,0 +1,125 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nessa/internal/nn"
+	"nessa/internal/tensor"
+)
+
+func TestQuantizeRoundTripErrorBound(t *testing.T) {
+	// Property: reconstruction error per element never exceeds Scale/2.
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		m := tensor.NewMatrix(1+r.Intn(8), 1+r.Intn(8))
+		m.FillNormal(r, 3)
+		q := Quantize(m)
+		d := q.Dequantize()
+		for i := range m.Data {
+			e := math.Abs(float64(m.Data[i] - d.Data[i]))
+			if e > float64(q.Scale)/2+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeZeroMatrix(t *testing.T) {
+	m := tensor.NewMatrix(3, 3)
+	q := Quantize(m)
+	d := q.Dequantize()
+	for _, v := range d.Data {
+		if v != 0 {
+			t.Fatalf("zero matrix round-trip produced %v", v)
+		}
+	}
+}
+
+func TestQuantizeExtremesMapTo127(t *testing.T) {
+	m := tensor.FromRows([][]float32{{-2, 0, 2}})
+	q := Quantize(m)
+	if q.Data[0] != -127 || q.Data[2] != 127 {
+		t.Fatalf("extremes = %d, %d; want -127, 127", q.Data[0], q.Data[2])
+	}
+	if q.Data[1] != 0 {
+		t.Fatalf("zero maps to %d, want 0", q.Data[1])
+	}
+}
+
+func TestQuantizeSignSymmetry(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		m := tensor.NewMatrix(2, 4)
+		m.FillNormal(r, 1)
+		neg := m.Clone()
+		neg.Scale(-1)
+		qa, qb := Quantize(m), Quantize(neg)
+		for i := range qa.Data {
+			if qa.Data[i] != -qb.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeModelRoundTripKeepsPredictions(t *testing.T) {
+	r := tensor.NewRNG(5)
+	m := nn.NewMLP(r, 16, []int{32}, 10)
+	x := tensor.NewMatrix(32, 16)
+	x.FillNormal(r, 1)
+
+	orig := m.Forward(x).Clone()
+	deq := QuantizeModel(m).Dequantized()
+	got := deq.Forward(x)
+
+	agree := 0
+	for i := 0; i < x.Rows; i++ {
+		if tensor.Argmax(orig.Row(i)) == tensor.Argmax(got.Row(i)) {
+			agree++
+		}
+	}
+	// int8 weights should rarely flip an argmax on random inputs.
+	if agree < x.Rows*9/10 {
+		t.Fatalf("only %d/%d predictions survived quantization", agree, x.Rows)
+	}
+}
+
+func TestModelSizeBytes(t *testing.T) {
+	r := tensor.NewRNG(6)
+	m := nn.NewMLP(r, 4, nil, 3)
+	qm := QuantizeModel(m)
+	// One layer: 12 int8 weights + 4-byte scale + 3 float32 biases.
+	want := int64(12 + 4 + 12)
+	if got := qm.SizeBytes(); got != want {
+		t.Fatalf("SizeBytes = %d, want %d", got, want)
+	}
+}
+
+func TestCompressionRatioNearFour(t *testing.T) {
+	r := tensor.NewRNG(7)
+	m := nn.NewMLP(r, 128, []int{256}, 100)
+	ratio := CompressionRatio(m)
+	if ratio < 3.5 || ratio > 4.01 {
+		t.Fatalf("compression ratio = %v, want ~4", ratio)
+	}
+}
+
+func TestMaxAbsErrorWithinHalfScale(t *testing.T) {
+	r := tensor.NewRNG(8)
+	m := tensor.NewMatrix(10, 10)
+	m.FillNormal(r, 2)
+	q := Quantize(m)
+	if e := MaxAbsError(m); e > q.Scale/2+1e-6 {
+		t.Fatalf("MaxAbsError = %v exceeds scale/2 = %v", e, q.Scale/2)
+	}
+}

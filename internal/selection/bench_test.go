@@ -1,0 +1,83 @@
+package selection
+
+import (
+	"testing"
+
+	"nessa/internal/tensor"
+)
+
+// benchInstance builds a CIFAR-10-class-sized selection problem: 300
+// candidates with 10-dimensional gradient embeddings, selecting 30 %.
+func benchInstance(n, dim int) (*tensor.Matrix, []int) {
+	r := tensor.NewRNG(1)
+	emb := tensor.NewMatrix(n, dim)
+	emb.FillNormal(r, 1)
+	cand := make([]int, n)
+	for i := range cand {
+		cand[i] = i
+	}
+	return emb, cand
+}
+
+func BenchmarkNaiveGreedy300(b *testing.B) {
+	emb, cand := benchInstance(300, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NaiveGreedy(emb, cand, 90); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLazyGreedy300(b *testing.B) {
+	emb, cand := benchInstance(300, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LazyGreedy(emb, cand, 90); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStochasticGreedy300(b *testing.B) {
+	emb, cand := benchInstance(300, 10)
+	r := tensor.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := StochasticGreedy(emb, cand, 90, 0.1, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKCenters300(b *testing.B) {
+	emb, cand := benchInstance(300, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KCenters(emb, cand, 90); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionedSelection300(b *testing.B) {
+	emb, cand := benchInstance(300, 10)
+	r := tensor.NewRNG(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partitioned(emb, cand, 90, 16, r, LazyGreedy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreeDi4Shards(b *testing.B) {
+	emb, cand := benchInstance(600, 10)
+	r := tensor.NewRNG(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GreeDi(emb, cand, 90, 4, r, LazyGreedy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package selection
+
+import (
+	"fmt"
+	"sort"
+
+	"nessa/internal/tensor"
+)
+
+// Maximizer is any facility-location subset selector over candidate
+// rows of an embedding matrix.
+type Maximizer func(emb *tensor.Matrix, cand []int, k int) (Result, error)
+
+// NaiveMaximizer, LazyMaximizer, and StochasticMaximizer adapt the
+// three greedy variants to the Maximizer signature.
+func NaiveMaximizer() Maximizer { return NaiveGreedy }
+
+func LazyMaximizer() Maximizer { return LazyGreedy }
+
+func StochasticMaximizer(eps float64, rng *tensor.RNG) Maximizer {
+	return func(emb *tensor.Matrix, cand []int, k int) (Result, error) {
+		return StochasticGreedy(emb, cand, k, eps, rng)
+	}
+}
+
+// PerClass runs CRAIG-style selection: the budget k is split across
+// classes in proportion to each class's candidate count (the paper
+// computes pairwise similarities only within a class, §3.2.3), the
+// maximizer picks each class's medoids, and results merge with their
+// cluster weights intact.
+func PerClass(emb *tensor.Matrix, classes [][]int, k int, maximize Maximizer) (Result, error) {
+	total := 0
+	for _, c := range classes {
+		total += len(c)
+	}
+	if total == 0 {
+		return Result{}, fmt.Errorf("selection: no candidates in any class")
+	}
+	if k <= 0 {
+		return Result{}, fmt.Errorf("selection: k must be positive, got %d", k)
+	}
+	if k > total {
+		k = total
+	}
+	budgets := splitBudget(classes, k, total)
+
+	var merged Result
+	for ci, cand := range classes {
+		if len(cand) == 0 || budgets[ci] == 0 {
+			continue
+		}
+		r, err := maximize(emb, cand, budgets[ci])
+		if err != nil {
+			return Result{}, fmt.Errorf("selection: class %d: %w", ci, err)
+		}
+		merged.Selected = append(merged.Selected, r.Selected...)
+		merged.Weights = append(merged.Weights, r.Weights...)
+		merged.Objective += r.Objective
+	}
+	return merged, nil
+}
+
+// splitBudget apportions k across classes proportionally to their
+// candidate counts (largest-remainder rounding), guaranteeing every
+// non-empty class at least one pick when k allows it and that budgets
+// sum to exactly min(k, total).
+func splitBudget(classes [][]int, k, total int) []int {
+	type share struct {
+		ci   int
+		frac float64
+		size int
+	}
+	budgets := make([]int, len(classes))
+	shares := make([]share, 0, len(classes))
+	for ci, c := range classes {
+		if len(c) == 0 {
+			continue
+		}
+		shares = append(shares, share{ci: ci, size: len(c)})
+	}
+	if len(shares) == 0 {
+		return budgets
+	}
+	// Fewer picks than classes: give one pick each to the k largest
+	// classes (deterministic tie-break on index).
+	if k < len(shares) {
+		sort.Slice(shares, func(i, j int) bool {
+			if shares[i].size != shares[j].size {
+				return shares[i].size > shares[j].size
+			}
+			return shares[i].ci < shares[j].ci
+		})
+		for i := 0; i < k; i++ {
+			budgets[shares[i].ci] = 1
+		}
+		return budgets
+	}
+
+	assigned := 0
+	for i := range shares {
+		exact := float64(k) * float64(shares[i].size) / float64(total)
+		b := int(exact)
+		if b < 1 {
+			b = 1
+		}
+		if b > shares[i].size {
+			b = shares[i].size
+		}
+		budgets[shares[i].ci] = b
+		assigned += b
+		shares[i].frac = exact - float64(int(exact))
+	}
+	// Distribute leftovers to the largest remainders with headroom;
+	// trim over-assignment from the smallest remainders, never below 1.
+	sort.Slice(shares, func(i, j int) bool { return shares[i].frac > shares[j].frac })
+	for pass := 0; assigned < k && pass < k; pass++ {
+		progress := false
+		for _, s := range shares {
+			if assigned >= k {
+				break
+			}
+			if budgets[s.ci] < s.size {
+				budgets[s.ci]++
+				assigned++
+				progress = true
+			}
+		}
+		if !progress {
+			break // every class saturated: k exceeds total
+		}
+	}
+	for pass := 0; assigned > k && pass < k; pass++ {
+		progress := false
+		for i := len(shares) - 1; i >= 0 && assigned > k; i-- {
+			if budgets[shares[i].ci] > 1 {
+				budgets[shares[i].ci]--
+				assigned--
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return budgets
+}

@@ -1,0 +1,166 @@
+package selection
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nessa/internal/tensor"
+)
+
+func TestTopLossPicksLargestLosses(t *testing.T) {
+	losses := []float32{0.1, 5.0, 0.2, 3.0, 0.05, 4.0}
+	cand := []int{0, 1, 2, 3, 4, 5}
+	res, err := TopLoss(losses, cand, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 5, 3}
+	for i, s := range res.Selected {
+		if s != want[i] {
+			t.Fatalf("Selected = %v, want %v", res.Selected, want)
+		}
+	}
+	for _, w := range res.Weights {
+		if w != 2 {
+			t.Fatalf("weight = %v, want n/k = 2", w)
+		}
+	}
+}
+
+func TestTopLossRestrictedCandidates(t *testing.T) {
+	losses := []float32{9, 8, 7, 6}
+	res, err := TopLoss(losses, []int{2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selected[0] != 2 {
+		t.Fatalf("selected %d, want 2 (largest loss among candidates)", res.Selected[0])
+	}
+}
+
+func TestTopLossErrors(t *testing.T) {
+	if _, err := TopLoss([]float32{1}, []int{0}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := TopLoss([]float32{1}, nil, 1); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if _, err := TopLoss([]float32{1}, []int{5}, 1); err == nil {
+		t.Error("out-of-range candidate accepted")
+	}
+}
+
+func TestTopLossClampsK(t *testing.T) {
+	res, err := TopLoss([]float32{1, 2}, []int{0, 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 2 {
+		t.Fatalf("selected %d, want 2", len(res.Selected))
+	}
+}
+
+func TestGreeDiMatchesSingleShardQuality(t *testing.T) {
+	// With shards=1, GreeDi is plain greedy plus a weight reassignment;
+	// objectives must match.
+	emb, cand, r := randomInstance(5, 40, 4)
+	k := 1 + r.Intn(len(cand)/2+1)
+	single, err := GreeDi(emb, cand, k, 1, r, LazyGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := LazyGreedy(emb, cand, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(single.Objective-direct.Objective) > 1e-2*(1+direct.Objective) {
+		t.Fatalf("GreeDi(1 shard) objective %v != greedy %v", single.Objective, direct.Objective)
+	}
+}
+
+func TestGreeDiNearGreedyAcrossShards(t *testing.T) {
+	// GreeDi's guarantee: the two-round objective stays within a
+	// constant factor of centralized greedy.
+	f := func(seed uint64) bool {
+		emb, cand, r := randomInstance(seed, 60, 4)
+		k := 1 + r.Intn(8)
+		shards := 1 + r.Intn(4)
+		dist, err := GreeDi(emb, cand, k, shards, r, LazyGreedy)
+		if err != nil {
+			return false
+		}
+		central, err := LazyGreedy(emb, cand, k)
+		if err != nil {
+			return false
+		}
+		if central.Objective == 0 {
+			return true
+		}
+		return dist.Objective >= 0.5*central.Objective
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreeDiWeightsCoverFullCandidateSet(t *testing.T) {
+	emb, cand, r := randomInstance(9, 50, 3)
+	res, err := GreeDi(emb, cand, 6, 3, r, LazyGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float32
+	for _, w := range res.Weights {
+		sum += w
+	}
+	if int(sum+0.5) != len(cand) {
+		t.Fatalf("weights sum %v, want %d", sum, len(cand))
+	}
+}
+
+func TestGreeDiSelectionsAreCandidates(t *testing.T) {
+	emb, cand, r := randomInstance(13, 50, 3)
+	sub := cand[:30]
+	res, err := GreeDi(emb, sub, 5, 4, r, LazyGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[int]bool{}
+	for _, c := range sub {
+		in[c] = true
+	}
+	for _, s := range res.Selected {
+		if !in[s] {
+			t.Fatalf("selected %d not in candidate set", s)
+		}
+	}
+}
+
+func TestGreeDiErrors(t *testing.T) {
+	emb := tensor.NewMatrix(5, 2)
+	cand := []int{0, 1, 2}
+	if _, err := GreeDi(emb, cand, 2, 0, nil, LazyGreedy); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := GreeDi(emb, nil, 2, 2, nil, LazyGreedy); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if _, err := GreeDi(emb, cand, 0, 2, nil, LazyGreedy); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestGreeDiMoreShardsThanCandidates(t *testing.T) {
+	r := tensor.NewRNG(17)
+	emb := tensor.NewMatrix(3, 2)
+	emb.FillNormal(r, 1)
+	cand := []int{0, 1, 2}
+	res, err := GreeDi(emb, cand, 2, 50, r, LazyGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 2 {
+		t.Fatalf("selected %d, want 2", len(res.Selected))
+	}
+}

@@ -1,0 +1,338 @@
+// Package selection implements the data-selection algorithms of the
+// paper and its baselines:
+//
+//   - Facility-location submodular maximization (paper Eq. 5) with
+//     three maximizers: naive greedy (reference), lazy greedy
+//     (Minoux 1978), and stochastic greedy (Mirzasoleiman et al. 2015,
+//     "lazier than lazy greedy" — the O(N) variant §3.1 cites).
+//   - CRAIG per-class coreset selection over last-layer gradient
+//     embeddings with medoid cluster weights (Mirzasoleiman et al.
+//     2020 — the formulation NeSSA adapts to the SmartSSD).
+//   - k-Centers greedy farthest-point (Sener & Savarese 2017), the
+//     second baseline of Table 3 / Fig 4.
+//   - Random subsets (the sanity baseline).
+//   - Chunked/partitioned selection (paper §3.2.3).
+//
+// All selectors take a matrix of per-sample embeddings plus a slice of
+// candidate row indices, and return selected row indices with medoid
+// weights (cluster sizes) for weighted SGD.
+package selection
+
+import (
+	"container/heap"
+	"fmt"
+
+	"nessa/internal/tensor"
+)
+
+// Result is the output of a selector: the chosen sample indices (into
+// the caller's global index space), each medoid's weight (the number of
+// candidates it represents, so Σ Weights = #candidates), and the final
+// facility-location objective value where applicable.
+type Result struct {
+	Selected  []int
+	Weights   []float32
+	Objective float64
+}
+
+// facility prepares the shared state of a facility-location instance:
+// candidate rows and the constant c0 ≥ max pairwise squared distance
+// (paper Eq. 5). We use the bound c0 = 4·max‖g‖², computable in O(n),
+// since ‖gi−gj‖² ≤ 2(‖gi‖²+‖gj‖²) ≤ 4·max‖g‖².
+type facility struct {
+	emb  *tensor.Matrix
+	cand []int
+	c0   float32
+}
+
+func newFacility(emb *tensor.Matrix, cand []int) *facility {
+	f := &facility{emb: emb, cand: cand}
+	var maxSq float32
+	for _, gi := range cand {
+		row := emb.Row(gi)
+		sq := tensor.Dot(row, row)
+		if sq > maxSq {
+			maxSq = sq
+		}
+	}
+	f.c0 = 4 * maxSq
+	if f.c0 == 0 {
+		f.c0 = 1 // degenerate all-zero embeddings: uniform similarity
+	}
+	return f
+}
+
+// sim returns the facility-location similarity between candidate
+// positions a and b (indices into cand).
+func (f *facility) sim(a, b int) float32 {
+	d := tensor.SqDist(f.emb.Row(f.cand[a]), f.emb.Row(f.cand[b]))
+	s := f.c0 - d
+	if s < 0 {
+		// Guard against float round-off below the bound.
+		s = 0
+	}
+	return s
+}
+
+// gain computes the marginal objective gain of adding candidate j given
+// the current per-candidate best similarities.
+func (f *facility) gain(j int, best []float32) float64 {
+	var g float64
+	for i := range f.cand {
+		if s := f.sim(i, j); s > best[i] {
+			g += float64(s - best[i])
+		}
+	}
+	return g
+}
+
+// absorb updates best after selecting candidate j.
+func (f *facility) absorb(j int, best []float32) {
+	for i := range f.cand {
+		if s := f.sim(i, j); s > best[i] {
+			best[i] = s
+		}
+	}
+}
+
+// finish assigns every candidate to its most similar medoid and
+// produces the Result with cluster-size weights.
+func (f *facility) finish(selected []int, objective float64) Result {
+	res := Result{
+		Selected:  make([]int, len(selected)),
+		Weights:   make([]float32, len(selected)),
+		Objective: objective,
+	}
+	for si, j := range selected {
+		res.Selected[si] = f.cand[j]
+	}
+	for i := range f.cand {
+		bestSi, bestS := 0, float32(-1)
+		for si, j := range selected {
+			if s := f.sim(i, j); s > bestS {
+				bestS, bestSi = s, si
+			}
+		}
+		res.Weights[bestSi]++
+	}
+	return res
+}
+
+func validate(emb *tensor.Matrix, cand []int, k int) (int, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("selection: k must be positive, got %d", k)
+	}
+	if len(cand) == 0 {
+		return 0, fmt.Errorf("selection: no candidates")
+	}
+	for _, c := range cand {
+		if c < 0 || c >= emb.Rows {
+			return 0, fmt.Errorf("selection: candidate %d out of embedding range [0,%d)", c, emb.Rows)
+		}
+	}
+	if k > len(cand) {
+		k = len(cand)
+	}
+	return k, nil
+}
+
+// NaiveGreedy maximizes the facility-location objective with the plain
+// O(n²·k) greedy. It is the reference implementation the faster
+// maximizers are tested against.
+func NaiveGreedy(emb *tensor.Matrix, cand []int, k int) (Result, error) {
+	k, err := validate(emb, cand, k)
+	if err != nil {
+		return Result{}, err
+	}
+	f := newFacility(emb, cand)
+	best := make([]float32, len(cand))
+	chosen := make([]bool, len(cand))
+	var selected []int
+	var objective float64
+	for len(selected) < k {
+		bestJ, bestG := -1, -1.0
+		for j := range cand {
+			if chosen[j] {
+				continue
+			}
+			if g := f.gain(j, best); g > bestG {
+				bestG, bestJ = g, j
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		chosen[bestJ] = true
+		selected = append(selected, bestJ)
+		objective += bestG
+		f.absorb(bestJ, best)
+	}
+	return f.finish(selected, objective), nil
+}
+
+// gainItem is one lazy-greedy heap entry: a candidate with a possibly
+// stale marginal-gain upper bound.
+type gainItem struct {
+	j    int     // candidate position
+	g    float64 // gain computed at round tick
+	tick int
+}
+
+// gainHeap is a max-heap on g.
+type gainHeap []gainItem
+
+func (h gainHeap) Len() int           { return len(h) }
+func (h gainHeap) Less(a, b int) bool { return h[a].g > h[b].g }
+func (h gainHeap) Swap(a, b int)      { h[a], h[b] = h[b], h[a] }
+func (h *gainHeap) Push(x any)        { *h = append(*h, x.(gainItem)) }
+func (h *gainHeap) Pop() any          { old := *h; n := len(old) - 1; it := old[n]; *h = old[:n]; return it }
+
+// LazyGreedy maximizes the facility-location objective with Minoux's
+// accelerated greedy: marginal gains only shrink as the set grows
+// (submodularity), so a stale upper bound that is still the largest
+// after refresh must be the true maximum.
+func LazyGreedy(emb *tensor.Matrix, cand []int, k int) (Result, error) {
+	k, err := validate(emb, cand, k)
+	if err != nil {
+		return Result{}, err
+	}
+	f := newFacility(emb, cand)
+	best := make([]float32, len(cand))
+
+	h := make(gainHeap, 0, len(cand))
+	for j := range cand {
+		h = append(h, gainItem{j: j, g: f.gain(j, best), tick: 0})
+	}
+	heap.Init(&h)
+
+	var selected []int
+	var objective float64
+	round := 0
+	for len(selected) < k && h.Len() > 0 {
+		// Refresh the top until its gain is current for this round.
+		// Submodularity guarantees refreshed gains never grow, so a
+		// current top is the true argmax.
+		for h[0].tick != round {
+			h[0].g = f.gain(h[0].j, best)
+			h[0].tick = round
+			heap.Fix(&h, 0)
+		}
+		top := heap.Pop(&h).(gainItem)
+		selected = append(selected, top.j)
+		objective += top.g
+		f.absorb(top.j, best)
+		round++
+	}
+	return f.finish(selected, objective), nil
+}
+
+// StochasticGreedy maximizes the facility-location objective with the
+// lazier-than-lazy-greedy algorithm: each round evaluates a random
+// sample of ⌈n/k·ln(1/ε)⌉ remaining candidates and takes the best,
+// achieving a (1−1/e−ε) guarantee in O(n·ln(1/ε)) gain evaluations.
+// This is the linear-time variant the paper runs on the FPGA (§3.1).
+func StochasticGreedy(emb *tensor.Matrix, cand []int, k int, eps float64, rng *tensor.RNG) (Result, error) {
+	k, err := validate(emb, cand, k)
+	if err != nil {
+		return Result{}, err
+	}
+	if eps <= 0 || eps >= 1 {
+		eps = 0.1
+	}
+	if rng == nil {
+		rng = tensor.NewRNG(1)
+	}
+	f := newFacility(emb, cand)
+	n := len(cand)
+	best := make([]float32, n)
+	chosen := make([]bool, n)
+
+	sample := int(float64(n) / float64(k) * logInv(eps))
+	if sample < 1 {
+		sample = 1
+	}
+
+	var selected []int
+	var objective float64
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for len(selected) < k && len(remaining) > 0 {
+		bestJ, bestG := -1, -1.0
+		draws := sample
+		if draws > len(remaining) {
+			draws = len(remaining)
+		}
+		for t := 0; t < draws; t++ {
+			j := remaining[rng.Intn(len(remaining))]
+			if chosen[j] {
+				continue
+			}
+			if g := f.gain(j, best); g > bestG {
+				bestG, bestJ = g, j
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		chosen[bestJ] = true
+		selected = append(selected, bestJ)
+		objective += bestG
+		f.absorb(bestJ, best)
+		// Compact the remaining list lazily.
+		w := remaining[:0]
+		for _, j := range remaining {
+			if !chosen[j] {
+				w = append(w, j)
+			}
+		}
+		remaining = w
+	}
+	return f.finish(selected, objective), nil
+}
+
+// Objective evaluates the facility-location objective F(S) for an
+// explicit selected set (global indices) over the candidates. Used by
+// tests to verify maximizer quality.
+func Objective(emb *tensor.Matrix, cand, selected []int) float64 {
+	f := newFacility(emb, cand)
+	pos := make(map[int]bool, len(selected))
+	for _, s := range selected {
+		pos[s] = true
+	}
+	var localSel []int
+	for j, gi := range cand {
+		if pos[gi] {
+			localSel = append(localSel, j)
+		}
+	}
+	var obj float64
+	for i := range cand {
+		var bestS float32
+		for _, j := range localSel {
+			if s := f.sim(i, j); s > bestS {
+				bestS = s
+			}
+		}
+		obj += float64(bestS)
+	}
+	return obj
+}
+
+func logInv(eps float64) float64 {
+	x := 1 / eps
+	k := 0.0
+	for x >= 2 {
+		x /= 2
+		k++
+	}
+	y := (x - 1) / (x + 1)
+	y2 := y * y
+	term, sum := y, 0.0
+	for i := 1; i < 30; i += 2 {
+		sum += term / float64(i)
+		term *= y2
+	}
+	return 2*sum + k*0.6931471805599453
+}

@@ -1,0 +1,110 @@
+package selection
+
+import (
+	"fmt"
+
+	"nessa/internal/tensor"
+)
+
+// Refine improves a selected medoid set with PAM-style local search
+// (Kaufman & Rousseeuw 1987 — the k-medoid formulation paper §3.1
+// builds on): repeatedly try swapping a selected medoid for a
+// non-selected candidate and keep any swap that increases the
+// facility-location objective, until no improving swap exists or
+// maxRounds passes complete. Greedy guarantees (1−1/e)·OPT; local
+// search closes part of the remaining gap at extra near-storage
+// compute — an optional quality knob for deployments with idle FPGA
+// cycles.
+//
+// To bound the cost, each round samples at most sampleSwaps candidate
+// swaps per medoid (0 = consider every non-selected candidate).
+func Refine(emb *tensor.Matrix, cand []int, res Result, maxRounds, sampleSwaps int, rng *tensor.RNG) (Result, error) {
+	if len(res.Selected) == 0 {
+		return Result{}, fmt.Errorf("selection: nothing to refine")
+	}
+	if _, err := validate(emb, cand, len(res.Selected)); err != nil {
+		return Result{}, err
+	}
+	if rng == nil {
+		rng = tensor.NewRNG(1)
+	}
+	if maxRounds <= 0 {
+		maxRounds = 1
+	}
+
+	f := newFacility(emb, cand)
+	// Map global indices to candidate positions.
+	pos := make(map[int]int, len(cand))
+	for j, g := range cand {
+		pos[g] = j
+	}
+	selected := make([]int, len(res.Selected)) // candidate positions
+	inSel := make(map[int]bool, len(res.Selected))
+	for i, g := range res.Selected {
+		j, ok := pos[g]
+		if !ok {
+			return Result{}, fmt.Errorf("selection: refined medoid %d not among candidates", g)
+		}
+		selected[i] = j
+		inSel[j] = true
+	}
+
+	objective := func(sel []int) float64 {
+		var obj float64
+		for i := range cand {
+			var best float32
+			for _, j := range sel {
+				if s := f.sim(i, j); s > best {
+					best = s
+				}
+			}
+			obj += float64(best)
+		}
+		return obj
+	}
+
+	cur := objective(selected)
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for si := range selected {
+			// Candidate replacements for this medoid.
+			var pool []int
+			if sampleSwaps <= 0 {
+				for j := range cand {
+					if !inSel[j] {
+						pool = append(pool, j)
+					}
+				}
+			} else {
+				for t := 0; t < sampleSwaps; t++ {
+					j := rng.Intn(len(cand))
+					if !inSel[j] {
+						pool = append(pool, j)
+					}
+				}
+			}
+			old := selected[si]
+			bestJ, bestObj := -1, cur
+			for _, j := range pool {
+				selected[si] = j
+				if obj := objective(selected); obj > bestObj {
+					bestObj, bestJ = obj, j
+				}
+			}
+			selected[si] = old
+			if bestJ >= 0 {
+				delete(inSel, old)
+				inSel[bestJ] = true
+				selected[si] = bestJ
+				cur = bestObj
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	out := f.finish(selected, cur)
+	return out, nil
+}

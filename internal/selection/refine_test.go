@@ -1,0 +1,113 @@
+package selection
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nessa/internal/tensor"
+)
+
+func TestRefineNeverWorsens(t *testing.T) {
+	f := func(seed uint64) bool {
+		emb, cand, r := randomInstance(seed, 40, 4)
+		k := 1 + r.Intn(len(cand)/2+1)
+		start, err := Random(cand, k, r)
+		if err != nil {
+			return false
+		}
+		before := Objective(emb, cand, start.Selected)
+		ref, err := Refine(emb, cand, start, 3, 0, r)
+		if err != nil {
+			return false
+		}
+		after := Objective(emb, cand, ref.Selected)
+		return after >= before-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefineImprovesRandomStart(t *testing.T) {
+	// On clustered data, a random selection almost surely misses a
+	// cluster; refinement should recover it and approach the greedy
+	// objective.
+	r := tensor.NewRNG(3)
+	emb := tensor.NewMatrix(40, 2)
+	for i := 0; i < 40; i++ {
+		cluster := i / 10
+		emb.Set(i, 0, float32(cluster)*10+r.NormFloat32()*0.1)
+		emb.Set(i, 1, r.NormFloat32()*0.1)
+	}
+	cand := make([]int, 40)
+	for i := range cand {
+		cand[i] = i
+	}
+	// Adversarial start: all 4 "medoids" from the same cluster.
+	start := Result{Selected: []int{0, 1, 2, 3}, Weights: []float32{10, 10, 10, 10}}
+	before := Objective(emb, cand, start.Selected)
+	ref, err := Refine(emb, cand, start, 5, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Objective(emb, cand, ref.Selected)
+	if after <= before {
+		t.Fatalf("refinement did not improve a bad start: %v -> %v", before, after)
+	}
+	greedy, _ := NaiveGreedy(emb, cand, 4)
+	if after < 0.98*greedy.Objective {
+		t.Fatalf("refined objective %v below 98%% of greedy's %v", after, greedy.Objective)
+	}
+	// All clusters covered after refinement.
+	covered := map[int]bool{}
+	for _, s := range ref.Selected {
+		covered[s/10] = true
+	}
+	if len(covered) != 4 {
+		t.Fatalf("refined selection covers %v clusters, want 4", covered)
+	}
+}
+
+func TestRefineKeepsSizeAndWeights(t *testing.T) {
+	emb, cand, r := randomInstance(7, 30, 3)
+	start, _ := Random(cand, 6, r)
+	ref, err := Refine(emb, cand, start, 2, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Selected) != 6 {
+		t.Fatalf("refined size = %d, want 6", len(ref.Selected))
+	}
+	var sum float32
+	for _, w := range ref.Weights {
+		sum += w
+	}
+	if int(sum+0.5) != len(cand) {
+		t.Fatalf("weights sum %v, want %d", sum, len(cand))
+	}
+}
+
+func TestRefineOnGreedyIsNearNoop(t *testing.T) {
+	emb, cand, r := randomInstance(11, 30, 3)
+	greedy, _ := LazyGreedy(emb, cand, 5)
+	ref, err := Refine(emb, cand, greedy, 3, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Objective(emb, cand, greedy.Selected)
+	after := Objective(emb, cand, ref.Selected)
+	if after < before {
+		t.Fatalf("refining greedy worsened objective: %v -> %v", before, after)
+	}
+}
+
+func TestRefineErrors(t *testing.T) {
+	emb, cand, r := randomInstance(13, 20, 2)
+	if _, err := Refine(emb, cand, Result{}, 1, 0, r); err == nil {
+		t.Error("empty selection accepted")
+	}
+	bad := Result{Selected: []int{999}, Weights: []float32{1}}
+	if _, err := Refine(emb, cand, bad, 1, 0, r); err == nil {
+		t.Error("out-of-candidates medoid accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package selection
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TopLoss selects the k candidates with the largest current loss — the
+// "biggest losers" importance heuristic of the loss-based selection
+// line of work the paper cites (§2.1: Jiang et al. 2019, Katharopoulos
+// & Fleuret 2018). Selected samples carry uniform weight n/k: the
+// heuristic has no cluster structure to reweight by, which is exactly
+// why it drifts toward outliers and label noise on long-tailed data.
+func TopLoss(losses []float32, cand []int, k int) (Result, error) {
+	if k <= 0 {
+		return Result{}, fmt.Errorf("selection: k must be positive, got %d", k)
+	}
+	if len(cand) == 0 {
+		return Result{}, fmt.Errorf("selection: no candidates")
+	}
+	for _, c := range cand {
+		if c < 0 || c >= len(losses) {
+			return Result{}, fmt.Errorf("selection: candidate %d out of loss range [0,%d)", c, len(losses))
+		}
+	}
+	if k > len(cand) {
+		k = len(cand)
+	}
+	order := append([]int(nil), cand...)
+	sort.SliceStable(order, func(i, j int) bool { return losses[order[i]] > losses[order[j]] })
+
+	res := Result{
+		Selected: order[:k:k],
+		Weights:  make([]float32, k),
+	}
+	w := float32(len(cand)) / float32(k)
+	for i := range res.Weights {
+		res.Weights[i] = w
+	}
+	return res, nil
+}

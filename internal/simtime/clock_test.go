@@ -1,0 +1,139 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(3 * time.Second)
+	c.Advance(2 * time.Second)
+	if got := c.Now(); got != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", got)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewClock()
+		prev := c.Now()
+		for _, s := range steps {
+			now := c.Advance(time.Duration(s) * time.Microsecond)
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative advance")
+		}
+	}()
+	NewClock().Advance(-time.Second)
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Hour)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after Reset Now = %v, want 0", c.Now())
+	}
+}
+
+func TestAccountantBuckets(t *testing.T) {
+	a := NewAccountant()
+	a.AddTime("gpu.compute", 2*time.Second)
+	a.AddTime("gpu.compute", 3*time.Second)
+	a.AddTime("io.load", time.Second)
+	a.AddBytes("p2p", 100)
+	a.AddBytes("host", 50)
+
+	if got := a.Time("gpu.compute"); got != 5*time.Second {
+		t.Errorf("gpu.compute = %v, want 5s", got)
+	}
+	if got := a.TotalTime(); got != 6*time.Second {
+		t.Errorf("TotalTime = %v, want 6s", got)
+	}
+	if got := a.TotalBytes(); got != 150 {
+		t.Errorf("TotalBytes = %d, want 150", got)
+	}
+	if got := a.Bytes("missing"); got != 0 {
+		t.Errorf("missing bucket = %d, want 0", got)
+	}
+}
+
+func TestAccountantBucketsSorted(t *testing.T) {
+	a := NewAccountant()
+	a.AddTime("z", time.Second)
+	a.AddTime("a", time.Second)
+	a.AddTime("m", time.Second)
+	buckets := a.TimeBuckets()
+	if len(buckets) != 3 {
+		t.Fatalf("got %d buckets, want 3", len(buckets))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i-1].Name >= buckets[i].Name {
+			t.Fatalf("buckets not sorted: %v", buckets)
+		}
+	}
+}
+
+func TestAccountantReset(t *testing.T) {
+	a := NewAccountant()
+	a.AddTime("x", time.Second)
+	a.AddBytes("x", 10)
+	a.Reset()
+	if a.TotalTime() != 0 || a.TotalBytes() != 0 {
+		t.Error("Reset did not clear buckets")
+	}
+}
+
+func TestAccountantNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative charge")
+		}
+	}()
+	NewAccountant().AddTime("x", -time.Second)
+}
+
+func TestAccountantConcurrentUse(t *testing.T) {
+	a := NewAccountant()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				a.AddTime("t", time.Millisecond)
+				a.AddBytes("b", 1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := a.Time("t"); got != 800*time.Millisecond {
+		t.Errorf("concurrent time sum = %v, want 800ms", got)
+	}
+	if got := a.Bytes("b"); got != 800 {
+		t.Errorf("concurrent byte sum = %d, want 800", got)
+	}
+}

@@ -1,0 +1,123 @@
+package smartssd
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cluster models the paper's stated future work (§5): scaling NeSSA
+// over multiple SmartSSDs feeding a shared GPU pool. The dataset is
+// sharded record-wise across drives; each FPGA scans and selects over
+// its local shard in parallel (pairing naturally with the GreeDi
+// two-round merge in internal/selection), and only the merged subset
+// crosses the host interconnect.
+type Cluster struct {
+	Devices []*Device
+}
+
+// NewCluster assembles n independent SmartSSDs.
+func NewCluster(n int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("smartssd: cluster needs at least one device, got %d", n)
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		d, err := New()
+		if err != nil {
+			return nil, err
+		}
+		c.Devices = append(c.Devices, d)
+	}
+	return c, nil
+}
+
+// Size reports the number of devices.
+func (c *Cluster) Size() int { return len(c.Devices) }
+
+// ShardDataset splits a record-aligned dataset image across the
+// devices (round-robin by contiguous stripe: device i receives records
+// [i·n/D, (i+1)·n/D)) and stores each shard under name. It returns the
+// per-device record counts.
+func (c *Cluster) ShardDataset(name string, img []byte, recordSize int64) ([]int, error) {
+	if recordSize <= 0 || int64(len(img))%recordSize != 0 {
+		return nil, fmt.Errorf("smartssd: image length %d not a multiple of record size %d", len(img), recordSize)
+	}
+	records := int(int64(len(img)) / recordSize)
+	if records < len(c.Devices) {
+		return nil, fmt.Errorf("smartssd: %d records cannot shard across %d devices", records, len(c.Devices))
+	}
+	counts := make([]int, len(c.Devices))
+	for i, d := range c.Devices {
+		lo := int64(i*records/len(c.Devices)) * recordSize
+		hi := int64((i+1)*records/len(c.Devices)) * recordSize
+		if err := d.StoreDataset(name, img[lo:hi]); err != nil {
+			return nil, fmt.Errorf("smartssd: shard %d: %w", i, err)
+		}
+		counts[i] = int((hi - lo) / recordSize)
+	}
+	return counts, nil
+}
+
+// ParallelScan reads every device's full shard of name to its FPGA
+// over the P2P links concurrently. It returns the per-shard payloads
+// and the wall-clock time of the slowest device — the cluster's
+// selection-scan latency.
+func (c *Cluster) ParallelScan(name string, recordSize int64) ([][]byte, time.Duration, error) {
+	shards := make([][]byte, len(c.Devices))
+	var wall time.Duration
+	for i, d := range c.Devices {
+		size, err := d.SSD.Size(name)
+		if err != nil {
+			return nil, 0, fmt.Errorf("smartssd: shard %d: %w", i, err)
+		}
+		before := d.Clock.Now()
+		buf, err := d.ReadToFPGA(name, 0, size, int(size/recordSize))
+		if err != nil {
+			return nil, 0, fmt.Errorf("smartssd: shard %d: %w", i, err)
+		}
+		if dt := d.Clock.Now() - before; dt > wall {
+			wall = dt
+		}
+		shards[i] = buf
+	}
+	return shards, wall, nil
+}
+
+// TotalBytes sums a byte bucket across all devices.
+func (c *Cluster) TotalBytes(bucket string) int64 {
+	var n int64
+	for _, d := range c.Devices {
+		n += d.Acct.Bytes(bucket)
+	}
+	return n
+}
+
+// MaxClock reports the furthest-advanced device clock — the cluster's
+// wall-clock time under perfect parallelism.
+func (c *Cluster) MaxClock() time.Duration {
+	var m time.Duration
+	for _, d := range c.Devices {
+		if now := d.Clock.Now(); now > m {
+			m = now
+		}
+	}
+	return m
+}
+
+// ScanSpeedup reports the ideal-parallel speed-up of scanning a
+// dataset of totalBytes across the cluster versus one device:
+// each drive streams 1/D of the data, so the wall time shrinks by
+// roughly D (command overheads keep it slightly under).
+func (c *Cluster) ScanSpeedup(totalBytes int64, records int) float64 {
+	if len(c.Devices) == 0 || records <= 0 {
+		return 0
+	}
+	link := c.Devices[0].P2P
+	single := link.Duration(totalBytes, records)
+	d := int64(len(c.Devices))
+	per := link.Duration(totalBytes/d, records/len(c.Devices))
+	if per <= 0 {
+		return 0
+	}
+	return single.Seconds() / per.Seconds()
+}

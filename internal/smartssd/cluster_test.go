@@ -1,0 +1,146 @@
+package smartssd
+
+import (
+	"bytes"
+	"testing"
+
+	"nessa/internal/data"
+)
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0); err == nil {
+		t.Fatal("zero-device cluster accepted")
+	}
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 4 {
+		t.Fatalf("size = %d, want 4", c.Size())
+	}
+}
+
+func TestShardDatasetSplitsRecords(t *testing.T) {
+	c, _ := NewCluster(3)
+	const rec = 64
+	img := make([]byte, 10*rec)
+	for i := range img {
+		img[i] = byte(i / rec) // record index stamped into payload
+	}
+	counts, err := c.ShardDataset("ds", img, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("shards hold %d records, want 10", total)
+	}
+	// Shard 0 holds records [0,3): verify payload identity.
+	buf, _, err := c.Devices[0].SSD.ReadAt("ds", 0, int64(counts[0])*rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, img[:int64(counts[0])*rec]) {
+		t.Fatal("shard 0 payload differs from source stripe")
+	}
+}
+
+func TestShardDatasetErrors(t *testing.T) {
+	c, _ := NewCluster(2)
+	if _, err := c.ShardDataset("ds", make([]byte, 65), 64); err == nil {
+		t.Error("non-aligned image accepted")
+	}
+	if _, err := c.ShardDataset("ds", make([]byte, 64), 64); err == nil {
+		t.Error("fewer records than devices accepted")
+	}
+}
+
+func TestParallelScanReturnsAllShards(t *testing.T) {
+	spec, _ := data.Lookup("CIFAR-10")
+	spec.SimTrain, spec.SimTest = 40, 5
+	train, _ := data.Generate(spec)
+	img, err := data.Encode(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, _ := NewCluster(4)
+	if _, err := c.ShardDataset("cifar", img, spec.BytesPerImage); err != nil {
+		t.Fatal(err)
+	}
+	shards, wall, err := c.ParallelScan("cifar", spec.BytesPerImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall <= 0 {
+		t.Error("scan wall time not positive")
+	}
+	var rebuilt []byte
+	for _, s := range shards {
+		rebuilt = append(rebuilt, s...)
+	}
+	if !bytes.Equal(rebuilt, img) {
+		t.Fatal("concatenated shards differ from the original image")
+	}
+	back, err := data.Decode(spec, rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != train.Len() {
+		t.Fatalf("decoded %d records, want %d", back.Len(), train.Len())
+	}
+}
+
+func TestParallelScanFasterThanSingleDevice(t *testing.T) {
+	// The future-work claim: D drives scan ~D× faster than one.
+	spec, _ := data.Lookup("CIFAR-10")
+	spec.SimTrain, spec.SimTest = 400, 5
+	train, _ := data.Generate(spec)
+	img, _ := data.Encode(train)
+
+	single, _ := NewCluster(1)
+	single.ShardDataset("ds", img, spec.BytesPerImage)
+	_, wall1, err := single.ParallelScan("ds", spec.BytesPerImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	quad, _ := NewCluster(4)
+	quad.ShardDataset("ds", img, spec.BytesPerImage)
+	_, wall4, err := quad.ParallelScan("ds", spec.BytesPerImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := wall1.Seconds() / wall4.Seconds()
+	if ratio < 2.5 {
+		t.Fatalf("4-drive scan speed-up = %.2fx, want near 4x", ratio)
+	}
+}
+
+func TestClusterAccounting(t *testing.T) {
+	spec, _ := data.Lookup("MNIST")
+	spec.SimTrain, spec.SimTest = 60, 5
+	train, _ := data.Generate(spec)
+	img, _ := data.Encode(train)
+
+	c, _ := NewCluster(3)
+	c.ShardDataset("ds", img, spec.BytesPerImage)
+	c.ParallelScan("ds", spec.BytesPerImage)
+	if got := c.TotalBytes("p2p.read"); got != int64(len(img)) {
+		t.Fatalf("cluster p2p bytes = %d, want %d", got, len(img))
+	}
+	if c.MaxClock() <= 0 {
+		t.Error("cluster clock did not advance")
+	}
+}
+
+func TestScanSpeedupNearDeviceCount(t *testing.T) {
+	c, _ := NewCluster(8)
+	got := c.ScanSpeedup(8*1024*1024*128, 8*128)
+	if got < 6 || got > 8.5 {
+		t.Fatalf("ideal 8-drive speed-up = %.2f, want ~8", got)
+	}
+}

@@ -1,0 +1,142 @@
+package smartssd
+
+import (
+	"fmt"
+	"time"
+
+	"nessa/internal/simtime"
+	"nessa/internal/storage"
+)
+
+// Spec holds the fixed hardware parameters of the SmartSSD card
+// (paper §2.2, §3.2.3): 4 GB of FPGA-attached DRAM, 4.32 MB of FPGA
+// on-chip memory, and a ~7.5 W FPGA power envelope.
+type Spec struct {
+	DRAMBytes   int64
+	OnChipBytes int64
+	FPGAWatts   float64
+}
+
+// DefaultSpec returns the paper's SmartSSD parameters.
+func DefaultSpec() Spec {
+	return Spec{
+		DRAMBytes:   4 * 1024 * 1024 * 1024,
+		OnChipBytes: 4_320_000, // 4.32 MB of FPGA on-chip memory
+		FPGAWatts:   7.5,
+	}
+}
+
+// Device is a SmartSSD: an SSD plus links and capacity constraints.
+// Every transfer advances the shared clock and is charged to the
+// accountant, so experiments can report data movement and time by path.
+type Device struct {
+	Spec  Spec
+	SSD   *storage.SSD
+	P2P   LinkModel
+	Host  LinkModel
+	GPU   LinkModel
+	Clock *simtime.Clock
+	Acct  *simtime.Accountant
+}
+
+// New assembles a SmartSSD with the default drive, links, and spec.
+func New() (*Device, error) {
+	ssd, err := storage.New(storage.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Device{
+		Spec:  DefaultSpec(),
+		SSD:   ssd,
+		P2P:   P2PLink(),
+		Host:  HostLink(),
+		GPU:   GPULink(),
+		Clock: simtime.NewClock(),
+		Acct:  simtime.NewAccountant(),
+	}, nil
+}
+
+// StoreDataset writes a dataset image to the drive under name.
+func (d *Device) StoreDataset(name string, img []byte) error {
+	dur, err := d.SSD.Write(name, img)
+	if err != nil {
+		return err
+	}
+	d.Clock.Advance(dur)
+	d.Acct.AddTime("ssd.write", dur)
+	d.Acct.AddBytes("ssd.write", int64(len(img)))
+	return nil
+}
+
+// ReadToFPGA reads [off, off+length) of object name into FPGA DRAM over
+// the P2P link, issuing commands transfer commands (one per image when
+// streaming a batch). Flash access and link streaming are pipelined, so
+// the charged time is the maximum of the two plus the flash command
+// setup.
+func (d *Device) ReadToFPGA(name string, off, length int64, commands int) ([]byte, error) {
+	if length > d.Spec.DRAMBytes {
+		return nil, fmt.Errorf("smartssd: transfer of %d bytes exceeds FPGA DRAM (%d)", length, d.Spec.DRAMBytes)
+	}
+	buf, flashT, err := d.SSD.ReadAt(name, off, length)
+	if err != nil {
+		return nil, err
+	}
+	linkT := d.P2P.Duration(length, commands)
+	dur := maxDur(flashT, linkT)
+	d.Clock.Advance(dur)
+	d.Acct.AddTime("p2p.read", dur)
+	d.Acct.AddBytes("p2p.read", length)
+	return buf, nil
+}
+
+// ReadViaHost performs the same read over the conventional path: the
+// drive DMAs into host DRAM and the host DMAs into the FPGA. Flash and
+// the staged copies serialize at the 1.4 GB/s effective host bandwidth.
+func (d *Device) ReadViaHost(name string, off, length int64, commands int) ([]byte, error) {
+	buf, flashT, err := d.SSD.ReadAt(name, off, length)
+	if err != nil {
+		return nil, err
+	}
+	linkT := d.Host.Duration(length, commands)
+	dur := flashT + linkT // no P2P pipelining on the staged path
+	d.Clock.Advance(dur)
+	d.Acct.AddTime("host.read", dur)
+	d.Acct.AddBytes("host.read", length)
+	return buf, nil
+}
+
+// SendToGPU charges the transfer of length bytes (the selected subset)
+// from the FPGA to the GPU over the host interconnect.
+func (d *Device) SendToGPU(length int64, commands int) time.Duration {
+	dur := d.GPU.Duration(length, commands)
+	d.Clock.Advance(dur)
+	d.Acct.AddTime("gpu.send", dur)
+	d.Acct.AddBytes("gpu.send", length)
+	return dur
+}
+
+// ReceiveFeedback charges the quantized-weight + loss feedback transfer
+// from the GPU back to the FPGA (paper §3.2.1).
+func (d *Device) ReceiveFeedback(length int64) time.Duration {
+	dur := d.GPU.Duration(length, 1)
+	d.Clock.Advance(dur)
+	d.Acct.AddTime("gpu.feedback", dur)
+	d.Acct.AddBytes("gpu.feedback", length)
+	return dur
+}
+
+// FitsOnChip reports whether a working set of the given size fits the
+// FPGA's on-chip memory — the constraint that motivates dataset
+// partitioning (paper §3.2.3).
+func (d *Device) FitsOnChip(bytes int64) bool { return bytes <= d.Spec.OnChipBytes }
+
+// SpeedupP2PvsHost reports the theoretical peak-bandwidth advantage of
+// the P2P path over the host path: 3.0/1.4 ≈ 2.14× (paper §4.4).
+func (d *Device) SpeedupP2PvsHost() float64 { return d.P2P.PeakBW / d.Host.PeakBW }
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,170 @@
+// Package storage models the NAND-flash SSD underneath the SmartSSD: a
+// multi-channel flash array with per-command latency and per-channel
+// bandwidth, plus a simple named block store for laying datasets out as
+// contiguous extents. All timing is simulated (see internal/simtime);
+// data payloads are real bytes so codecs and selection run on actual
+// stored content.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config describes the flash device. DefaultConfig matches the Samsung
+// SmartSSD's 3.84 TB U.2 drive (paper §2.2).
+type Config struct {
+	Capacity        int64         // total bytes
+	Channels        int           // independent flash channels
+	PageSize        int64         // flash page granularity
+	ChannelBW       float64       // bytes/second per channel
+	CommandLatency  time.Duration // per-command flash access latency
+	WriteAmplFactor float64       // write slowdown relative to read
+}
+
+// DefaultConfig returns the 3.84 TB SmartSSD drive model: 8 channels at
+// 400 MB/s each give a 3.2 GB/s internal array bandwidth, slightly above
+// the 3 GB/s peak of the P2P link so the link is the bottleneck, as on
+// the real device.
+func DefaultConfig() Config {
+	return Config{
+		Capacity:        3840 * 1000 * 1000 * 1000,
+		Channels:        8,
+		PageSize:        16 * 1024,
+		ChannelBW:       400e6,
+		CommandLatency:  60 * time.Microsecond,
+		WriteAmplFactor: 2.5,
+	}
+}
+
+// InternalBW reports the aggregate array bandwidth in bytes/second.
+func (c Config) InternalBW() float64 { return float64(c.Channels) * c.ChannelBW }
+
+// extent is a named contiguous region of the drive.
+type extent struct {
+	name string
+	off  int64
+	data []byte
+}
+
+// SSD is the flash device plus a flat object namespace. Objects are
+// allocated contiguously in write order; this mirrors how the NeSSA
+// pipeline lays a dataset down once and then streams it every epoch.
+type SSD struct {
+	cfg Config
+
+	mu      sync.Mutex
+	objects map[string]*extent
+	nextOff int64
+}
+
+// New creates an empty SSD with the given config.
+func New(cfg Config) (*SSD, error) {
+	if cfg.Capacity <= 0 || cfg.Channels <= 0 || cfg.PageSize <= 0 || cfg.ChannelBW <= 0 {
+		return nil, fmt.Errorf("storage: invalid config %+v", cfg)
+	}
+	return &SSD{cfg: cfg, objects: make(map[string]*extent)}, nil
+}
+
+// Config returns the device configuration.
+func (s *SSD) Config() Config { return s.cfg }
+
+// Used reports the bytes currently allocated (page-aligned).
+func (s *SSD) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextOff
+}
+
+// alignUp rounds n up to the next page boundary.
+func (s *SSD) alignUp(n int64) int64 {
+	p := s.cfg.PageSize
+	return (n + p - 1) / p * p
+}
+
+// Write stores data under name and returns the simulated time the
+// write took. Rewriting an existing name replaces its contents (and
+// reuses its extent if the new data fits).
+func (s *SSD) Write(name string, data []byte) (time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.objects[name]; ok && int64(len(data)) <= s.alignUp(int64(len(e.data))) {
+		e.data = append(e.data[:0], data...)
+		return s.transferTime(int64(len(data)), true), nil
+	}
+	size := s.alignUp(int64(len(data)))
+	if s.nextOff+size > s.cfg.Capacity {
+		return 0, fmt.Errorf("storage: device full: need %d bytes, %d free", size, s.cfg.Capacity-s.nextOff)
+	}
+	e := &extent{name: name, off: s.nextOff, data: append([]byte(nil), data...)}
+	s.objects[name] = e
+	s.nextOff += size
+	return s.transferTime(int64(len(data)), true), nil
+}
+
+// ReadAt reads length bytes of object name starting at off, returning
+// the payload and the simulated flash access time.
+func (s *SSD) ReadAt(name string, off, length int64) ([]byte, time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("storage: object %q not found", name)
+	}
+	if off < 0 || off+length > int64(len(e.data)) {
+		return nil, 0, fmt.Errorf("storage: read [%d,%d) out of range of %q (%d bytes)",
+			off, off+length, name, len(e.data))
+	}
+	out := append([]byte(nil), e.data[off:off+length]...)
+	return out, s.transferTime(length, false), nil
+}
+
+// Size reports the byte length of object name.
+func (s *SSD) Size(name string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[name]
+	if !ok {
+		return 0, fmt.Errorf("storage: object %q not found", name)
+	}
+	return int64(len(e.data)), nil
+}
+
+// Objects lists stored object names in allocation order.
+func (s *SSD) Objects() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.objects))
+	for n := range s.objects {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return s.objects[names[i]].off < s.objects[names[j]].off
+	})
+	return names
+}
+
+// transferTime models one flash access: a fixed command latency plus
+// streaming the pages across the channel array. Pages stripe across
+// channels, so throughput is the aggregate array bandwidth. Writes pay
+// the write-amplification factor.
+func (s *SSD) transferTime(bytes int64, write bool) time.Duration {
+	if bytes <= 0 {
+		return s.cfg.CommandLatency
+	}
+	bw := s.InternalBWFor(write)
+	sec := float64(bytes) / bw
+	return s.cfg.CommandLatency + time.Duration(sec*float64(time.Second))
+}
+
+// InternalBWFor reports the effective internal bandwidth for the
+// direction.
+func (s *SSD) InternalBWFor(write bool) float64 {
+	bw := s.cfg.InternalBW()
+	if write && s.cfg.WriteAmplFactor > 0 {
+		bw /= s.cfg.WriteAmplFactor
+	}
+	return bw
+}

@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestSSD(t *testing.T) *SSD {
+	t.Helper()
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := newTestSSD(t)
+	payload := []byte("hello smartssd world")
+	if _, err := s.Write("obj", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.ReadAt("obj", 0, int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read %q, want %q", got, payload)
+	}
+}
+
+func TestPartialRead(t *testing.T) {
+	s := newTestSSD(t)
+	payload := []byte("0123456789")
+	if _, err := s.Write("obj", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.ReadAt("obj", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "3456" {
+		t.Fatalf("partial read = %q, want 3456", got)
+	}
+}
+
+func TestReadMissingObject(t *testing.T) {
+	s := newTestSSD(t)
+	if _, _, err := s.ReadAt("ghost", 0, 1); err == nil {
+		t.Fatal("expected error for missing object")
+	}
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	s := newTestSSD(t)
+	s.Write("obj", make([]byte, 10))
+	if _, _, err := s.ReadAt("obj", 5, 10); err == nil {
+		t.Fatal("expected error for out-of-range read")
+	}
+	if _, _, err := s.ReadAt("obj", -1, 2); err == nil {
+		t.Fatal("expected error for negative offset")
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Capacity = 64 * 1024
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write("big", make([]byte, 128*1024)); err == nil {
+		t.Fatal("expected device-full error")
+	}
+}
+
+func TestRewriteReusesExtent(t *testing.T) {
+	s := newTestSSD(t)
+	s.Write("obj", make([]byte, 1000))
+	used := s.Used()
+	s.Write("obj", make([]byte, 500)) // smaller rewrite fits in place
+	if s.Used() != used {
+		t.Fatalf("rewrite grew allocation: %d -> %d", used, s.Used())
+	}
+	got, _, err := s.ReadAt("obj", 0, 500)
+	if err != nil || len(got) != 500 {
+		t.Fatalf("rewrite read failed: %v", err)
+	}
+}
+
+func TestPageAlignment(t *testing.T) {
+	s := newTestSSD(t)
+	s.Write("a", []byte{1})
+	if s.Used() != DefaultConfig().PageSize {
+		t.Fatalf("1-byte object used %d bytes, want one page (%d)", s.Used(), DefaultConfig().PageSize)
+	}
+}
+
+func TestObjectsSortedByAllocation(t *testing.T) {
+	s := newTestSSD(t)
+	s.Write("c", []byte{1})
+	s.Write("a", []byte{1})
+	s.Write("b", []byte{1})
+	got := s.Objects()
+	want := []string{"c", "a", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Objects() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	s := newTestSSD(t)
+	s.Write("obj", make([]byte, 2*1024*1024))
+	_, small, _ := s.ReadAt("obj", 0, 1024)
+	_, large, _ := s.ReadAt("obj", 0, 2*1024*1024)
+	if large <= small {
+		t.Fatalf("2 MB read (%v) not slower than 1 KB read (%v)", large, small)
+	}
+}
+
+func TestWriteSlowerThanRead(t *testing.T) {
+	s := newTestSSD(t)
+	payload := make([]byte, 4*1024*1024)
+	wt, err := s.Write("obj", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rt, err := s.ReadAt("obj", 0, int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt <= rt {
+		t.Fatalf("write (%v) should be slower than read (%v) due to write amplification", wt, rt)
+	}
+}
+
+func TestInternalBandwidthMatchesSpec(t *testing.T) {
+	cfg := DefaultConfig()
+	// 8 channels × 400 MB/s = 3.2 GB/s, above the 3 GB/s P2P peak so the
+	// link, not the array, is the bottleneck — as on the real device.
+	if got := cfg.InternalBW(); got != 3.2e9 {
+		t.Fatalf("internal BW = %v, want 3.2e9", got)
+	}
+	if cfg.Capacity != 3840*1000*1000*1000 {
+		t.Fatalf("capacity = %d, want 3.84 TB", cfg.Capacity)
+	}
+}
+
+func TestReadTimeFormula(t *testing.T) {
+	s := newTestSSD(t)
+	s.Write("obj", make([]byte, 3_200_000))
+	_, d, _ := s.ReadAt("obj", 0, 3_200_000)
+	// 3.2 MB at 3.2 GB/s = 1 ms, plus 60 µs command latency.
+	want := time.Millisecond + 60*time.Microsecond
+	if d != want {
+		t.Fatalf("read time = %v, want %v", d, want)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := newTestSSD(t)
+	f := func(payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		if _, err := s.Write("p", payload); err != nil {
+			return false
+		}
+		got, _, err := s.ReadAt("p", 0, int64(len(payload)))
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("expected error for zero config")
+	}
+}

@@ -1,0 +1,172 @@
+// Package tensor implements the dense float32 linear-algebra kernels
+// used by the neural-network training substrate and the selection
+// algorithms: row-major matrices, GEMM variants, vector helpers, and a
+// deterministic random number generator.
+//
+// The package deliberately stays small: NeSSA's selection model only
+// needs forward passes and last-layer gradient embeddings, so a full
+// autodiff engine is unnecessary.
+package tensor
+
+import "fmt"
+
+// Matrix is a dense row-major float32 matrix. Data is a single backing
+// slice of length Rows*Cols; row i occupies Data[i*Cols : (i+1)*Cols].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromRows builds a matrix from equal-length rows.
+func FromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("tensor: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// FillNormal fills m with N(0, std²) variates from r.
+func (m *Matrix) FillNormal(r *RNG, std float32) {
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat32() * std
+	}
+}
+
+// MatMul computes dst = a·b where a is (n×k) and b is (k×m).
+// dst must be n×m and is overwritten. It panics on shape mismatch.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch: (%dx%d)·(%dx%d) -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range drow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransB computes dst = a·bᵀ where a is (n×k) and b is (m×k).
+// dst must be n×m. This is the layout used for Dense layers whose
+// weights are stored (out×in).
+func MatMulTransB(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch: (%dx%d)·(%dx%d)ᵀ -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var sum float32
+			for k := range arow {
+				sum += arow[k] * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
+}
+
+// MatMulTransA computes dst = aᵀ·b where a is (k×n) and b is (k×m).
+// dst must be n×m. Used for weight gradients: dW = dOutᵀ·X.
+func MatMulTransA(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch: (%dx%d)ᵀ·(%dx%d) -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j := range brow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// AddRowVec adds vector v to every row of m in place.
+func AddRowVec(m *Matrix, v []float32) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVec length %d, want %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Matrix) Scale(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AXPY computes dst += alpha*src elementwise. Shapes must match.
+func AXPY(dst *Matrix, alpha float32, src *Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("tensor: AXPY shape mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] += alpha * src.Data[i]
+	}
+}

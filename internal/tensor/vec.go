@@ -1,0 +1,88 @@
+package tensor
+
+import "math"
+
+// Dot returns the inner product of a and b. Lengths must match.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("tensor: SqDist length mismatch")
+	}
+	var s float32
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float32) float32 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// Argmax returns the index of the largest element of v, or -1 if v is
+// empty. Ties resolve to the lowest index.
+func Argmax(v []float32) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Softmax writes the softmax of logits into out (which may alias
+// logits). It is numerically stabilized by max subtraction.
+func Softmax(out, logits []float32) {
+	if len(out) != len(logits) {
+		panic("tensor: Softmax length mismatch")
+	}
+	maxv := logits[0]
+	for _, x := range logits[1:] {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	var sum float64
+	for i, x := range logits {
+		e := math.Exp(float64(x - maxv))
+		out[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float32) float32 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += float64(x)
+	}
+	return float32(s / float64(len(v)))
+}

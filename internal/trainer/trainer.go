@@ -1,0 +1,199 @@
+// Package trainer runs real optimization: full-dataset and
+// subset-based training of the MLP proxy models with the paper's SGD
+// recipe (§4.1), per-sample loss extraction for the feedback loop, and
+// convergence recording for the accuracy experiments (Tables 2–3,
+// Fig 5).
+package trainer
+
+import (
+	"fmt"
+
+	"nessa/internal/data"
+	"nessa/internal/nn"
+	"nessa/internal/tensor"
+)
+
+// Config are the training hyperparameters. Zero values fall back to
+// the paper's recipe via Default.
+type Config struct {
+	Epochs    int
+	BatchSize int
+	Hidden    []int // hidden layer widths of the proxy model
+	SGD       nn.SGDConfig
+	Schedule  nn.StepSchedule
+	Seed      uint64
+}
+
+// Default returns the §4.1 recipe scaled to the simulation: the paper
+// trains 200 epochs with batch 128; the proxy models converge in 60.
+func Default() Config {
+	return Config{
+		Epochs:    60,
+		BatchSize: 128,
+		Hidden:    []int{64},
+		SGD:       nn.PaperSGD(),
+		Schedule:  nn.PaperSchedule(),
+		Seed:      1,
+	}
+}
+
+// Trainer owns a model mid-training. It exposes epoch-level steps so
+// the NeSSA controller can interleave selection with training.
+type Trainer struct {
+	Model *nn.MLP
+	Opt   *nn.SGD
+	Cfg   Config
+
+	grads *nn.Grads
+	rng   *tensor.RNG
+}
+
+// New builds a model and optimizer for the dataset's geometry.
+func New(spec data.Spec, cfg Config) *Trainer {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		panic(fmt.Sprintf("trainer: invalid config %+v", cfg))
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	m := nn.NewMLP(rng, spec.FeatureDim, cfg.Hidden, spec.Classes)
+	return &Trainer{
+		Model: m,
+		Opt:   nn.NewSGD(m, cfg.SGD),
+		Cfg:   cfg,
+		grads: nn.NewGrads(m),
+		rng:   rng,
+	}
+}
+
+// SetEpoch applies the LR schedule for the given epoch.
+func (t *Trainer) SetEpoch(epoch int) {
+	t.Opt.SetLR(t.Cfg.Schedule.LRAt(epoch, t.Cfg.Epochs))
+}
+
+// TrainEpoch runs one epoch of weighted mini-batch SGD over the given
+// samples (rows of x with labels and per-sample weights; weights may be
+// nil for uniform). Returns the weighted mean training loss.
+func (t *Trainer) TrainEpoch(x *tensor.Matrix, labels []int, weights []float32) float64 {
+	n := x.Rows
+	if n == 0 {
+		return 0
+	}
+	perm := t.rng.Perm(n)
+	var lossSum, wSum float64
+
+	for start := 0; start < n; start += t.Cfg.BatchSize {
+		end := start + t.Cfg.BatchSize
+		if end > n {
+			end = n
+		}
+		bn := end - start
+		bx := tensor.NewMatrix(bn, x.Cols)
+		blabels := make([]int, bn)
+		var bweights []float32
+		if weights != nil {
+			bweights = make([]float32, bn)
+		}
+		for i := 0; i < bn; i++ {
+			src := perm[start+i]
+			copy(bx.Row(i), x.Row(src))
+			blabels[i] = labels[src]
+			if weights != nil {
+				bweights[i] = weights[src]
+			}
+		}
+		logits := t.Model.Forward(bx)
+		dLogits := tensor.NewMatrix(bn, logits.Cols)
+		losses := nn.SoftmaxCE(logits, blabels, bweights, dLogits)
+		for i, l := range losses {
+			w := 1.0
+			if bweights != nil {
+				w = float64(bweights[i])
+			}
+			lossSum += float64(l) * w
+			wSum += w
+		}
+		t.grads.Zero()
+		t.Model.Backward(t.grads, dLogits)
+		t.Opt.Step(t.Model, t.grads)
+	}
+	if wSum == 0 {
+		return 0
+	}
+	return lossSum / wSum
+}
+
+// Evaluate reports test accuracy of the current model on ds.
+func (t *Trainer) Evaluate(ds *data.Dataset) float64 {
+	return EvaluateModel(t.Model, ds)
+}
+
+// EvaluateModel reports the accuracy of any model on ds.
+func EvaluateModel(m *nn.MLP, ds *data.Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	return nn.Accuracy(m.Forward(ds.X), ds.Labels)
+}
+
+// PerSampleLosses runs a forward pass of model m over ds and returns
+// each sample's cross-entropy loss — the feedback signal of §3.2.2.
+func PerSampleLosses(m *nn.MLP, ds *data.Dataset) []float32 {
+	logits := m.Forward(ds.X)
+	return nn.SoftmaxCE(logits, ds.Labels, nil, nil)
+}
+
+// Metrics records a training run for the convergence figures.
+type Metrics struct {
+	EpochAcc    []float64 // test accuracy after each epoch
+	EpochLoss   []float64 // mean training loss per epoch
+	SubsetSizes []int     // samples trained on per epoch
+	FinalAcc    float64
+}
+
+// SamplesSeen reports the total sample-visits of the run — the
+// gradient-computation cost the paper's |V|/|S| argument reduces.
+func (m *Metrics) SamplesSeen() int {
+	total := 0
+	for _, s := range m.SubsetSizes {
+		total += s
+	}
+	return total
+}
+
+// BestAcc reports the best test accuracy across epochs.
+func (m *Metrics) BestAcc() float64 {
+	best := 0.0
+	for _, a := range m.EpochAcc {
+		if a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// EpochsToReach reports the first epoch (1-based) whose accuracy
+// reached target, or -1 if never — the time-to-accuracy measure behind
+// the paper's end-to-end speed-up claims (§4.3).
+func (m *Metrics) EpochsToReach(target float64) int {
+	for i, a := range m.EpochAcc {
+		if a >= target {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// TrainFull trains on the entire dataset for cfg.Epochs — the "All
+// Data" / "Goal" column of Tables 2–3.
+func TrainFull(train, test *data.Dataset, cfg Config) (*nn.MLP, *Metrics) {
+	t := New(train.Spec, cfg)
+	met := &Metrics{}
+	for e := 0; e < cfg.Epochs; e++ {
+		t.SetEpoch(e)
+		loss := t.TrainEpoch(train.X, train.Labels, nil)
+		met.EpochLoss = append(met.EpochLoss, loss)
+		met.EpochAcc = append(met.EpochAcc, t.Evaluate(test))
+		met.SubsetSizes = append(met.SubsetSizes, train.Len())
+	}
+	met.FinalAcc = met.EpochAcc[len(met.EpochAcc)-1]
+	return t.Model, met
+}

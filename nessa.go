@@ -1,0 +1,162 @@
+// Package nessa is the public API of the NeSSA reproduction: near-
+// storage data selection for accelerated machine-learning training
+// (Prakriya et al., HotStorage '23).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - Datasets and the synthetic generator (paper Table 1).
+//   - The NeSSA training controller with all paper optimizations:
+//     quantized-weight feedback, subset biasing, dataset partitioning,
+//     and dynamic subset sizing, plus the CRAIG / k-Centers / random
+//     baselines.
+//   - The SmartSSD device simulator (P2P + host links, FPGA memory
+//     budgets) for data-movement accounting.
+//   - The experiment harness that regenerates every table and figure
+//     of the paper's evaluation.
+//
+// Quickstart:
+//
+//	spec, _ := nessa.LookupDataset("CIFAR-10")
+//	train, test := nessa.Generate(spec)
+//	report, err := nessa.Train(train, test, nessa.DefaultTrainConfig(), nessa.DefaultOptions())
+//
+// See examples/ for runnable programs and DESIGN.md for the mapping
+// from paper sections to packages.
+package nessa
+
+import (
+	"nessa/internal/core"
+	"nessa/internal/data"
+	"nessa/internal/nn"
+	"nessa/internal/selection"
+	"nessa/internal/smartssd"
+	"nessa/internal/tensor"
+	"nessa/internal/trainer"
+)
+
+// Dataset is an in-memory labelled feature dataset.
+type Dataset = data.Dataset
+
+// Spec describes a dataset at paper scale and simulation scale.
+type Spec = data.Spec
+
+// Options configures a NeSSA (or baseline) training run.
+type Options = core.Options
+
+// Report is the measured outcome of a training run.
+type Report = core.Report
+
+// TrainConfig holds the SGD recipe (paper §4.1).
+type TrainConfig = trainer.Config
+
+// Metrics records accuracy/loss/subset-size series of a run.
+type Metrics = trainer.Metrics
+
+// SmartSSD is the simulated computational storage device.
+type SmartSSD = smartssd.Device
+
+// SelectionResult is a selected subset with medoid weights.
+type SelectionResult = selection.Result
+
+// Selector names. See Options.Selector.
+const (
+	SelectorFacility = core.SelectorFacility
+	SelectorKCenters = core.SelectorKCenters
+	SelectorRandom   = core.SelectorRandom
+	SelectorTopLoss  = core.SelectorTopLoss
+)
+
+// Datasets returns the paper's Table 1 dataset registry.
+func Datasets() []Spec { return data.Registry() }
+
+// LookupDataset finds a dataset by name ("CIFAR-10", "SVHN",
+// "CINIC-10", "CIFAR-100", "TinyImageNet", "ImageNet-100", "MNIST",
+// "ImageNet-1k").
+func LookupDataset(name string) (Spec, bool) { return data.Lookup(name) }
+
+// Generate builds the seeded synthetic train/test pair for a spec.
+func Generate(spec Spec) (train, test *Dataset) { return data.Generate(spec) }
+
+// EncodeDataset serializes a dataset into the on-SSD record layout.
+func EncodeDataset(d *Dataset) ([]byte, error) { return data.Encode(d) }
+
+// DecodeDataset parses an on-SSD byte image back into a dataset.
+func DecodeDataset(spec Spec, img []byte) (*Dataset, error) { return data.Decode(spec, img) }
+
+// DefaultTrainConfig returns the paper §4.1 training recipe scaled to
+// the simulation substrate.
+func DefaultTrainConfig() TrainConfig { return trainer.Default() }
+
+// DefaultOptions returns the full NeSSA configuration (quantized
+// feedback + subset biasing + partitioning + dynamic sizing) with the
+// paper's constants.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Train runs the NeSSA controller (or a baseline, per opt.Selector)
+// and returns the measured report.
+func Train(train, test *Dataset, cfg TrainConfig, opt Options) (*Report, error) {
+	return core.Run(train, test, cfg, opt)
+}
+
+// TrainFullData trains on the entire dataset — the paper's "All Data"
+// / "Goal" reference.
+func TrainFullData(train, test *Dataset, cfg TrainConfig) *Metrics {
+	_, met := trainer.TrainFull(train, test, cfg)
+	return met
+}
+
+// NewSmartSSD assembles a simulated SmartSSD with the paper's device
+// parameters (3.84 TB NAND, 3 GB/s P2P, 1.4 GB/s host path, 4 GB DRAM,
+// 4.32 MB on-chip memory).
+func NewSmartSSD() (*SmartSSD, error) { return smartssd.New() }
+
+// SelectCoreset runs one standalone facility-location selection over
+// gradient embeddings grouped by class, returning k medoids with
+// cluster weights — the paper's Eq. 5 outside the training loop.
+func SelectCoreset(embeddings *Matrix, classes [][]int, k int, seed uint64) (SelectionResult, error) {
+	return selection.PerClass(embeddings, classes, k,
+		selection.StochasticMaximizer(0.1, tensor.NewRNG(seed)))
+}
+
+// Matrix is the dense float32 matrix type used for features and
+// embeddings.
+type Matrix = tensor.Matrix
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return tensor.NewMatrix(rows, cols) }
+
+// Cluster is a group of SmartSSDs holding record-wise shards of a
+// dataset — the paper's §5 future-work scaling target.
+type Cluster = smartssd.Cluster
+
+// NewCluster assembles n simulated SmartSSDs.
+func NewCluster(n int) (*Cluster, error) { return smartssd.NewCluster(n) }
+
+// SelectCoresetDistributed selects k medoids with the GreeDi two-round
+// distributed greedy (Mirzasoleiman et al. 2013): shard-local greedy in
+// parallel, then a merge round — the selection strategy for a
+// multi-SmartSSD deployment.
+func SelectCoresetDistributed(embeddings *Matrix, cand []int, k, shards int, seed uint64) (SelectionResult, error) {
+	return selection.GreeDi(embeddings, cand, k, shards, tensor.NewRNG(seed), selection.LazyGreedy)
+}
+
+// CoresetObjective evaluates the facility-location objective of an
+// explicit selection over the candidates (paper Eq. 5) — useful for
+// comparing selection strategies.
+func CoresetObjective(embeddings *Matrix, cand, selected []int) float64 {
+	return selection.Objective(embeddings, cand, selected)
+}
+
+// ProxyEmbeddings trains a proxy model for warmupEpochs and returns
+// the per-sample last-layer gradient embeddings (softmax − one-hot) —
+// the representation NeSSA's selection clusters on. Use it to run the
+// standalone selectors over your own dataset.
+func ProxyEmbeddings(train *Dataset, cfg TrainConfig, warmupEpochs int) *Matrix {
+	tr := trainer.New(train.Spec, cfg)
+	for e := 0; e < warmupEpochs; e++ {
+		tr.SetEpoch(e)
+		tr.TrainEpoch(train.X, train.Labels, nil)
+	}
+	logits := tr.Model.Forward(train.X)
+	return nn.GradEmbeddings(logits, train.Labels)
+}
