@@ -28,6 +28,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
 	stride := flag.Int("stride", 5, "epoch stride for figure5 rows")
 	seeds := flag.Int("seeds", 3, "seed count for the seed-variance artifact")
+	resultsDir := flag.String("results", "results", "directory for machine-readable benchmark artifacts (BENCH_selection.json)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -119,6 +120,19 @@ func main() {
 		if len(want) == 0 || want["ablations"] || want[a.id] {
 			add(a.emit())
 		}
+	}
+	if selected("bench-selection") {
+		fmt.Fprintln(os.Stderr, "measuring the parallel selection engine (workers=1 vs all cores)...")
+		path := filepath.Join(*resultsDir, "BENCH_selection.json")
+		res, tab, err := bench.WriteSelectionBench(path)
+		if err != nil {
+			fatal(err)
+		}
+		if !res.IdenticalSubsets {
+			fatal(fmt.Errorf("parallel selection diverged from serial — determinism contract broken"))
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+		add(tab)
 	}
 	if want["seed-variance"] {
 		spec, _ := data.Lookup("CIFAR-10")

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	nessa-train [-dataset CIFAR-10] [-method nessa|craig|kcenters|random|full]
-//	            [-epochs 60] [-subset 0.4] [-seed 7] [-no-device]
+//	            [-epochs 60] [-subset 0.4] [-seed 7] [-workers 0] [-no-device]
 package main
 
 import (
@@ -22,6 +22,7 @@ func main() {
 	epochs := flag.Int("epochs", 0, "training epochs (0 = recipe default)")
 	subset := flag.Float64("subset", 0, "initial subset fraction (0 = method default)")
 	seed := flag.Uint64("seed", 7, "controller seed")
+	workers := flag.Int("workers", 0, "selection worker goroutines (0 = all cores, 1 = serial)")
 	noDevice := flag.Bool("no-device", false, "skip the SmartSSD simulation / movement accounting")
 	flag.Parse()
 
@@ -45,6 +46,7 @@ func main() {
 
 	opt := nessa.DefaultOptions()
 	opt.Seed = *seed
+	opt.Workers = *workers
 	switch *method {
 	case "nessa":
 	case "craig":

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"nessa/internal/parallel"
+	"nessa/internal/selection"
+	"nessa/internal/tensor"
+)
+
+// SelectionBenchSpec fixes the synthetic workload of the parallel-
+// selection benchmark: a CIFAR-10-shaped epoch selection step (10
+// classes, per-class facility location over gradient-sized embeddings)
+// plus the two kernels underneath it (a full gain scan and a selection-
+// model GEMM).
+type SelectionBenchSpec struct {
+	Classes  int `json:"classes"`
+	PerClass int `json:"perClass"`
+	Dim      int `json:"dim"`
+	K        int `json:"k"`
+
+	GainN   int `json:"gainN"`   // candidates in the gain-scan kernel
+	GainDim int `json:"gainDim"` // embedding dim of the gain-scan kernel
+
+	// GEMM shape (n×k)·(k×m).
+	MatN int `json:"matN"`
+	MatK int `json:"matK"`
+	MatM int `json:"matM"`
+}
+
+// DefaultSelectionBenchSpec sizes the workload so one measurement runs
+// in roughly a second per worker setting on a laptop core.
+func DefaultSelectionBenchSpec() SelectionBenchSpec {
+	return SelectionBenchSpec{
+		Classes: 10, PerClass: 400, Dim: 32, K: 400,
+		GainN: 8192, GainDim: 64,
+		MatN: 512, MatK: 256, MatM: 256,
+	}
+}
+
+// SelectionBenchRun is one worker setting's measurement.
+type SelectionBenchRun struct {
+	Workers    int     `json:"workers"`
+	PerClassMS float64 `json:"perClassMS"` // full CRAIG epoch selection step
+	GainScanMS float64 `json:"gainScanMS"` // 100 facility gain scans
+	MatMulMS   float64 `json:"matMulMS"`   // 20 selection-model GEMMs
+}
+
+// SelectionBenchResult is the JSON artifact written to
+// results/BENCH_selection.json so the speed trajectory of the
+// selection engine is tracked from PR to PR.
+type SelectionBenchResult struct {
+	GeneratedAt      string              `json:"generatedAt"`
+	CPUs             int                 `json:"cpus"`
+	Spec             SelectionBenchSpec  `json:"spec"`
+	Runs             []SelectionBenchRun `json:"runs"`
+	SpeedupPerClass  float64             `json:"speedupPerClass"` // workers=max vs workers=1
+	SpeedupGainScan  float64             `json:"speedupGainScan"`
+	SpeedupMatMul    float64             `json:"speedupMatMul"`
+	IdenticalSubsets bool                `json:"identicalSubsets"` // workers=1 vs max select the same set
+}
+
+// RunSelectionBench measures the parallel selection engine at 1 worker
+// and at every available core, verifying along the way that both
+// settings select the identical subset (the determinism contract of
+// internal/parallel).
+func RunSelectionBench(spec SelectionBenchSpec) (*SelectionBenchResult, error) {
+	r := tensor.NewRNG(12345)
+	n := spec.Classes * spec.PerClass
+	emb := tensor.NewMatrix(n, spec.Dim)
+	emb.FillNormal(r, 1)
+	classes := make([][]int, spec.Classes)
+	for i := 0; i < n; i++ {
+		classes[i%spec.Classes] = append(classes[i%spec.Classes], i)
+	}
+
+	gainEmb := tensor.NewMatrix(spec.GainN, spec.GainDim)
+	gainEmb.FillNormal(r, 1)
+	gainCand := make([]int, spec.GainN)
+	for i := range gainCand {
+		gainCand[i] = i
+	}
+
+	a := tensor.NewMatrix(spec.MatN, spec.MatK)
+	bm := tensor.NewMatrix(spec.MatK, spec.MatM)
+	dst := tensor.NewMatrix(spec.MatN, spec.MatM)
+	a.FillNormal(r, 1)
+	bm.FillNormal(r, 1)
+
+	perClass := func() (selection.Result, error) {
+		return selection.PerClassWith(emb, classes, spec.K, func(ci int) selection.Maximizer {
+			return selection.StochasticMaximizer(0.1, selection.ClassStream(7, ci))
+		})
+	}
+
+	workerSettings := []int{1, runtime.NumCPU()}
+	if runtime.NumCPU() == 1 {
+		workerSettings = workerSettings[:1]
+	}
+	res := &SelectionBenchResult{
+		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+		CPUs:             runtime.NumCPU(),
+		Spec:             spec,
+		IdenticalSubsets: true,
+	}
+	defer parallel.SetDefaultWorkers(0)
+
+	var baseline []int
+	for _, w := range workerSettings {
+		parallel.SetDefaultWorkers(w)
+
+		t0 := time.Now()
+		sel, err := perClass()
+		if err != nil {
+			return nil, fmt.Errorf("bench: per-class selection: %w", err)
+		}
+		perClassMS := float64(time.Since(t0).Microseconds()) / 1e3
+
+		if baseline == nil {
+			baseline = sel.Selected
+		} else if !equalInts(baseline, sel.Selected) {
+			res.IdenticalSubsets = false
+		}
+
+		// The gain-scan proxy: a facility objective over 32 medoids is
+		// 32 chunked candidate scans, the same loop gain/absorb run.
+		t0 = time.Now()
+		for i := 0; i < 20; i++ {
+			selection.Objective(gainEmb, gainCand, gainCand[:32])
+		}
+		gainMS := float64(time.Since(t0).Microseconds()) / 1e3
+
+		t0 = time.Now()
+		for i := 0; i < 20; i++ {
+			tensor.MatMul(dst, a, bm)
+		}
+		matMS := float64(time.Since(t0).Microseconds()) / 1e3
+
+		res.Runs = append(res.Runs, SelectionBenchRun{
+			Workers:    w,
+			PerClassMS: perClassMS,
+			GainScanMS: gainMS,
+			MatMulMS:   matMS,
+		})
+	}
+
+	first, last := res.Runs[0], res.Runs[len(res.Runs)-1]
+	res.SpeedupPerClass = safeRatio(first.PerClassMS, last.PerClassMS)
+	res.SpeedupGainScan = safeRatio(first.GainScanMS, last.GainScanMS)
+	res.SpeedupMatMul = safeRatio(first.MatMulMS, last.MatMulMS)
+	return res, nil
+}
+
+// WriteSelectionBench runs the benchmark and writes the JSON artifact,
+// returning both the result and a renderable table.
+func WriteSelectionBench(path string) (*SelectionBenchResult, *Table, error) {
+	res, err := RunSelectionBench(DefaultSelectionBenchSpec())
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return nil, nil, err
+	}
+	return res, SelectionBenchTable(res), nil
+}
+
+// SelectionBenchTable renders the measurement as a bench artifact.
+func SelectionBenchTable(res *SelectionBenchResult) *Table {
+	t := &Table{
+		ID:    "bench-selection",
+		Title: "Parallel selection engine: per-class CRAIG step, gain scan, GEMM",
+		Note: fmt.Sprintf("synthetic workload (%d classes × %d cand, dim %d, k=%d) on %d CPUs; identical subsets across worker counts: %v",
+			res.Spec.Classes, res.Spec.PerClass, res.Spec.Dim, res.Spec.K, res.CPUs, res.IdenticalSubsets),
+		Header: []string{"Workers", "PerClass (ms)", "GainScan (ms)", "MatMul (ms)"},
+	}
+	for _, run := range res.Runs {
+		t.AddRow(fmt.Sprintf("%d", run.Workers),
+			fmt.Sprintf("%.1f", run.PerClassMS),
+			fmt.Sprintf("%.1f", run.GainScanMS),
+			fmt.Sprintf("%.1f", run.MatMulMS))
+	}
+	t.AddRow("speedup",
+		fmt.Sprintf("%.2fx", res.SpeedupPerClass),
+		fmt.Sprintf("%.2fx", res.SpeedupGainScan),
+		fmt.Sprintf("%.2fx", res.SpeedupMatMul))
+	return t
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func safeRatio(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}

@@ -21,9 +21,11 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"nessa/internal/data"
 	"nessa/internal/nn"
+	"nessa/internal/parallel"
 	"nessa/internal/quant"
 	"nessa/internal/selection"
 	"nessa/internal/smartssd"
@@ -84,6 +86,14 @@ type Options struct {
 	Eps  float64 // stochastic-greedy ε
 	Seed uint64
 
+	// Workers caps the goroutines of the shared execution pool that
+	// the selection kernels and GEMMs run on — the software analogue of
+	// the FPGA kernel's parallel compute units (Table 4's distance
+	// lanes). 0 means runtime.NumCPU(); 1 runs fully serial. The
+	// setting only changes wall-clock time: chunked deterministic
+	// reductions make every result identical for any worker count.
+	Workers int
+
 	// Optional storage integration: when Device is non-nil every
 	// selection read, subset transfer, and feedback transfer is charged
 	// to the device's clock and accountant. DatasetName must identify a
@@ -113,6 +123,7 @@ func DefaultOptions() Options {
 		ShrinkPatience: 5,
 		Eps:            0.1,
 		Seed:           7,
+		Workers:        runtime.NumCPU(),
 	}
 }
 
@@ -133,6 +144,10 @@ func Run(train, test *data.Dataset, tcfg trainer.Config, opt Options) (*Report, 
 	if err := validateOptions(&opt); err != nil {
 		return nil, err
 	}
+	// Size the shared execution pool. This is a process-wide scheduling
+	// knob: results are worker-count-independent by construction, so a
+	// concurrent run with a different setting only affects timing.
+	parallel.SetDefaultWorkers(opt.Workers)
 	n := train.Len()
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty training set")
@@ -286,15 +301,23 @@ func selectSubset(selModel *nn.MLP, train *data.Dataset, cands []int, frac float
 	var err error
 	switch opt.Selector {
 	case SelectorFacility:
-		inner := selection.StochasticMaximizer(opt.Eps, rng)
-		if opt.Partition {
-			inner = selection.PartitionedMaximizer(opt.PartitionM, rng, inner)
-		}
 		classes := make([][]int, train.Spec.Classes)
 		for i, y := range candSet.Labels {
 			classes[y] = append(classes[y], i)
 		}
-		res, err = selection.PerClass(localEmb, classes, k, inner)
+		// One base seed per selection pass (drawn serially from the run
+		// RNG), then an independent stream per class, so the per-class
+		// fan-out is both race-free and deterministic for any worker
+		// count.
+		base := rng.Uint64()
+		res, err = selection.PerClassWith(localEmb, classes, k, func(ci int) selection.Maximizer {
+			crng := selection.ClassStream(base, ci)
+			inner := selection.StochasticMaximizer(opt.Eps, crng)
+			if opt.Partition {
+				inner = selection.PartitionedMaximizer(opt.PartitionM, crng, inner)
+			}
+			return inner
+		})
 	case SelectorKCenters:
 		res, err = selection.KCenters(localEmb, local, k)
 		if err == nil {
@@ -349,6 +372,12 @@ func validateOptions(opt *Options) error {
 		if opt.ShrinkPatience <= 0 {
 			opt.ShrinkPatience = 1
 		}
+	}
+	if opt.Workers < 0 {
+		return fmt.Errorf("core: workers must be >= 0, got %d", opt.Workers)
+	}
+	if opt.Workers == 0 {
+		opt.Workers = runtime.NumCPU()
 	}
 	if opt.Device != nil && opt.DatasetName == "" {
 		return fmt.Errorf("core: device attached without a dataset name")

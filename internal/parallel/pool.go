@@ -1,0 +1,244 @@
+// Package parallel is the shared worker-pool execution layer behind
+// every multicore hot path in the repository: facility-location
+// gain/absorb scans, per-class CRAIG fan-out, and the blocked GEMM
+// kernels in internal/tensor.
+//
+// Design goals, in order:
+//
+//  1. Determinism. Results must be bit-identical run-to-run AND across
+//     worker counts, so a laptop and a 64-core server select the same
+//     subsets. Reductions therefore run over a fixed chunk grid that
+//     depends only on the problem size (never on the worker count or
+//     on goroutine scheduling), and partial results are combined in
+//     ascending chunk order.
+//  2. Zero-cost serial mode. With one worker every loop runs inline on
+//     the calling goroutine — no channels, no goroutines, no atomics —
+//     so Workers=1 reproduces a purely serial execution.
+//  3. Nestability. PerClass dispatches classes to the pool while each
+//     class's facility kernel also uses the pool; every call spawns its
+//     own bounded set of goroutines, so nesting cannot deadlock (at
+//     worst it briefly oversubscribes, which the Go scheduler absorbs).
+//
+// The pool mirrors the paper's FPGA compute units: the selection kernel
+// of §3.1 evaluates candidate distances on parallel lanes and merges
+// them through a fixed adder tree — the chunk grid plays the role of
+// the lanes and the ordered reduction the role of the tree.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// reduceChunk is the fixed chunk size of the deterministic reduction
+// grid. It depends only on this constant and the problem size — never
+// on the worker count — so chunked sums associate identically no
+// matter how many goroutines execute them.
+const reduceChunk = 512
+
+// Pool executes chunked data-parallel loops on up to Workers
+// goroutines. The zero value is not useful; use New or Default. A Pool
+// is safe for concurrent use; SetWorkers may be called at any time and
+// only affects scheduling, never results.
+type Pool struct {
+	workers atomic.Int32
+}
+
+// New returns a pool running at most workers goroutines per loop.
+// workers <= 0 selects runtime.NumCPU().
+func New(workers int) *Pool {
+	p := &Pool{}
+	p.SetWorkers(workers)
+	return p
+}
+
+var defaultPool = New(0)
+
+// Default returns the process-wide shared pool used by the tensor and
+// selection packages. Its worker count is a scheduling knob only:
+// changing it never changes any computed result.
+func Default() *Pool { return defaultPool }
+
+// SetDefaultWorkers resizes the shared pool (0 → runtime.NumCPU()).
+func SetDefaultWorkers(n int) { defaultPool.SetWorkers(n) }
+
+// SetWorkers resizes the pool (0 or negative → runtime.NumCPU()).
+func (p *Pool) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	p.workers.Store(int32(n))
+}
+
+// Workers reports the current worker cap.
+func (p *Pool) Workers() int { return int(p.workers.Load()) }
+
+// Chunks returns the number of fixed-size reduction chunks covering
+// [0, n). It is a pure function of n, so a caller can pre-size a
+// partial-result slice that stays valid for any worker count.
+func Chunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + reduceChunk - 1) / reduceChunk
+}
+
+// ChunkBounds returns the half-open range [lo, hi) of chunk c.
+func ChunkBounds(c, n int) (lo, hi int) {
+	lo = c * reduceChunk
+	hi = lo + reduceChunk
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ForChunks runs body(c, lo, hi) for every chunk of the fixed grid over
+// [0, n), on up to Workers goroutines. Each chunk executes exactly
+// once; chunks touched by different goroutines are disjoint, so bodies
+// writing to per-index or per-chunk slots need no locking. Bodies must
+// not assume any execution order.
+func (p *Pool) ForChunks(n int, body func(c, lo, hi int)) {
+	nchunks := Chunks(n)
+	if nchunks == 0 {
+		return
+	}
+	w := p.Workers()
+	if w > nchunks {
+		w = nchunks
+	}
+	if w <= 1 {
+		for c := 0; c < nchunks; c++ {
+			lo, hi := ChunkBounds(c, n)
+			body(c, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo, hi := ChunkBounds(c, n)
+				body(c, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SumChunks evaluates body over every chunk of the fixed grid and
+// returns the partial sums combined in ascending chunk order. Because
+// the grid and the combination order are independent of the worker
+// count, the result is bit-identical for any Workers setting.
+func (p *Pool) SumChunks(n int, body func(lo, hi int) float64) float64 {
+	nchunks := Chunks(n)
+	switch nchunks {
+	case 0:
+		return 0
+	case 1:
+		return body(0, n)
+	}
+	partial := make([]float64, nchunks)
+	p.ForChunks(n, func(c, lo, hi int) {
+		partial[c] = body(lo, hi)
+	})
+	var sum float64
+	for _, s := range partial {
+		sum += s
+	}
+	return sum
+}
+
+// For runs body over [0, n) split into contiguous grain-sized bands on
+// up to Workers goroutines. Unlike ForChunks the banding MAY depend on
+// the worker count, so For is only for bodies whose results are
+// independent of how the range is split — e.g. loops writing each
+// index exactly once. grain <= 0 picks a band size automatically.
+// With one worker (or a single band) body(0, n) runs inline.
+func (p *Pool) For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if grain <= 0 {
+		// Aim for a few bands per worker to absorb imbalance.
+		grain = n / (w * 4)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	bands := (n + grain - 1) / grain
+	if w <= 1 || bands <= 1 {
+		body(0, n)
+		return
+	}
+	if w > bands {
+		w = bands
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= bands {
+					return
+				}
+				lo := b * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Run executes every task, at most Workers at a time. Task index order
+// of completion is unspecified; with one worker tasks run inline in
+// slice order. Tasks writing results should write to distinct slots of
+// a caller-owned slice so the merge order is the caller's.
+func (p *Pool) Run(tasks []func()) {
+	n := len(tasks)
+	if n == 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				tasks[i]()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package selection
 import (
 	"testing"
 
+	"nessa/internal/parallel"
 	"nessa/internal/tensor"
 )
 
@@ -79,5 +80,59 @@ func BenchmarkGreeDi4Shards(b *testing.B) {
 		if _, err := GreeDi(emb, cand, 90, 4, r, LazyGreedy); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFacilityGain measures one full gain scan (the innermost hot
+// loop of every greedy maximizer) over a candidate pool large enough to
+// span many reduction chunks, at 1 worker vs all cores.
+func BenchmarkFacilityGain(b *testing.B) {
+	emb, cand := benchInstance(8192, 64)
+	for _, w := range []int{1, 0} { // 0 = NumCPU
+		name := "workers=1"
+		if w == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			parallel.SetDefaultWorkers(w)
+			defer parallel.SetDefaultWorkers(0)
+			f := newFacility(emb, cand)
+			best := make([]float32, len(cand))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.gain(i%len(cand), best)
+			}
+		})
+	}
+}
+
+// BenchmarkPerClassParallel measures the full CRAIG per-class
+// facility-location selection (the epoch selection step) with the
+// class fan-out and chunked kernels at 1 worker vs all cores.
+func BenchmarkPerClassParallel(b *testing.B) {
+	const classes, perClass, dim = 10, 600, 32
+	emb, _ := benchInstance(classes*perClass, dim)
+	cls := make([][]int, classes)
+	for i := 0; i < classes*perClass; i++ {
+		cls[i%classes] = append(cls[i%classes], i)
+	}
+	for _, w := range []int{1, 0} {
+		name := "workers=1"
+		if w == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			parallel.SetDefaultWorkers(w)
+			defer parallel.SetDefaultWorkers(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := PerClassWith(emb, cls, classes*perClass/10, func(ci int) Maximizer {
+					return StochasticMaximizer(0.1, ClassStream(1, ci))
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"nessa/internal/parallel"
 	"nessa/internal/tensor"
 )
 
@@ -23,12 +24,46 @@ func StochasticMaximizer(eps float64, rng *tensor.RNG) Maximizer {
 	}
 }
 
+// ClassStream derives a deterministic, well-mixed RNG for class ci
+// from a base seed. Consecutive class indices land on avalanche-mixed
+// states (one SplitMix64 step apart at the input, fully decorrelated
+// at the output), so per-class streams do not overlap — the building
+// block for giving every PerClassWith class its own randomness.
+func ClassStream(seed uint64, ci int) *tensor.RNG {
+	return tensor.NewRNG(seed + uint64(ci)).Split()
+}
+
+// ClassMaximizer hands out an independent Maximizer for class ci, so
+// each class owns its own state (e.g. RNG stream) and PerClassWith can
+// fan classes out across the worker pool without sharing anything.
+type ClassMaximizer func(ci int) Maximizer
+
 // PerClass runs CRAIG-style selection: the budget k is split across
 // classes in proportion to each class's candidate count (the paper
 // computes pairwise similarities only within a class, §3.2.3), the
 // maximizer picks each class's medoids, and results merge with their
 // cluster weights intact.
+//
+// The shared maximizer may be stateful (e.g. a StochasticMaximizer
+// holding one RNG), so classes run serially in class order. For the
+// parallel fan-out use PerClassWith, which gives every class its own
+// maximizer.
 func PerClass(emb *tensor.Matrix, classes [][]int, k int, maximize Maximizer) (Result, error) {
+	return perClass(emb, classes, k, func(int) Maximizer { return maximize }, false)
+}
+
+// PerClassWith is the parallel form of PerClass: forClass(ci) builds a
+// fresh maximizer per class and every class's selection dispatches to
+// the shared worker pool (classes share no state — CRAIG computes
+// similarities only within a class, making the fan-out embarrassingly
+// parallel). Results merge in ascending class order, so the output is
+// identical for any worker count provided forClass is deterministic
+// per class index.
+func PerClassWith(emb *tensor.Matrix, classes [][]int, k int, forClass ClassMaximizer) (Result, error) {
+	return perClass(emb, classes, k, forClass, true)
+}
+
+func perClass(emb *tensor.Matrix, classes [][]int, k int, forClass ClassMaximizer, parallelOK bool) (Result, error) {
 	total := 0
 	for _, c := range classes {
 		total += len(c)
@@ -44,15 +79,33 @@ func PerClass(emb *tensor.Matrix, classes [][]int, k int, maximize Maximizer) (R
 	}
 	budgets := splitBudget(classes, k, total)
 
-	var merged Result
+	results := make([]Result, len(classes))
+	errs := make([]error, len(classes))
+	var tasks []func()
 	for ci, cand := range classes {
 		if len(cand) == 0 || budgets[ci] == 0 {
 			continue
 		}
-		r, err := maximize(emb, cand, budgets[ci])
-		if err != nil {
-			return Result{}, fmt.Errorf("selection: class %d: %w", ci, err)
+		ci, cand := ci, cand
+		tasks = append(tasks, func() {
+			m := forClass(ci)
+			results[ci], errs[ci] = m(emb, cand, budgets[ci])
+		})
+	}
+	if parallelOK {
+		parallel.Default().Run(tasks)
+	} else {
+		for _, t := range tasks {
+			t()
 		}
+	}
+
+	var merged Result
+	for ci := range classes {
+		if errs[ci] != nil {
+			return Result{}, fmt.Errorf("selection: class %d: %w", ci, errs[ci])
+		}
+		r := results[ci]
 		merged.Selected = append(merged.Selected, r.Selected...)
 		merged.Weights = append(merged.Weights, r.Weights...)
 		merged.Objective += r.Objective

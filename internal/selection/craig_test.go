@@ -1,0 +1,114 @@
+package selection
+
+import "testing"
+
+// classesOfSizes builds a class partition with the given sizes over a
+// contiguous global index space.
+func classesOfSizes(sizes ...int) ([][]int, int) {
+	classes := make([][]int, len(sizes))
+	idx := 0
+	total := 0
+	for c, sz := range sizes {
+		for i := 0; i < sz; i++ {
+			classes[c] = append(classes[c], idx)
+			idx++
+		}
+		total += sz
+	}
+	return classes, total
+}
+
+func budgetInvariants(t *testing.T, classes [][]int, budgets []int, k, total int) {
+	t.Helper()
+	want := k
+	if want > total {
+		want = total
+	}
+	sum := 0
+	for ci, b := range budgets {
+		if b < 0 || b > len(classes[ci]) {
+			t.Fatalf("class %d budget %d out of [0,%d]", ci, b, len(classes[ci]))
+		}
+		sum += b
+	}
+	if sum != want {
+		t.Fatalf("budgets sum to %d, want min(k,total) = %d", sum, want)
+	}
+}
+
+func TestSplitBudgetKEqualsNonEmptyClasses(t *testing.T) {
+	// k equal to the number of non-empty classes: every non-empty class
+	// must get exactly one pick; empty classes must get zero.
+	classes, total := classesOfSizes(7, 0, 3, 12, 0, 1)
+	k := 4 // four non-empty classes
+	budgets := splitBudget(classes, k, total)
+	budgetInvariants(t, classes, budgets, k, total)
+	for ci, b := range budgets {
+		if len(classes[ci]) == 0 {
+			if b != 0 {
+				t.Fatalf("empty class %d got budget %d", ci, b)
+			}
+		} else if b != 1 {
+			t.Fatalf("class %d got budget %d, want exactly 1 when k == #non-empty", ci, b)
+		}
+	}
+}
+
+func TestSplitBudgetGiantClassPlusSingletons(t *testing.T) {
+	// One giant class plus many singletons: the giant class must not
+	// starve the singletons when k allows everyone one pick, and the
+	// remainder of the budget must flow to the giant class.
+	classes, total := classesOfSizes(1000, 1, 1, 1, 1, 1, 1, 1, 1, 1)
+	k := 20
+	budgets := splitBudget(classes, k, total)
+	budgetInvariants(t, classes, budgets, k, total)
+	for ci := 1; ci < len(classes); ci++ {
+		if budgets[ci] != 1 {
+			t.Fatalf("singleton class %d got budget %d, want 1", ci, budgets[ci])
+		}
+	}
+	if budgets[0] != k-9 {
+		t.Fatalf("giant class got %d, want %d (all budget beyond the singletons)", budgets[0], k-9)
+	}
+}
+
+func TestSplitBudgetKBelowNonEmptyFavorsLargest(t *testing.T) {
+	// Fewer picks than non-empty classes: the k largest classes get one
+	// pick each and the rest get zero.
+	classes, total := classesOfSizes(2, 50, 3, 40, 1)
+	k := 2
+	budgets := splitBudget(classes, k, total)
+	budgetInvariants(t, classes, budgets, k, total)
+	if budgets[1] != 1 || budgets[3] != 1 {
+		t.Fatalf("budgets %v: want the two largest classes (1 and 3) to get the picks", budgets)
+	}
+}
+
+func TestSplitBudgetKExceedsTotal(t *testing.T) {
+	// k beyond the candidate count: every class saturates at its size
+	// and the sum is the total.
+	classes, total := classesOfSizes(4, 0, 2, 9)
+	k := 100
+	budgets := splitBudget(classes, k, total)
+	budgetInvariants(t, classes, budgets, k, total)
+	for ci, b := range budgets {
+		if b != len(classes[ci]) {
+			t.Fatalf("class %d budget %d, want saturated size %d", ci, b, len(classes[ci]))
+		}
+	}
+}
+
+func TestSplitBudgetEveryNonEmptyClassGetsOneWhenAffordable(t *testing.T) {
+	// As long as k >= #non-empty classes, no non-empty class may end up
+	// with zero budget, however skewed the sizes.
+	classes, total := classesOfSizes(300, 5, 1, 1, 200, 1)
+	for k := 6; k <= 30; k++ {
+		budgets := splitBudget(classes, k, total)
+		budgetInvariants(t, classes, budgets, k, total)
+		for ci, b := range budgets {
+			if len(classes[ci]) > 0 && b == 0 {
+				t.Fatalf("k=%d: non-empty class %d got zero budget (%v)", k, ci, budgets)
+			}
+		}
+	}
+}

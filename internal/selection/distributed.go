@@ -2,8 +2,8 @@ package selection
 
 import (
 	"fmt"
-	"sync"
 
+	"nessa/internal/parallel"
 	"nessa/internal/tensor"
 )
 
@@ -37,28 +37,32 @@ func GreeDi(emb *tensor.Matrix, cand []int, k, shards int, rng *tensor.RNG, inne
 	shuffled := append([]int(nil), cand...)
 	rng.Shuffle(shuffled)
 
-	// Round 1: per-shard greedy, in parallel (each shard is an
-	// independent SmartSSD in the scaled deployment).
+	// Round 1: per-shard greedy on the worker pool (each shard is an
+	// independent SmartSSD in the scaled deployment). Each task writes
+	// its own slot and the merge below walks shards in order, so the
+	// pooled set is deterministic for any worker count.
+	//
+	// NOTE: inner runs concurrently across shards, so it must not share
+	// mutable state (use stateless maximizers, or per-shard streams).
 	type shardOut struct {
 		sel []int
 		err error
 	}
 	outs := make([]shardOut, shards)
-	var wg sync.WaitGroup
+	var tasks []func()
 	for s := 0; s < shards; s++ {
 		lo := s * len(shuffled) / shards
 		hi := (s + 1) * len(shuffled) / shards
 		if lo == hi {
 			continue
 		}
-		wg.Add(1)
-		go func(s int, chunk []int) {
-			defer wg.Done()
+		s, chunk := s, shuffled[lo:hi]
+		tasks = append(tasks, func() {
 			r, err := inner(emb, chunk, k)
 			outs[s] = shardOut{sel: r.Selected, err: err}
-		}(s, shuffled[lo:hi])
+		})
 	}
-	wg.Wait()
+	parallel.Default().Run(tasks)
 
 	var pooled []int
 	for s, o := range outs {
@@ -95,15 +99,21 @@ func GreeDi(emb *tensor.Matrix, cand []int, k, shards int, rng *tensor.RNG, inne
 		Selected: final.Selected,
 		Weights:  make([]float32, len(final.Selected)),
 	}
-	for i := range cand {
-		bestSlot, bestS := 0, float32(-1)
-		for _, j := range localSel {
-			if s := f.sim(i, j); s > bestS {
-				bestS = s
-				bestSlot = pos[cand[j]]
+	slot := make([]int32, len(cand))
+	f.pool.ForChunks(len(cand), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			bestSlot, bestS := 0, float32(-1)
+			for _, j := range localSel {
+				if s := f.sim(i, j); s > bestS {
+					bestS = s
+					bestSlot = pos[cand[j]]
+				}
 			}
+			slot[i] = int32(bestSlot)
 		}
-		res.Weights[bestSlot]++
+	})
+	for _, s := range slot {
+		res.Weights[s]++
 	}
 	res.Objective = Objective(emb, cand, res.Selected)
 	return res, nil

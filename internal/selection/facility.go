@@ -16,12 +16,20 @@
 // All selectors take a matrix of per-sample embeddings plus a slice of
 // candidate row indices, and return selected row indices with medoid
 // weights (cluster sizes) for weighted SGD.
+//
+// Every O(n·d) candidate scan (gain, absorb, medoid assignment) runs
+// on the shared worker pool of internal/parallel. The pool's fixed
+// chunk grid keeps objectives bit-identical across worker counts, so
+// selections are reproducible on any machine; parallel.SetDefaultWorkers(1)
+// forces fully serial execution.
 package selection
 
 import (
 	"container/heap"
 	"fmt"
+	"math"
 
+	"nessa/internal/parallel"
 	"nessa/internal/tensor"
 )
 
@@ -36,21 +44,31 @@ type Result struct {
 }
 
 // facility prepares the shared state of a facility-location instance:
-// candidate rows and the constant c0 ≥ max pairwise squared distance
-// (paper Eq. 5). We use the bound c0 = 4·max‖g‖², computable in O(n),
-// since ‖gi−gj‖² ≤ 2(‖gi‖²+‖gj‖²) ≤ 4·max‖g‖².
+// candidate rows, per-candidate squared norms (cached once so every
+// later similarity costs one Dot instead of a SqDist), and the constant
+// c0 ≥ max pairwise squared distance (paper Eq. 5). We use the bound
+// c0 = 4·max‖g‖², computable in O(n), since
+// ‖gi−gj‖² ≤ 2(‖gi‖²+‖gj‖²) ≤ 4·max‖g‖².
 type facility struct {
-	emb  *tensor.Matrix
-	cand []int
-	c0   float32
+	emb   *tensor.Matrix
+	cand  []int
+	norms []float32 // norms[i] = ‖emb.Row(cand[i])‖²
+	c0    float32
+	pool  *parallel.Pool
 }
 
 func newFacility(emb *tensor.Matrix, cand []int) *facility {
-	f := &facility{emb: emb, cand: cand}
+	f := &facility{
+		emb:   emb,
+		cand:  cand,
+		norms: make([]float32, len(cand)),
+		pool:  parallel.Default(),
+	}
 	var maxSq float32
-	for _, gi := range cand {
+	for i, gi := range cand {
 		row := emb.Row(gi)
 		sq := tensor.Dot(row, row)
+		f.norms[i] = sq
 		if sq > maxSq {
 			maxSq = sq
 		}
@@ -63,9 +81,11 @@ func newFacility(emb *tensor.Matrix, cand []int) *facility {
 }
 
 // sim returns the facility-location similarity between candidate
-// positions a and b (indices into cand).
+// positions a and b (indices into cand). With cached norms the squared
+// distance expands to ‖ga‖² + ‖gb‖² − 2·ga·gb, so only the dot product
+// touches the embedding dimension.
 func (f *facility) sim(a, b int) float32 {
-	d := tensor.SqDist(f.emb.Row(f.cand[a]), f.emb.Row(f.cand[b]))
+	d := f.norms[a] + f.norms[b] - 2*tensor.Dot(f.emb.Row(f.cand[a]), f.emb.Row(f.cand[b]))
 	s := f.c0 - d
 	if s < 0 {
 		// Guard against float round-off below the bound.
@@ -75,28 +95,50 @@ func (f *facility) sim(a, b int) float32 {
 }
 
 // gain computes the marginal objective gain of adding candidate j given
-// the current per-candidate best similarities.
+// the current per-candidate best similarities. The candidate scan runs
+// chunked on the pool; partial sums reduce in fixed chunk order, so the
+// gain is bit-identical for any worker count.
 func (f *facility) gain(j int, best []float32) float64 {
-	var g float64
-	for i := range f.cand {
-		if s := f.sim(i, j); s > best[i] {
-			g += float64(s - best[i])
+	gj := f.emb.Row(f.cand[j])
+	nj := f.norms[j]
+	return f.pool.SumChunks(len(f.cand), func(lo, hi int) float64 {
+		var g float64
+		for i := lo; i < hi; i++ {
+			s := f.c0 - (f.norms[i] + nj - 2*tensor.Dot(f.emb.Row(f.cand[i]), gj))
+			if s < 0 {
+				s = 0
+			}
+			if b := best[i]; s > b {
+				g += float64(s - b)
+			}
 		}
-	}
-	return g
+		return g
+	})
 }
 
-// absorb updates best after selecting candidate j.
+// absorb updates best after selecting candidate j. Chunks write
+// disjoint ranges of best, and each slot's value depends only on (i, j),
+// so the update is deterministic under any scheduling.
 func (f *facility) absorb(j int, best []float32) {
-	for i := range f.cand {
-		if s := f.sim(i, j); s > best[i] {
-			best[i] = s
+	gj := f.emb.Row(f.cand[j])
+	nj := f.norms[j]
+	f.pool.ForChunks(len(f.cand), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := f.c0 - (f.norms[i] + nj - 2*tensor.Dot(f.emb.Row(f.cand[i]), gj))
+			if s < 0 {
+				s = 0
+			}
+			if s > best[i] {
+				best[i] = s
+			}
 		}
-	}
+	})
 }
 
 // finish assigns every candidate to its most similar medoid and
-// produces the Result with cluster-size weights.
+// produces the Result with cluster-size weights. Assignment is
+// parallel; the weight tally stays serial (float32 counting is exact,
+// but the tally is O(n) and not worth a reduction).
 func (f *facility) finish(selected []int, objective float64) Result {
 	res := Result{
 		Selected:  make([]int, len(selected)),
@@ -106,14 +148,23 @@ func (f *facility) finish(selected []int, objective float64) Result {
 	for si, j := range selected {
 		res.Selected[si] = f.cand[j]
 	}
-	for i := range f.cand {
-		bestSi, bestS := 0, float32(-1)
-		for si, j := range selected {
-			if s := f.sim(i, j); s > bestS {
-				bestS, bestSi = s, si
+	if len(selected) == 0 {
+		return res
+	}
+	assign := make([]int32, len(f.cand))
+	f.pool.ForChunks(len(f.cand), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			bestSi, bestS := 0, float32(-1)
+			for si, j := range selected {
+				if s := f.sim(i, j); s > bestS {
+					bestS, bestSi = s, si
+				}
 			}
+			assign[i] = int32(bestSi)
 		}
-		res.Weights[bestSi]++
+	})
+	for _, a := range assign {
+		res.Weights[a]++
 	}
 	return res
 }
@@ -231,6 +282,11 @@ func LazyGreedy(emb *tensor.Matrix, cand []int, k int) (Result, error) {
 // sample of ⌈n/k·ln(1/ε)⌉ remaining candidates and takes the best,
 // achieving a (1−1/e−ε) guarantee in O(n·ln(1/ε)) gain evaluations.
 // This is the linear-time variant the paper runs on the FPGA (§3.1).
+//
+// The round sample is drawn WITHOUT replacement (a partial
+// Fisher–Yates over the remaining candidates): duplicate draws would
+// waste gain evaluations and under-sample the ⌈n/k·ln(1/ε)⌉ distinct
+// candidates the guarantee assumes.
 func StochasticGreedy(emb *tensor.Matrix, cand []int, k int, eps float64, rng *tensor.RNG) (Result, error) {
 	k, err := validate(emb, cand, k)
 	if err != nil {
@@ -247,7 +303,7 @@ func StochasticGreedy(emb *tensor.Matrix, cand []int, k int, eps float64, rng *t
 	best := make([]float32, n)
 	chosen := make([]bool, n)
 
-	sample := int(float64(n) / float64(k) * logInv(eps))
+	sample := int(float64(n) / float64(k) * math.Log(1/eps))
 	if sample < 1 {
 		sample = 1
 	}
@@ -264,11 +320,12 @@ func StochasticGreedy(emb *tensor.Matrix, cand []int, k int, eps float64, rng *t
 		if draws > len(remaining) {
 			draws = len(remaining)
 		}
+		// Partial Fisher–Yates: after t swaps, remaining[:t+1] holds
+		// t+1 distinct uniform draws from the remaining pool.
 		for t := 0; t < draws; t++ {
-			j := remaining[rng.Intn(len(remaining))]
-			if chosen[j] {
-				continue
-			}
+			swap := t + rng.Intn(len(remaining)-t)
+			remaining[t], remaining[swap] = remaining[swap], remaining[t]
+			j := remaining[t]
 			if g := f.gain(j, best); g > bestG {
 				bestG, bestJ = g, j
 			}
@@ -307,32 +364,17 @@ func Objective(emb *tensor.Matrix, cand, selected []int) float64 {
 			localSel = append(localSel, j)
 		}
 	}
-	var obj float64
-	for i := range cand {
-		var bestS float32
-		for _, j := range localSel {
-			if s := f.sim(i, j); s > bestS {
-				bestS = s
+	return f.pool.SumChunks(len(f.cand), func(lo, hi int) float64 {
+		var obj float64
+		for i := lo; i < hi; i++ {
+			var bestS float32
+			for _, j := range localSel {
+				if s := f.sim(i, j); s > bestS {
+					bestS = s
+				}
 			}
+			obj += float64(bestS)
 		}
-		obj += float64(bestS)
-	}
-	return obj
-}
-
-func logInv(eps float64) float64 {
-	x := 1 / eps
-	k := 0.0
-	for x >= 2 {
-		x /= 2
-		k++
-	}
-	y := (x - 1) / (x + 1)
-	y2 := y * y
-	term, sum := y, 0.0
-	for i := 1; i < 30; i += 2 {
-		sum += term / float64(i)
-		term *= y2
-	}
-	return 2*sum + k*0.6931471805599453
+		return obj
+	})
 }

@@ -49,18 +49,23 @@ func Refine(emb *tensor.Matrix, cand []int, res Result, maxRounds, sampleSwaps i
 		inSel[j] = true
 	}
 
+	// Each swap trial re-evaluates the full objective: an O(n·k) scan
+	// that dominates Refine's cost, so it runs chunked on the pool with
+	// the ordered reduction keeping swap decisions worker-count-stable.
 	objective := func(sel []int) float64 {
-		var obj float64
-		for i := range cand {
-			var best float32
-			for _, j := range sel {
-				if s := f.sim(i, j); s > best {
-					best = s
+		return f.pool.SumChunks(len(cand), func(lo, hi int) float64 {
+			var obj float64
+			for i := lo; i < hi; i++ {
+				var best float32
+				for _, j := range sel {
+					if s := f.sim(i, j); s > best {
+						best = s
+					}
 				}
+				obj += float64(best)
 			}
-			obj += float64(best)
-		}
-		return obj
+			return obj
+		})
 	}
 
 	cur := objective(selected)

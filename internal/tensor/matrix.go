@@ -8,7 +8,20 @@
 // autodiff engine is unnecessary.
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"nessa/internal/parallel"
+)
+
+// gemmParallelFlops is the approximate multiply-add count below which
+// a GEMM runs serially: small products (a few thousand flops) finish
+// faster than the goroutine fan-out costs. Above it, the product is
+// banded over destination rows on the shared worker pool. Each output
+// row is written by exactly one band and accumulates in the same inner
+// k-order as the serial loop, so results are bit-identical for any
+// worker count.
+const gemmParallelFlops = 64 * 1024
 
 // Matrix is a dense row-major float32 matrix. Data is a single backing
 // slice of length Rows*Cols; row i occupies Data[i*Cols : (i+1)*Cols].
@@ -74,26 +87,36 @@ func (m *Matrix) FillNormal(r *RNG, std float32) {
 
 // MatMul computes dst = a·b where a is (n×k) and b is (k×m).
 // dst must be n×m and is overwritten. It panics on shape mismatch.
+// Large products are banded over dst rows on the shared worker pool.
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch: (%dx%d)·(%dx%d) -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
 			for j := range drow {
-				drow[j] += av * brow[j]
+				drow[j] = 0
+			}
+			for k := 0; k < a.Cols; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j := range drow {
+					drow[j] += av * brow[j]
+				}
 			}
 		}
 	}
+	if gemmSerial(a.Rows, a.Cols, b.Cols) {
+		body(0, a.Rows)
+		return
+	}
+	parallel.Default().For(a.Rows, 0, body)
 }
 
 // MatMulTransB computes dst = a·bᵀ where a is (n×k) and b is (m×k).
@@ -104,41 +127,73 @@ func MatMulTransB(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch: (%dx%d)·(%dx%d)ᵀ -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var sum float32
-			for k := range arow {
-				sum += arow[k] * brow[k]
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var sum float32
+				for k := range arow {
+					sum += arow[k] * brow[k]
+				}
+				drow[j] = sum
 			}
-			drow[j] = sum
 		}
 	}
+	if gemmSerial(a.Rows, a.Cols, b.Rows) {
+		body(0, a.Rows)
+		return
+	}
+	parallel.Default().For(a.Rows, 0, body)
 }
 
 // MatMulTransA computes dst = aᵀ·b where a is (k×n) and b is (k×m).
 // dst must be n×m. Used for weight gradients: dW = dOutᵀ·X.
+// Bands cover dst rows (columns of a); within a band the reduction
+// still walks a's rows in ascending k, matching the serial
+// accumulation order exactly.
 func MatMulTransA(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch: (%dx%d)ᵀ·(%dx%d) -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	dst.Zero()
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			drow := dst.Row(i)
-			for j := range brow {
-				drow[j] += av * brow[j]
+			for j := range drow {
+				drow[j] = 0
+			}
+		}
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				drow := dst.Row(i)
+				for j := range brow {
+					drow[j] += av * brow[j]
+				}
 			}
 		}
 	}
+	if gemmSerial(a.Rows, a.Cols, b.Cols) {
+		body(0, a.Cols)
+		return
+	}
+	parallel.Default().For(a.Cols, 0, body)
+}
+
+// gemmSerial reports whether a product with the given inner dimension
+// and output shape is too small to benefit from the pool.
+func gemmSerial(rows, inner, cols int) bool {
+	if parallel.Default().Workers() <= 1 {
+		return true
+	}
+	return rows*inner*cols < gemmParallelFlops
 }
 
 // AddRowVec adds vector v to every row of m in place.

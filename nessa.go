@@ -113,9 +113,12 @@ func NewSmartSSD() (*SmartSSD, error) { return smartssd.New() }
 // SelectCoreset runs one standalone facility-location selection over
 // gradient embeddings grouped by class, returning k medoids with
 // cluster weights — the paper's Eq. 5 outside the training loop.
+// Classes fan out across the shared worker pool, each on its own
+// deterministic RNG stream derived from seed.
 func SelectCoreset(embeddings *Matrix, classes [][]int, k int, seed uint64) (SelectionResult, error) {
-	return selection.PerClass(embeddings, classes, k,
-		selection.StochasticMaximizer(0.1, tensor.NewRNG(seed)))
+	return selection.PerClassWith(embeddings, classes, k, func(ci int) selection.Maximizer {
+		return selection.StochasticMaximizer(0.1, selection.ClassStream(seed, ci))
+	})
 }
 
 // Matrix is the dense float32 matrix type used for features and

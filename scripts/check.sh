@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# check.sh — the repo's CI gate: vet, build, and the full test suite
+# under the race detector. The race run matters here: the selection
+# engine fans work out across the internal/parallel pool (facility
+# kernels, per-class CRAIG, GreeDi shards, blocked GEMM), and every one
+# of those paths must stay data-race-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "OK"
