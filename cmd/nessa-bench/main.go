@@ -28,7 +28,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
 	stride := flag.Int("stride", 5, "epoch stride for figure5 rows")
 	seeds := flag.Int("seeds", 3, "seed count for the seed-variance artifact")
-	resultsDir := flag.String("results", "results", "directory for machine-readable benchmark artifacts (BENCH_selection.json)")
+	resultsDir := flag.String("results", "results", "directory for machine-readable benchmark artifacts (BENCH_selection.json, BENCH_training.json)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -130,6 +130,19 @@ func main() {
 		}
 		if !res.IdenticalSubsets {
 			fatal(fmt.Errorf("parallel selection diverged from serial — determinism contract broken"))
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+		add(tab)
+	}
+	if selected("bench-training") {
+		fmt.Fprintln(os.Stderr, "measuring the training hot path (workers=1 vs all cores)...")
+		path := filepath.Join(*resultsDir, "BENCH_training.json")
+		res, tab, err := bench.WriteTrainingBench(path, *quick)
+		if err != nil {
+			fatal(err)
+		}
+		if !res.IdenticalTrajectories {
+			fatal(fmt.Errorf("parallel training diverged from serial — determinism contract broken"))
 		}
 		fmt.Fprintln(os.Stderr, "wrote", path)
 		add(tab)

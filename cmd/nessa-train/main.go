@@ -22,7 +22,7 @@ func main() {
 	epochs := flag.Int("epochs", 0, "training epochs (0 = recipe default)")
 	subset := flag.Float64("subset", 0, "initial subset fraction (0 = method default)")
 	seed := flag.Uint64("seed", 7, "controller seed")
-	workers := flag.Int("workers", 0, "selection worker goroutines (0 = all cores, 1 = serial)")
+	workers := flag.Int("workers", 0, "worker goroutines for selection, training GEMMs, and evaluation (0 = all cores, 1 = serial; results are identical either way)")
 	noDevice := flag.Bool("no-device", false, "skip the SmartSSD simulation / movement accounting")
 	flag.Parse()
 

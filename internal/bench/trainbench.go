@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"nessa/internal/data"
+	"nessa/internal/parallel"
+	"nessa/internal/tensor"
+	"nessa/internal/trainer"
+)
+
+// TrainingBenchSpec fixes the synthetic workload of the training
+// hot-path benchmark: weighted mini-batch epochs over a CIFAR-10-shaped
+// proxy dataset, the chunked evaluation pass, and the forward GEMM
+// kernel underneath both.
+type TrainingBenchSpec struct {
+	Classes    int   `json:"classes"`
+	Train      int   `json:"train"`
+	Test       int   `json:"test"`
+	FeatureDim int   `json:"featureDim"`
+	Epochs     int   `json:"epochs"`
+	BatchSize  int   `json:"batchSize"`
+	Hidden     []int `json:"hidden"`
+
+	// GEMM shape (n×k)·(m×k)ᵀ — the forward-pass kernel.
+	MatN int `json:"matN"`
+	MatK int `json:"matK"`
+	MatM int `json:"matM"`
+}
+
+// DefaultTrainingBenchSpec mirrors the shapes the accuracy experiments
+// train at: 4096 samples × 64 features, batch 128, one 64-wide hidden
+// layer.
+func DefaultTrainingBenchSpec(quick bool) TrainingBenchSpec {
+	s := TrainingBenchSpec{
+		Classes: 10, Train: 4096, Test: 512, FeatureDim: 64,
+		Epochs: 12, BatchSize: 128, Hidden: []int{64},
+		MatN: 512, MatK: 256, MatM: 256,
+	}
+	if quick {
+		s.Train, s.Epochs = 1024, 4
+	}
+	return s
+}
+
+// TrainingBenchRun is one worker setting's measurement.
+type TrainingBenchRun struct {
+	Workers        int     `json:"workers"`
+	NsPerEpoch     int64   `json:"nsPerEpoch"`
+	MSPerEpoch     float64 `json:"msPerEpoch"`
+	AllocsPerEpoch float64 `json:"allocsPerEpoch"` // runtime.MemStats Mallocs delta
+	EvalMS         float64 `json:"evalMS"`         // chunked EvaluateModel pass
+	GemmGFLOPS     float64 `json:"gemmGFLOPS"`     // forward-kernel throughput
+}
+
+// TrainingBenchResult is the JSON artifact written to
+// results/BENCH_training.json so the speed trajectory of the training
+// hot path is tracked from PR to PR.
+type TrainingBenchResult struct {
+	GeneratedAt           string             `json:"generatedAt"`
+	CPUs                  int                `json:"cpus"`
+	Spec                  TrainingBenchSpec  `json:"spec"`
+	Runs                  []TrainingBenchRun `json:"runs"`
+	SpeedupEpoch          float64            `json:"speedupEpoch"` // workers=1 vs max
+	IdenticalTrajectories bool               `json:"identicalTrajectories"`
+}
+
+// RunTrainingBench measures the training hot path at 1 worker and at
+// every available core, verifying along the way that both settings
+// produce bit-identical optimization trajectories — every epoch loss,
+// every final parameter, and the evaluated accuracy (the determinism
+// contract of the blocked GEMM and the chunked evaluation).
+func RunTrainingBench(spec TrainingBenchSpec) (*TrainingBenchResult, error) {
+	ds := data.Spec{
+		Name: "bench", Classes: spec.Classes, Train: spec.Train,
+		SimTrain: spec.Train, SimTest: spec.Test, FeatureDim: spec.FeatureDim,
+		Spread: 0.15, HardFrac: 0.1, NoiseFrac: 0.02, Seed: 5,
+	}
+	train, test := data.Generate(ds)
+	weights := make([]float32, train.Len())
+	for i := range weights {
+		weights[i] = 1 + float32(i%3)
+	}
+	cfg := trainer.Default()
+	cfg.Epochs = spec.Epochs
+	cfg.BatchSize = spec.BatchSize
+	cfg.Hidden = spec.Hidden
+
+	ga := tensor.NewMatrix(spec.MatN, spec.MatK)
+	gb := tensor.NewMatrix(spec.MatM, spec.MatK)
+	gd := tensor.NewMatrix(spec.MatN, spec.MatM)
+	r := tensor.NewRNG(12345)
+	ga.FillNormal(r, 1)
+	gb.FillNormal(r, 1)
+
+	workerSettings := []int{1, runtime.NumCPU()}
+	if runtime.NumCPU() == 1 {
+		// Still exercise the banded code paths for the identity check.
+		workerSettings[1] = 2
+	}
+	res := &TrainingBenchResult{
+		GeneratedAt:           time.Now().UTC().Format(time.RFC3339),
+		CPUs:                  runtime.NumCPU(),
+		Spec:                  spec,
+		IdenticalTrajectories: true,
+	}
+	defer parallel.SetDefaultWorkers(0)
+
+	var refLosses []float64
+	var refWeights []uint32
+	var refAcc float64
+	for _, w := range workerSettings {
+		parallel.SetDefaultWorkers(w)
+		tt := trainer.New(ds, cfg)
+		losses := make([]float64, spec.Epochs)
+
+		// One warm-up epoch fills every scratch arena and pool so the
+		// measurement sees the steady state (both settings run it, so
+		// trajectories stay comparable).
+		tt.SetEpoch(0)
+		tt.TrainEpoch(train.X, train.Labels, weights)
+
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		for e := 0; e < spec.Epochs; e++ {
+			tt.SetEpoch(e)
+			losses[e] = tt.TrainEpoch(train.X, train.Labels, weights)
+		}
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+
+		t0 = time.Now()
+		acc := trainer.EvaluateModel(tt.Model, test)
+		evalMS := float64(time.Since(t0).Microseconds()) / 1e3
+
+		bits := make([]uint32, 0, tt.Model.NumParams())
+		for _, l := range tt.Model.Layers {
+			for _, v := range l.W.Data {
+				bits = append(bits, math.Float32bits(v))
+			}
+			for _, v := range l.B {
+				bits = append(bits, math.Float32bits(v))
+			}
+		}
+		if refLosses == nil {
+			refLosses, refWeights, refAcc = losses, bits, acc
+		} else if !equalFloat64s(losses, refLosses) || !equalUint32s(bits, refWeights) || acc != refAcc {
+			res.IdenticalTrajectories = false
+		}
+
+		// Forward-kernel throughput at this worker setting.
+		tensor.MatMulTransB(gd, ga, gb) // warm the panel pool
+		const reps = 20
+		t0 = time.Now()
+		for i := 0; i < reps; i++ {
+			tensor.MatMulTransB(gd, ga, gb)
+		}
+		gemmSec := time.Since(t0).Seconds()
+		flops := 2 * float64(spec.MatN) * float64(spec.MatK) * float64(spec.MatM) * reps
+
+		perEpoch := elapsed.Nanoseconds() / int64(spec.Epochs)
+		res.Runs = append(res.Runs, TrainingBenchRun{
+			Workers:        w,
+			NsPerEpoch:     perEpoch,
+			MSPerEpoch:     float64(perEpoch) / 1e6,
+			AllocsPerEpoch: float64(m1.Mallocs-m0.Mallocs) / float64(spec.Epochs),
+			EvalMS:         evalMS,
+			GemmGFLOPS:     flops / gemmSec / 1e9,
+		})
+	}
+	first, last := res.Runs[0], res.Runs[len(res.Runs)-1]
+	res.SpeedupEpoch = safeRatio(first.MSPerEpoch, last.MSPerEpoch)
+	return res, nil
+}
+
+// WriteTrainingBench runs the benchmark and writes the JSON artifact,
+// returning both the result and a renderable table.
+func WriteTrainingBench(path string, quick bool) (*TrainingBenchResult, *Table, error) {
+	res, err := RunTrainingBench(DefaultTrainingBenchSpec(quick))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return nil, nil, err
+	}
+	return res, TrainingBenchTable(res), nil
+}
+
+// TrainingBenchTable renders the measurement as a bench artifact.
+func TrainingBenchTable(res *TrainingBenchResult) *Table {
+	t := &Table{
+		ID:    "bench-training",
+		Title: "Training hot path: weighted SGD epoch, chunked evaluation, forward GEMM",
+		Note: fmt.Sprintf("%d samples × %d features, batch %d, %d epochs on %d CPUs; bit-identical trajectories across worker counts: %v",
+			res.Spec.Train, res.Spec.FeatureDim, res.Spec.BatchSize, res.Spec.Epochs, res.CPUs, res.IdenticalTrajectories),
+		Header: []string{"Workers", "Epoch (ms)", "Allocs/epoch", "Eval (ms)", "GEMM (GFLOP/s)"},
+	}
+	for _, run := range res.Runs {
+		t.AddRow(fmt.Sprintf("%d", run.Workers),
+			fmt.Sprintf("%.2f", run.MSPerEpoch),
+			fmt.Sprintf("%.1f", run.AllocsPerEpoch),
+			fmt.Sprintf("%.2f", run.EvalMS),
+			fmt.Sprintf("%.1f", run.GemmGFLOPS))
+	}
+	t.AddRow("speedup", fmt.Sprintf("%.2fx", res.SpeedupEpoch), "", "", "")
+	return t
+}
+
+func equalFloat64s(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalUint32s(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

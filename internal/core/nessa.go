@@ -87,11 +87,14 @@ type Options struct {
 	Seed uint64
 
 	// Workers caps the goroutines of the shared execution pool that
-	// the selection kernels and GEMMs run on — the software analogue of
-	// the FPGA kernel's parallel compute units (Table 4's distance
+	// the selection kernels, the training-path GEMMs, and the chunked
+	// evaluation/per-sample-loss passes run on — the software analogue
+	// of the FPGA kernel's parallel compute units (Table 4's distance
 	// lanes). 0 means runtime.NumCPU(); 1 runs fully serial. The
 	// setting only changes wall-clock time: chunked deterministic
-	// reductions make every result identical for any worker count.
+	// reductions and row-banded GEMMs make every result — selected
+	// subsets and training trajectories alike — identical for any
+	// worker count.
 	Workers int
 
 	// Optional storage integration: when Device is non-nil every

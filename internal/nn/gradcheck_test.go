@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"nessa/internal/tensor"
+)
+
+// TestBackwardFiniteDifferenceAllParams checks every weight and bias of
+// a two-hidden-layer MLP against central finite differences of the mean
+// cross-entropy loss. Unlike the spot-check in model_test.go this
+// covers all layers and all parameters, including biases, which take a
+// different accumulation path (column sums) than the weights (GEMM).
+func TestBackwardFiniteDifferenceAllParams(t *testing.T) {
+	r := tensor.NewRNG(17)
+	m := NewMLP(r, 4, []int{6, 5}, 3)
+	x := tensor.NewMatrix(6, 4)
+	x.FillNormal(r, 1)
+	labels := []int{0, 2, 1, 2, 0, 1}
+
+	loss := func() float64 {
+		ls := SoftmaxCE(m.Forward(x), labels, nil, nil)
+		var sum float64
+		for _, l := range ls {
+			sum += float64(l)
+		}
+		return sum / float64(len(ls))
+	}
+
+	logits := m.Forward(x)
+	dLogits := tensor.NewMatrix(6, 3)
+	SoftmaxCE(logits, labels, nil, dLogits)
+	g := NewGrads(m)
+	m.Backward(g, dLogits)
+
+	const eps = 1e-3
+	check := func(name string, li, k int, p *float32, got float64) {
+		orig := *p
+		*p = orig + eps
+		up := loss()
+		*p = orig - eps
+		down := loss()
+		*p = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-got) > 2e-2*(1+math.Abs(num)) {
+			t.Errorf("layer %d %s[%d]: backprop %v, numerical %v", li, name, k, got, num)
+		}
+	}
+	for li, l := range m.Layers {
+		for k := range l.W.Data {
+			check("W", li, k, &l.W.Data[k], float64(g.W[li].Data[k]))
+		}
+		for k := range l.B {
+			check("B", li, k, &l.B[k], float64(g.B[li][k]))
+		}
+	}
+}
+
+// TestBackwardReLUBoundary pins the subgradient convention at the ReLU
+// kink: a hidden unit whose pre-activation is exactly zero contributes
+// zero gradient to everything upstream of it (the derivative at 0 is
+// taken as 0, matching the mask `v <= 0` in Backward).
+func TestBackwardReLUBoundary(t *testing.T) {
+	r := tensor.NewRNG(1)
+	m := NewMLP(r, 2, []int{1}, 2)
+	// One hidden unit computing ReLU(x0 - x1): exactly 0 for x0 == x1.
+	m.Layers[0].W.Data[0] = 1
+	m.Layers[0].W.Data[1] = -1
+	m.Layers[0].B[0] = 0
+
+	run := func(x0, x1 float32) *Grads {
+		x := tensor.FromRows([][]float32{{x0, x1}})
+		logits := m.Forward(x)
+		dLogits := tensor.NewMatrix(1, 2)
+		SoftmaxCE(logits, []int{0}, nil, dLogits)
+		g := NewGrads(m)
+		m.Backward(g, dLogits)
+		return g
+	}
+
+	// Pre-activation exactly 0: nothing may flow into layer 0.
+	g := run(1, 1)
+	for k, v := range g.W[0].Data {
+		if v != 0 {
+			t.Errorf("W0[%d] gradient = %v at the ReLU kink, want exactly 0", k, v)
+		}
+	}
+	if g.B[0][0] != 0 {
+		t.Errorf("B0 gradient = %v at the ReLU kink, want exactly 0", g.B[0][0])
+	}
+	// The output layer's bias gradient is softmax−onehot ≠ 0 regardless.
+	if g.B[1][0] == 0 && g.B[1][1] == 0 {
+		t.Error("output-layer gradients vanished; the test lost its signal")
+	}
+
+	// Pre-activation strictly positive: layer 0 must receive gradient.
+	g = run(1, 0.5)
+	nonzero := false
+	for _, v := range g.W[0].Data {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("W0 gradient is all zero for an active ReLU unit")
+	}
+}
+
+// TestTrainStepSteadyStateAllocs locks in the zero-allocation training
+// hot path: after warm-up, a full forward/loss/backward/step cycle must
+// not allocate. A small tolerance absorbs the rare sync.Pool refill
+// after a GC cycle; the regression this guards against is hundreds of
+// allocations per step.
+func TestTrainStepSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	r := tensor.NewRNG(9)
+	m := NewMLP(r, 16, []int{32}, 5)
+	opt := NewSGD(m, SGDConfig{LR: 0.01, Momentum: 0.9})
+	g := NewGrads(m)
+	x := tensor.NewMatrix(64, 16)
+	x.FillNormal(r, 1)
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = i % 5
+	}
+	dLogits := tensor.NewMatrix(64, 5)
+	losses := make([]float32, 64)
+
+	step := func() {
+		logits := m.Forward(x)
+		SoftmaxCEInto(losses, nil, logits, labels, nil, dLogits)
+		g.Zero()
+		m.Backward(g, dLogits)
+		opt.Step(m, g)
+	}
+	step() // warm the scratch arenas and panel pools
+	if avg := testing.AllocsPerRun(20, step); avg > 2 {
+		t.Fatalf("steady-state train step allocates %.1f times, want ~0", avg)
+	}
+}

@@ -16,9 +16,26 @@ import (
 // coreset training uses: each selected medoid carries the size of the
 // cluster it represents (CRAIG, Mirzasoleiman et al. 2020).
 func SoftmaxCE(logits *tensor.Matrix, labels []int, weights []float32, dLogits *tensor.Matrix) []float32 {
+	losses := make([]float32, logits.Rows)
+	var probs []float32
+	if dLogits == nil {
+		probs = make([]float32, logits.Cols)
+	}
+	return SoftmaxCEInto(losses, probs, logits, labels, weights, dLogits)
+}
+
+// SoftmaxCEInto is the allocation-free form of SoftmaxCE: losses (length
+// n) receives the per-sample losses and is returned. When dLogits is
+// non-nil its rows double as the softmax buffer, and probs is unused
+// (may be nil); otherwise probs must be a scratch slice of length
+// ≥ logits.Cols. The computed values are identical to SoftmaxCE's.
+func SoftmaxCEInto(losses, probs []float32, logits *tensor.Matrix, labels []int, weights []float32, dLogits *tensor.Matrix) []float32 {
 	n := logits.Rows
 	if len(labels) != n {
 		panic("nn: SoftmaxCE labels length mismatch")
+	}
+	if len(losses) != n {
+		panic("nn: SoftmaxCE losses length mismatch")
 	}
 	if weights != nil && len(weights) != n {
 		panic("nn: SoftmaxCE weights length mismatch")
@@ -34,31 +51,33 @@ func SoftmaxCE(logits *tensor.Matrix, labels []int, weights []float32, dLogits *
 	if wsum == 0 {
 		wsum = 1
 	}
-	losses := make([]float32, n)
-	probs := make([]float32, logits.Cols)
 	for i := 0; i < n; i++ {
 		row := logits.Row(i)
-		tensor.Softmax(probs, row)
+		p := probs
+		if dLogits != nil {
+			p = dLogits.Row(i)
+		}
+		p = p[:logits.Cols]
+		tensor.Softmax(p, row)
 		y := labels[i]
 		if y < 0 || y >= logits.Cols {
 			panic("nn: SoftmaxCE label out of range")
 		}
-		p := float64(probs[y])
-		if p < 1e-12 {
-			p = 1e-12
+		py := float64(p[y])
+		if py < 1e-12 {
+			py = 1e-12
 		}
-		losses[i] = float32(-math.Log(p))
+		losses[i] = float32(-math.Log(py))
 		if dLogits != nil {
 			w := float32(1)
 			if weights != nil {
 				w = weights[i]
 			}
 			scale := w / float32(wsum)
-			drow := dLogits.Row(i)
-			for j := range drow {
-				drow[j] = probs[j] * scale
+			for j := range p {
+				p[j] *= scale
 			}
-			drow[y] -= scale
+			p[y] -= scale
 		}
 	}
 	return losses

@@ -13,6 +13,7 @@ package nn
 
 import (
 	"fmt"
+	"math"
 
 	"nessa/internal/tensor"
 )
@@ -35,6 +36,10 @@ type MLP struct {
 	// reused across calls to avoid reallocation. acts[0] is the input,
 	// acts[i] the post-activation output of layer i-1.
 	acts []*tensor.Matrix
+	// scratch per-layer input gradients for Backward, reused the same
+	// way. Buffer capacity survives shrinking, so alternating full and
+	// tail batches never reallocates.
+	deltas []*tensor.Matrix
 }
 
 // NewMLP builds an MLP with the given input dimension, hidden layer
@@ -54,24 +59,12 @@ func NewMLP(r *tensor.RNG, in int, hidden []int, classes int) *MLP {
 		// He initialization keeps ReLU activations well-scaled.
 		std := float32(1.0)
 		if dims[i] > 0 {
-			std = float32(1.41421356 / sqrtf(float32(dims[i])))
+			std = float32(math.Sqrt(2 / float64(dims[i])))
 		}
 		l.W.FillNormal(r, std)
 		m.Layers = append(m.Layers, l)
 	}
 	return m
-}
-
-func sqrtf(x float32) float32 {
-	// Newton iterations are plenty for init scaling.
-	if x <= 0 {
-		return 0
-	}
-	z := x
-	for i := 0; i < 20; i++ {
-		z = 0.5 * (z + x/z)
-	}
-	return z
 }
 
 // Clone returns a deep copy of the model (weights and biases).
@@ -97,38 +90,54 @@ func (m *MLP) NumParams() int {
 
 // Forward runs a batch X (n × In) through the network and returns the
 // logits (n × Classes). Intermediate activations are retained for a
-// subsequent Backward.
+// subsequent Backward. Activation buffers are reused across calls —
+// including across differing batch sizes, so a short tail batch does
+// not reallocate.
 func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
-	if x.Cols != m.In {
-		panic(fmt.Sprintf("nn: Forward input has %d features, model wants %d", x.Cols, m.In))
-	}
 	if len(m.acts) != len(m.Layers)+1 {
 		m.acts = make([]*tensor.Matrix, len(m.Layers)+1)
 	}
-	m.acts[0] = x
+	return m.forwardInto(m.acts, x)
+}
+
+// FwdScratch owns the activation buffers of one independent inference
+// pass. Distinct scratches make MLP.ForwardInto safe to call
+// concurrently from multiple goroutines on a shared (read-only) model
+// — the basis of the chunked parallel evaluation path.
+type FwdScratch struct {
+	acts []*tensor.Matrix
+}
+
+// ForwardInto runs inference through s's buffers and returns the
+// logits, valid until the next call with the same scratch. It never
+// touches the model's training activations — so it cannot feed a
+// subsequent Backward, and conversely never disturbs one in flight.
+// The model itself is only read.
+func (m *MLP) ForwardInto(s *FwdScratch, x *tensor.Matrix) *tensor.Matrix {
+	if len(s.acts) != len(m.Layers)+1 {
+		s.acts = make([]*tensor.Matrix, len(m.Layers)+1)
+	}
+	return m.forwardInto(s.acts, x)
+}
+
+func (m *MLP) forwardInto(acts []*tensor.Matrix, x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != m.In {
+		panic(fmt.Sprintf("nn: Forward input has %d features, model wants %d", x.Cols, m.In))
+	}
+	acts[0] = x
 	cur := x
 	for i, l := range m.Layers {
-		out := m.acts[i+1]
-		if out == nil || out.Rows != cur.Rows || out.Cols != l.W.Rows {
-			out = tensor.NewMatrix(cur.Rows, l.W.Rows)
-			m.acts[i+1] = out
-		}
+		out := tensor.EnsureShape(acts[i+1], cur.Rows, l.W.Rows)
+		acts[i+1] = out
 		tensor.MatMulTransB(out, cur, l.W)
-		tensor.AddRowVec(out, l.B)
 		if i < len(m.Layers)-1 {
-			relu(out)
+			tensor.AddRowVecReLU(out, l.B)
+		} else {
+			tensor.AddRowVec(out, l.B)
 		}
 		cur = out
 	}
 	return cur
-}
-
-func relu(m *tensor.Matrix) {
-	for i, v := range m.Data {
-		if v < 0 {
-			m.Data[i] = 0
-		}
-	}
 }
 
 // Grads holds one gradient tensor per layer, mirroring MLP.Layers.
@@ -160,19 +169,23 @@ func (g *Grads) Zero() {
 // Backward computes parameter gradients into g given dLogits, the
 // gradient of the loss with respect to the logits of the most recent
 // Forward batch. dLogits is clobbered. Gradients are accumulated into
-// g (call g.Zero first for a fresh batch).
+// g (call g.Zero first for a fresh batch). All intermediate gradient
+// buffers live in a per-model scratch arena, so steady-state calls
+// allocate nothing.
 func (m *MLP) Backward(g *Grads, dLogits *tensor.Matrix) {
 	if len(m.acts) == 0 || m.acts[0] == nil {
 		panic("nn: Backward called before Forward")
+	}
+	if len(m.deltas) != len(m.Layers) {
+		m.deltas = make([]*tensor.Matrix, len(m.Layers))
 	}
 	delta := dLogits
 	for i := len(m.Layers) - 1; i >= 0; i-- {
 		l := m.Layers[i]
 		in := m.acts[i]
-		// dW += deltaᵀ·in ; dB += column sums of delta.
-		tmp := tensor.NewMatrix(l.W.Rows, l.W.Cols)
-		tensor.MatMulTransA(tmp, delta, in)
-		tensor.AXPY(g.W[i], 1, tmp)
+		// dW += deltaᵀ·in directly into the gradient tensor (no
+		// temporary, no extra pass); dB += column sums of delta.
+		tensor.MatMulTransAAcc(g.W[i], delta, in)
 		gb := g.B[i]
 		for r := 0; r < delta.Rows; r++ {
 			row := delta.Row(r)
@@ -184,7 +197,11 @@ func (m *MLP) Backward(g *Grads, dLogits *tensor.Matrix) {
 			break
 		}
 		// Propagate: dIn = delta·W, then mask by ReLU derivative of in.
-		dIn := tensor.NewMatrix(delta.Rows, l.W.Cols)
+		// The mask zeroes wherever the stored activation is ≤ 0 (ReLU
+		// outputs are never negative, so this means exactly the clamped
+		// positions — the subgradient at 0 is taken as 0).
+		dIn := tensor.EnsureShape(m.deltas[i], delta.Rows, l.W.Cols)
+		m.deltas[i] = dIn
 		tensor.MatMul(dIn, delta, l.W)
 		for k, v := range in.Data {
 			if v <= 0 {

@@ -1,0 +1,8 @@
+//go:build race
+
+package nn
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation and sync.Pool randomization allocate on their own,
+// so alloc regressions are only measurable in non-race runs.
+const raceEnabled = true

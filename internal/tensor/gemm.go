@@ -1,0 +1,457 @@
+// Blocked GEMM kernels: cache-blocked, register-tiled matrix products
+// behind the deterministic row-band parallel dispatch.
+//
+// All three layouts (MatMul, MatMulTransA, MatMulTransB) share one
+// structure:
+//
+//   - The B-side operand is packed once per call into 4-wide,
+//     k-interleaved *panels* (pooled scratch, zero steady-state
+//     allocation), so the innermost loop reads one sequential stream
+//     instead of four strided ones.
+//   - Destination rows are computed by a 4×4 micro-kernel: sixteen
+//     register accumulators, four A values and four packed B values
+//     loaded per k step. Each dst element owns exactly one accumulator
+//     that adds products in ascending k — the same association order as
+//     the naive serial loop — so outputs are bit-identical for any
+//     worker count and any band split.
+//   - The accumulator chain over k is never split: a strip-wise
+//     partial-sum scheme would re-associate the floating-point sums
+//     and break bitwise reproducibility, so cache locality comes from
+//     the panel layout (sequential streams prefetch well at any k)
+//     rather than k-blocking.
+//   - Row tails (< 4 rows per band) use a 1×4 micro-kernel; column
+//     tails (cols % 4) fall back to scalar loops with the identical
+//     accumulation order.
+//   - MatMul and MatMulTransA additionally carry a *sparsity-adaptive*
+//     path: when the A-side operand has a meaningful fraction of exact
+//     zeros — which ReLU-masked gradient matrices always do — an
+//     axpy-style band that skips zero A elements beats the dense
+//     micro-kernel, because every skipped element removes real
+//     multiply-adds while the accumulation order of the surviving terms
+//     is unchanged. The path choice depends only on the operand data,
+//     never on the worker count, so results remain reproducible across
+//     worker counts. (Skipping an exact-zero term can flip the sign of
+//     an exact-zero output or drop a NaN/Inf propagation; training data
+//     is finite and sign-of-zero is invisible to ==, so the contract
+//     holds wherever it is observed.)
+//
+// Parallel dispatch bands over destination rows exactly as before: each
+// output row is written by one band, and banding never changes what a
+// band computes, only who computes it.
+package tensor
+
+import (
+	"fmt"
+	"sync"
+
+	"nessa/internal/parallel"
+)
+
+const (
+	// gemmMR × gemmNR is the register micro-tile. 4×4 needs 16 float32
+	// accumulators — what the amd64/arm64 register files hold without
+	// spilling — and cuts A/B load traffic 4× versus the naive loop.
+	gemmMR = 4
+	gemmNR = 4
+)
+
+// gemmParallelFlops is the approximate multiply-add count below which
+// a GEMM runs serially: small products (a few thousand flops) finish
+// faster than the goroutine fan-out costs. Above it, the product is
+// banded over destination rows on the shared worker pool. Each output
+// element accumulates in the same ascending-k order as the serial
+// loop, so results are bit-identical for any worker count.
+const gemmParallelFlops = 64 * 1024
+
+// gemmScratch pools panel-packing buffers so steady-state GEMM calls
+// allocate nothing.
+var gemmScratch sync.Pool
+
+func gemmBuf(n int) *[]float32 {
+	if v := gemmScratch.Get(); v != nil {
+		s := v.(*[]float32)
+		if cap(*s) >= n {
+			*s = (*s)[:n]
+			return s
+		}
+	}
+	s := make([]float32, n)
+	return &s
+}
+
+// gemmSerial reports whether a product with the given inner dimension
+// and output shape is too small to benefit from the pool.
+func gemmSerial(rows, inner, cols int) bool {
+	if parallel.Default().Workers() <= 1 {
+		return true
+	}
+	return rows*inner*cols < gemmParallelFlops
+}
+
+// gemmSparseA reports whether at least 1/8 of a's elements are exact
+// zeros, the break-even point past which the skip bands beat the dense
+// micro-kernels. The counting pass is O(|a|) reads against O(|a|·m)
+// multiply-adds saved, and the verdict depends only on the data, so the
+// same inputs take the same path at every worker count.
+func gemmSparseA(a *Matrix) bool {
+	zeros := 0
+	for _, v := range a.Data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	return zeros*8 >= len(a.Data)
+}
+
+// MatMul computes dst = a·b where a is (n×k) and b is (k×m).
+// dst must be n×m and is overwritten; it must not alias a or b.
+// Large products are banded over dst rows on the shared worker pool.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch: (%dx%d)·(%dx%d) -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	n, k, m := a.Rows, a.Cols, b.Cols
+	if n == 0 || m == 0 {
+		return
+	}
+	if k > 0 && gemmSparseA(a) {
+		if gemmSerial(n, k, m) {
+			matMulSkipBand(dst, a, b, 0, n)
+		} else {
+			parallel.Default().For(n, 0, func(lo, hi int) {
+				matMulSkipBand(dst, a, b, lo, hi)
+			})
+		}
+		return
+	}
+	np := m / gemmNR
+	var packed []float32
+	var buf *[]float32
+	if np > 0 && k > 0 {
+		buf = gemmBuf(np * gemmNR * k)
+		packed = *buf
+		packColPanels(packed, b, np)
+	}
+	if gemmSerial(n, k, m) {
+		matMulBand(dst, a, b, packed, 0, n)
+	} else {
+		parallel.Default().For(n, 0, func(lo, hi int) {
+			matMulBand(dst, a, b, packed, lo, hi)
+		})
+	}
+	if buf != nil {
+		gemmScratch.Put(buf)
+	}
+}
+
+// MatMulTransB computes dst = a·bᵀ where a is (n×k) and b is (m×k).
+// dst must be n×m and must not alias a or b. This is the layout used
+// for Dense layers whose weights are stored (out×in).
+func MatMulTransB(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch: (%dx%d)·(%dx%d)ᵀ -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	n, k, m := a.Rows, a.Cols, b.Rows
+	if n == 0 || m == 0 {
+		return
+	}
+	np := m / gemmNR
+	var packed []float32
+	var buf *[]float32
+	if np > 0 && k > 0 {
+		buf = gemmBuf(np * gemmNR * k)
+		packed = *buf
+		packRowPanels(packed, b, np)
+	}
+	if gemmSerial(n, k, m) {
+		matMulTransBBand(dst, a, b, packed, 0, n)
+	} else {
+		parallel.Default().For(n, 0, func(lo, hi int) {
+			matMulTransBBand(dst, a, b, packed, lo, hi)
+		})
+	}
+	if buf != nil {
+		gemmScratch.Put(buf)
+	}
+}
+
+// MatMulTransA computes dst = aᵀ·b where a is (k×n) and b is (k×m).
+// dst must be n×m and must not alias a or b. Used for weight
+// gradients: dW = dOutᵀ·X. Bands cover dst rows (columns of a); within
+// a band every element accumulates in ascending k, matching the serial
+// order exactly.
+func MatMulTransA(dst, a, b *Matrix) {
+	matMulTransAInto(dst, a, b, false)
+}
+
+// MatMulTransAAcc computes dst += aᵀ·b: the accumulating form backprop
+// uses to add weight gradients directly into a freshly zeroed gradient
+// tensor with no temporary and no extra pass. When dst is zero the
+// result is bit-identical to MatMulTransA. For nonzero dst the terms
+// still arrive in ascending k, but whether they are folded into dst
+// one by one or summed first and added once differs between the tiled
+// and skip paths — path choice depends only on operand data, so the
+// output remains deterministic and worker-count invariant either way.
+func MatMulTransAAcc(dst, a, b *Matrix) {
+	matMulTransAInto(dst, a, b, true)
+}
+
+func matMulTransAInto(dst, a, b *Matrix, acc bool) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch: (%dx%d)ᵀ·(%dx%d) -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	n, k, m := a.Cols, a.Rows, b.Cols
+	if n == 0 || m == 0 {
+		return
+	}
+	if k > 0 && gemmSparseA(a) {
+		if gemmSerial(n, k, m) {
+			matMulTransASkipBand(dst, a, b, acc, 0, n)
+		} else {
+			parallel.Default().For(n, 0, func(lo, hi int) {
+				matMulTransASkipBand(dst, a, b, acc, lo, hi)
+			})
+		}
+		return
+	}
+	np := m / gemmNR
+	var packed []float32
+	var buf *[]float32
+	if np > 0 && k > 0 {
+		buf = gemmBuf(np * gemmNR * k)
+		packed = *buf
+		packColPanels(packed, b, np)
+	}
+	if gemmSerial(n, k, m) {
+		matMulTransABand(dst, a, b, packed, acc, 0, n)
+	} else {
+		parallel.Default().For(n, 0, func(lo, hi int) {
+			matMulTransABand(dst, a, b, packed, acc, lo, hi)
+		})
+	}
+	if buf != nil {
+		gemmScratch.Put(buf)
+	}
+}
+
+// packColPanels packs b's first np·4 columns into 4-wide k-interleaved
+// panels: out[(jp·k + kk)·4 + c] = b[kk][jp·4+c]. Panels are disjoint,
+// so packing parallelizes trivially for large operands.
+func packColPanels(out []float32, b *Matrix, np int) {
+	if np*b.Rows*gemmNR >= gemmParallelFlops && parallel.Default().Workers() > 1 {
+		parallel.Default().For(np, 1, func(lo, hi int) {
+			packColRange(out, b, lo, hi)
+		})
+		return
+	}
+	packColRange(out, b, 0, np)
+}
+
+func packColRange(out []float32, b *Matrix, lo, hi int) {
+	k := b.Rows
+	for jp := lo; jp < hi; jp++ {
+		j0 := jp * gemmNR
+		o := jp * k * gemmNR
+		for kk := 0; kk < k; kk++ {
+			row := b.Row(kk)[j0 : j0+gemmNR]
+			out[o] = row[0]
+			out[o+1] = row[1]
+			out[o+2] = row[2]
+			out[o+3] = row[3]
+			o += gemmNR
+		}
+	}
+}
+
+// packRowPanels packs b's first np·4 rows (the columns of bᵀ) into the
+// same panel layout: out[(jp·k + kk)·4 + c] = b[jp·4+c][kk].
+func packRowPanels(out []float32, b *Matrix, np int) {
+	if np*b.Cols*gemmNR >= gemmParallelFlops && parallel.Default().Workers() > 1 {
+		parallel.Default().For(np, 1, func(lo, hi int) {
+			packRowRange(out, b, lo, hi)
+		})
+		return
+	}
+	packRowRange(out, b, 0, np)
+}
+
+func packRowRange(out []float32, b *Matrix, lo, hi int) {
+	k := b.Cols
+	for jp := lo; jp < hi; jp++ {
+		j0 := jp * gemmNR
+		r0, r1, r2, r3 := b.Row(j0), b.Row(j0+1), b.Row(j0+2), b.Row(j0+3)
+		o := jp * k * gemmNR
+		for kk := 0; kk < k; kk++ {
+			out[o] = r0[kk]
+			out[o+1] = r1[kk]
+			out[o+2] = r2[kk]
+			out[o+3] = r3[kk]
+			o += gemmNR
+		}
+	}
+}
+
+// packAPanel packs gemmMR columns of a (starting at i0) over rows
+// [k0,k1) into a 4-interleaved strip: pa[(kk−k0)·4 + r] = a[kk][i0+r].
+func packAPanel(pa []float32, a *Matrix, i0, k0, k1 int) {
+	o := 0
+	for kk := k0; kk < k1; kk++ {
+		row := a.Row(kk)[i0 : i0+gemmMR]
+		pa[o] = row[0]
+		pa[o+1] = row[1]
+		pa[o+2] = row[2]
+		pa[o+3] = row[3]
+		o += gemmNR
+	}
+}
+
+// zeroRows clears dst rows [lo,hi).
+func zeroRows(dst *Matrix, lo, hi int) {
+	z := dst.Data[lo*dst.Cols : hi*dst.Cols]
+	for i := range z {
+		z[i] = 0
+	}
+}
+
+// gemmPanelCore computes the paneled columns [0, np·4) of dst rows
+// [lo,hi) for a dot-product GEMM whose A rows are natural matrix rows.
+// dst rows must be pre-zeroed; the micro-kernels accumulate.
+func gemmPanelCore(dst, a *Matrix, packed []float32, np, lo, hi int) {
+	k := a.Cols
+	for jp := 0; jp < np; jp++ {
+		panel := packed[jp*k*gemmNR : (jp+1)*k*gemmNR]
+		j0 := jp * gemmNR
+		i := lo
+		for ; i+gemmMR <= hi; i += gemmMR {
+			gemmMicro4x4(dst.Row(i), dst.Row(i+1), dst.Row(i+2), dst.Row(i+3), j0,
+				a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3), panel)
+		}
+		for ; i < hi; i++ {
+			gemmMicro1x4(dst.Row(i), j0, a.Row(i), panel)
+		}
+	}
+}
+
+// matMulBand computes dst rows [lo,hi) of dst = a·b.
+func matMulBand(dst, a, b *Matrix, packed []float32, lo, hi int) {
+	k, m := a.Cols, b.Cols
+	np := m / gemmNR
+	zeroRows(dst, lo, hi)
+	gemmPanelCore(dst, a, packed, np, lo, hi)
+	for j := np * gemmNR; j < m; j++ {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			var sum float32
+			for kk := 0; kk < k; kk++ {
+				sum += arow[kk] * b.Data[kk*m+j]
+			}
+			dst.Row(i)[j] = sum
+		}
+	}
+}
+
+// matMulTransBBand computes dst rows [lo,hi) of dst = a·bᵀ.
+func matMulTransBBand(dst, a, b *Matrix, packed []float32, lo, hi int) {
+	m := b.Rows
+	np := m / gemmNR
+	zeroRows(dst, lo, hi)
+	gemmPanelCore(dst, a, packed, np, lo, hi)
+	for j := np * gemmNR; j < m; j++ {
+		brow := b.Row(j)
+		for i := lo; i < hi; i++ {
+			dst.Row(i)[j] = Dot(a.Row(i), brow)
+		}
+	}
+}
+
+// matMulSkipBand computes dst rows [lo,hi) of dst = a·b for a sparse
+// A operand, skipping zero A elements. b rows are read contiguously
+// and each dst element accumulates in ascending k — the identical
+// term order as the dense path, minus the zero products.
+func matMulSkipBand(dst, a, b *Matrix, lo, hi int) {
+	k := a.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			axpyRow(drow, b.Row(kk), av)
+		}
+	}
+}
+
+// matMulTransASkipBand computes dst rows [lo,hi) of dst = aᵀ·b (or
+// dst += aᵀ·b when acc) for a sparse A operand — the ReLU-masked delta
+// of backprop, where typically half the elements are exact zeros. The
+// k-outer loop reads a and b rows sequentially; dst rows of the band
+// stay cache-resident. Every dst element accumulates in ascending k.
+func matMulTransASkipBand(dst, a, b *Matrix, acc bool, lo, hi int) {
+	k := a.Rows
+	if !acc {
+		zeroRows(dst, lo, hi)
+	}
+	for kk := 0; kk < k; kk++ {
+		arow := a.Row(kk)
+		brow := b.Row(kk)
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			axpyRow(dst.Row(i), brow, av)
+		}
+	}
+}
+
+// matMulTransABand computes dst rows [lo,hi) of dst = aᵀ·b (or
+// dst += aᵀ·b when acc). dst rows are columns of a, so the A side is
+// packed per 4-row tile into a pooled strip buffer.
+func matMulTransABand(dst, a, b *Matrix, packed []float32, acc bool, lo, hi int) {
+	k, m := a.Rows, b.Cols
+	np := m / gemmNR
+	if !acc {
+		zeroRows(dst, lo, hi)
+	}
+	iTileEnd := lo + (hi-lo)/gemmMR*gemmMR
+
+	if np > 0 && iTileEnd > lo {
+		buf := gemmBuf(gemmMR * k)
+		pa := *buf
+		for i := lo; i < iTileEnd; i += gemmMR {
+			packAPanel(pa, a, i, 0, k)
+			for jp := 0; jp < np; jp++ {
+				panel := packed[jp*k*gemmNR : (jp+1)*k*gemmNR]
+				gemmMicroP4x4(dst.Row(i), dst.Row(i+1), dst.Row(i+2), dst.Row(i+3),
+					jp*gemmNR, pa, panel)
+			}
+		}
+		gemmScratch.Put(buf)
+	}
+	// Column tail for the tiled rows. += so the acc form composes;
+	// the non-acc form pre-zeroed the band.
+	for j := np * gemmNR; j < m; j++ {
+		for i := lo; i < iTileEnd; i++ {
+			var sum float32
+			for kk := 0; kk < k; kk++ {
+				sum += a.Data[kk*a.Cols+i] * b.Data[kk*m+j]
+			}
+			dst.Row(i)[j] += sum
+		}
+	}
+	// Row tail: full width, vectorized axpy per k step.
+	for i := iTileEnd; i < hi; i++ {
+		drow := dst.Row(i)
+		for kk := 0; kk < k; kk++ {
+			axpyRow(drow, b.Row(kk), a.Data[kk*a.Cols+i])
+		}
+	}
+}

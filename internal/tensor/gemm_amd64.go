@@ -1,0 +1,23 @@
+//go:build amd64
+
+package tensor
+
+// useAsmKernels routes the micro-kernels through the SSE
+// implementations in gemm_amd64.s. SSE (MOVUPS/MULPS/ADDPS) is part of
+// the amd64 baseline, so no runtime feature detection is needed. The
+// vector kernels perform exactly one single-precision multiply and one
+// add per term — never a fused multiply-add — so every output element
+// is bit-identical to the portable Go kernels.
+const useAsmKernels = true
+
+//go:noescape
+func sseMicro4x4(d0, d1, d2, d3, a0, a1, a2, a3, p *float32, kn int)
+
+//go:noescape
+func sseMicro1x4(d, a, p *float32, kn int)
+
+//go:noescape
+func sseMicroP4x4(d0, d1, d2, d3, pa, p *float32, kn int)
+
+//go:noescape
+func sseAxpy(dst, src *float32, alpha float32, n int)

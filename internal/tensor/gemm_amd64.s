@@ -1,0 +1,191 @@
+// SSE micro-kernels behind the gemm dispatch wrappers in
+// gemm_kernels.go.
+//
+// Bitwise contract: no FMA is used anywhere — every term is one MULPS
+// then one ADDPS, per-lane IEEE-754 single-precision rounding — and
+// each destination element owns exactly one vector lane that
+// accumulates its products in ascending k. That is the identical
+// operation chain of the portable Go kernels, so both builds produce
+// identical bit patterns. SSE is part of the amd64 baseline, so these
+// run everywhere without feature detection.
+
+#include "textflag.h"
+
+// func sseMicro4x4(d0, d1, d2, d3, a0, a1, a2, a3, p *float32, kn int)
+// X0..X3 hold one dst row each (columns j0..j0+3). Per k step: load
+// the packed panel quad, splat each A value, multiply, accumulate.
+// Callers guarantee kn >= 1.
+TEXT ·sseMicro4x4(SB), NOSPLIT, $0-80
+	MOVQ d0+0(FP), R8
+	MOVQ d1+8(FP), R9
+	MOVQ d2+16(FP), R10
+	MOVQ d3+24(FP), R11
+	MOVQ a0+32(FP), DX
+	MOVQ a1+40(FP), SI
+	MOVQ a2+48(FP), DI
+	MOVQ a3+56(FP), R12
+	MOVQ p+64(FP), BX
+	MOVQ kn+72(FP), CX
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORQ  AX, AX
+
+m44loop:
+	MOVUPS (BX), X4
+	MOVSS  (DX)(AX*4), X5
+	SHUFPS $0x00, X5, X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+	MOVSS  (SI)(AX*4), X6
+	SHUFPS $0x00, X6, X6
+	MULPS  X4, X6
+	ADDPS  X6, X1
+	MOVSS  (DI)(AX*4), X7
+	SHUFPS $0x00, X7, X7
+	MULPS  X4, X7
+	ADDPS  X7, X2
+	MOVSS  (R12)(AX*4), X8
+	SHUFPS $0x00, X8, X8
+	MULPS  X4, X8
+	ADDPS  X8, X3
+	ADDQ   $16, BX
+	INCQ   AX
+	CMPQ   AX, CX
+	JLT    m44loop
+
+	MOVUPS (R8), X4
+	ADDPS  X0, X4
+	MOVUPS X4, (R8)
+	MOVUPS (R9), X5
+	ADDPS  X1, X5
+	MOVUPS X5, (R9)
+	MOVUPS (R10), X6
+	ADDPS  X2, X6
+	MOVUPS X6, (R10)
+	MOVUPS (R11), X7
+	ADDPS  X3, X7
+	MOVUPS X7, (R11)
+	RET
+
+// func sseMicro1x4(d, a, p *float32, kn int)
+// Row-tail variant: one dst row in X0.
+TEXT ·sseMicro1x4(SB), NOSPLIT, $0-32
+	MOVQ d+0(FP), R8
+	MOVQ a+8(FP), DX
+	MOVQ p+16(FP), BX
+	MOVQ kn+24(FP), CX
+	XORPS X0, X0
+	XORQ  AX, AX
+
+m14loop:
+	MOVUPS (BX), X4
+	MOVSS  (DX)(AX*4), X5
+	SHUFPS $0x00, X5, X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+	ADDQ   $16, BX
+	INCQ   AX
+	CMPQ   AX, CX
+	JLT    m14loop
+
+	MOVUPS (R8), X4
+	ADDPS  X0, X4
+	MOVUPS X4, (R8)
+	RET
+
+// func sseMicroP4x4(d0, d1, d2, d3, pa, p *float32, kn int)
+// Both-sides-packed variant: the A quad arrives as one MOVUPS and is
+// splatted lane-by-lane with SHUFPS immediates.
+TEXT ·sseMicroP4x4(SB), NOSPLIT, $0-56
+	MOVQ d0+0(FP), R8
+	MOVQ d1+8(FP), R9
+	MOVQ d2+16(FP), R10
+	MOVQ d3+24(FP), R11
+	MOVQ pa+32(FP), DX
+	MOVQ p+40(FP), BX
+	MOVQ kn+48(FP), CX
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+
+p44loop:
+	MOVUPS (BX), X4
+	MOVUPS (DX), X5
+	MOVAPS X5, X6
+	SHUFPS $0x00, X6, X6
+	MULPS  X4, X6
+	ADDPS  X6, X0
+	MOVAPS X5, X7
+	SHUFPS $0x55, X7, X7
+	MULPS  X4, X7
+	ADDPS  X7, X1
+	MOVAPS X5, X8
+	SHUFPS $0xAA, X8, X8
+	MULPS  X4, X8
+	ADDPS  X8, X2
+	SHUFPS $0xFF, X5, X5
+	MULPS  X4, X5
+	ADDPS  X5, X3
+	ADDQ   $16, BX
+	ADDQ   $16, DX
+	DECQ   CX
+	JNE    p44loop
+
+	MOVUPS (R8), X4
+	ADDPS  X0, X4
+	MOVUPS X4, (R8)
+	MOVUPS (R9), X5
+	ADDPS  X1, X5
+	MOVUPS X5, (R9)
+	MOVUPS (R10), X6
+	ADDPS  X2, X6
+	MOVUPS X6, (R10)
+	MOVUPS (R11), X7
+	ADDPS  X3, X7
+	MOVUPS X7, (R11)
+	RET
+
+// func sseAxpy(dst, src *float32, alpha float32, n int)
+// dst[j] += alpha*src[j]: quads first, scalar tail. Works for any
+// n >= 1.
+TEXT ·sseAxpy(SB), NOSPLIT, $0-32
+	MOVQ  dst+0(FP), R8
+	MOVQ  src+8(FP), SI
+	MOVSS alpha+16(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVQ  n+24(FP), CX
+	MOVQ  CX, DX
+	SHRQ  $2, CX
+	JEQ   axtail
+
+axquad:
+	MOVUPS (SI), X1
+	MULPS  X0, X1
+	MOVUPS (R8), X2
+	ADDPS  X1, X2
+	MOVUPS X2, (R8)
+	ADDQ   $16, SI
+	ADDQ   $16, R8
+	DECQ   CX
+	JNE    axquad
+
+axtail:
+	ANDQ $3, DX
+	JEQ  axdone
+
+axone:
+	MOVSS (SI), X1
+	MULSS X0, X1
+	MOVSS (R8), X2
+	ADDSS X1, X2
+	MOVSS X2, (R8)
+	ADDQ  $4, SI
+	ADDQ  $4, R8
+	DECQ  DX
+	JNE   axone
+
+axdone:
+	RET

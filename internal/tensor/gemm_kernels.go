@@ -1,0 +1,222 @@
+// Portable micro-kernel implementations. On amd64 the SSE versions in
+// gemm_amd64.s take over; these remain the reference semantics — the
+// vector kernels compute the identical per-element operation chains
+// (one IEEE-754 single-precision multiply and add per term, ascending
+// k), so both produce bit-identical output.
+package tensor
+
+// gemmMicro4x4 dispatches the 4×4 micro-kernel: SSE on amd64, the
+// portable loop below elsewhere. The slicing bounds-checks every
+// pointer handed to assembly once per call.
+func gemmMicro4x4(d0, d1, d2, d3 []float32, j0 int, a0, a1, a2, a3, p []float32) {
+	if !useAsmKernels {
+		goMicro4x4(d0, d1, d2, d3, j0, a0, a1, a2, a3, p)
+		return
+	}
+	kn := len(a0)
+	if kn == 0 {
+		return
+	}
+	dv0 := d0[j0 : j0+gemmNR]
+	dv1 := d1[j0 : j0+gemmNR]
+	dv2 := d2[j0 : j0+gemmNR]
+	dv3 := d3[j0 : j0+gemmNR]
+	av1 := a1[:kn]
+	av2 := a2[:kn]
+	av3 := a3[:kn]
+	pv := p[:gemmNR*kn]
+	sseMicro4x4(&dv0[0], &dv1[0], &dv2[0], &dv3[0],
+		&a0[0], &av1[0], &av2[0], &av3[0], &pv[0], kn)
+}
+
+// gemmMicro1x4 dispatches the row-tail micro-kernel.
+func gemmMicro1x4(d []float32, j0 int, a, p []float32) {
+	if !useAsmKernels {
+		goMicro1x4(d, j0, a, p)
+		return
+	}
+	kn := len(a)
+	if kn == 0 {
+		return
+	}
+	dv := d[j0 : j0+gemmNR]
+	pv := p[:gemmNR*kn]
+	sseMicro1x4(&dv[0], &a[0], &pv[0], kn)
+}
+
+// gemmMicroP4x4 dispatches the both-sides-packed micro-kernel.
+func gemmMicroP4x4(d0, d1, d2, d3 []float32, j0 int, pa, p []float32) {
+	if !useAsmKernels {
+		goMicroP4x4(d0, d1, d2, d3, j0, pa, p)
+		return
+	}
+	kn := len(pa) / gemmNR
+	if kn == 0 {
+		return
+	}
+	dv0 := d0[j0 : j0+gemmNR]
+	dv1 := d1[j0 : j0+gemmNR]
+	dv2 := d2[j0 : j0+gemmNR]
+	dv3 := d3[j0 : j0+gemmNR]
+	pav := pa[:gemmNR*kn]
+	pv := p[:gemmNR*kn]
+	sseMicroP4x4(&dv0[0], &dv1[0], &dv2[0], &dv3[0], &pav[0], &pv[0], kn)
+}
+
+// axpyRow adds alpha·src into dst element-wise — the inner loop of the
+// sparse skip bands. The SSE form processes four lanes per step, but
+// each element still sees exactly one multiply then one add, so the
+// result matches the scalar loop bit for bit.
+func axpyRow(dst, src []float32, alpha float32) {
+	if len(src) != len(dst) {
+		panic("tensor: axpyRow length mismatch")
+	}
+	if useAsmKernels && len(dst) > 0 {
+		sseAxpy(&dst[0], &src[0], alpha, len(dst))
+		return
+	}
+	for j, v := range src {
+		dst[j] += alpha * v
+	}
+}
+
+// goMicro4x4 accumulates the 4×4 destination tile at columns
+// [j0,j0+4) of rows d0..d3 with the products of four A rows against
+// one packed panel. Every accumulator adds in ascending k.
+func goMicro4x4(d0, d1, d2, d3 []float32, j0 int, a0, a1, a2, a3, p []float32) {
+	kn := len(a0)
+	if kn == 0 {
+		return
+	}
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	a0 = a0[:kn:kn]
+	a1 = a1[:kn:kn]
+	a2 = a2[:kn:kn]
+	a3 = a3[:kn:kn]
+	p = p[: gemmNR*kn : gemmNR*kn]
+	for k := 0; k < kn; k++ {
+		o := k * gemmNR
+		bv0, bv1, bv2, bv3 := p[o], p[o+1], p[o+2], p[o+3]
+		av0, av1, av2, av3 := a0[k], a1[k], a2[k], a3[k]
+		c00 += av0 * bv0
+		c01 += av0 * bv1
+		c02 += av0 * bv2
+		c03 += av0 * bv3
+		c10 += av1 * bv0
+		c11 += av1 * bv1
+		c12 += av1 * bv2
+		c13 += av1 * bv3
+		c20 += av2 * bv0
+		c21 += av2 * bv1
+		c22 += av2 * bv2
+		c23 += av2 * bv3
+		c30 += av3 * bv0
+		c31 += av3 * bv1
+		c32 += av3 * bv2
+		c33 += av3 * bv3
+	}
+	d0 = d0[j0 : j0+gemmNR]
+	d0[0] += c00
+	d0[1] += c01
+	d0[2] += c02
+	d0[3] += c03
+	d1 = d1[j0 : j0+gemmNR]
+	d1[0] += c10
+	d1[1] += c11
+	d1[2] += c12
+	d1[3] += c13
+	d2 = d2[j0 : j0+gemmNR]
+	d2[0] += c20
+	d2[1] += c21
+	d2[2] += c22
+	d2[3] += c23
+	d3 = d3[j0 : j0+gemmNR]
+	d3[0] += c30
+	d3[1] += c31
+	d3[2] += c32
+	d3[3] += c33
+}
+
+// goMicro1x4 is the row-tail variant: one A row against one panel.
+func goMicro1x4(d []float32, j0 int, a, p []float32) {
+	kn := len(a)
+	if kn == 0 {
+		return
+	}
+	var c0, c1, c2, c3 float32
+	a = a[:kn:kn]
+	p = p[: gemmNR*kn : gemmNR*kn]
+	for k := 0; k < kn; k++ {
+		o := k * gemmNR
+		av := a[k]
+		c0 += av * p[o]
+		c1 += av * p[o+1]
+		c2 += av * p[o+2]
+		c3 += av * p[o+3]
+	}
+	d = d[j0 : j0+gemmNR]
+	d[0] += c0
+	d[1] += c1
+	d[2] += c2
+	d[3] += c3
+}
+
+// goMicroP4x4 is the both-sides-packed variant used by MatMulTransA:
+// pa holds four A columns and p four B columns, both 4-interleaved
+// over the same k range.
+func goMicroP4x4(d0, d1, d2, d3 []float32, j0 int, pa, p []float32) {
+	kn := len(pa) / gemmNR
+	if kn == 0 {
+		return
+	}
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	pa = pa[: gemmNR*kn : gemmNR*kn]
+	p = p[: gemmNR*kn : gemmNR*kn]
+	for k := 0; k < kn; k++ {
+		o := k * gemmNR
+		av0, av1, av2, av3 := pa[o], pa[o+1], pa[o+2], pa[o+3]
+		bv0, bv1, bv2, bv3 := p[o], p[o+1], p[o+2], p[o+3]
+		c00 += av0 * bv0
+		c01 += av0 * bv1
+		c02 += av0 * bv2
+		c03 += av0 * bv3
+		c10 += av1 * bv0
+		c11 += av1 * bv1
+		c12 += av1 * bv2
+		c13 += av1 * bv3
+		c20 += av2 * bv0
+		c21 += av2 * bv1
+		c22 += av2 * bv2
+		c23 += av2 * bv3
+		c30 += av3 * bv0
+		c31 += av3 * bv1
+		c32 += av3 * bv2
+		c33 += av3 * bv3
+	}
+	d0 = d0[j0 : j0+gemmNR]
+	d0[0] += c00
+	d0[1] += c01
+	d0[2] += c02
+	d0[3] += c03
+	d1 = d1[j0 : j0+gemmNR]
+	d1[0] += c10
+	d1[1] += c11
+	d1[2] += c12
+	d1[3] += c13
+	d2 = d2[j0 : j0+gemmNR]
+	d2[0] += c20
+	d2[1] += c21
+	d2[2] += c22
+	d2[3] += c23
+	d3 = d3[j0 : j0+gemmNR]
+	d3[0] += c30
+	d3[1] += c31
+	d3[2] += c32
+	d3[3] += c33
+}

@@ -1,0 +1,26 @@
+//go:build !amd64
+
+package tensor
+
+// useAsmKernels is false off amd64: the portable Go micro-kernels in
+// gemm_kernels.go run everywhere and define the reference semantics.
+const useAsmKernels = false
+
+// The SSE entry points exist only so the dispatch wrappers compile;
+// the constant above makes every call site dead code.
+
+func sseMicro4x4(d0, d1, d2, d3, a0, a1, a2, a3, p *float32, kn int) {
+	panic("tensor: SSE kernel called on non-amd64")
+}
+
+func sseMicro1x4(d, a, p *float32, kn int) {
+	panic("tensor: SSE kernel called on non-amd64")
+}
+
+func sseMicroP4x4(d0, d1, d2, d3, pa, p *float32, kn int) {
+	panic("tensor: SSE kernel called on non-amd64")
+}
+
+func sseAxpy(dst, src *float32, alpha float32, n int) {
+	panic("tensor: SSE kernel called on non-amd64")
+}

@@ -8,20 +8,7 @@
 // autodiff engine is unnecessary.
 package tensor
 
-import (
-	"fmt"
-
-	"nessa/internal/parallel"
-)
-
-// gemmParallelFlops is the approximate multiply-add count below which
-// a GEMM runs serially: small products (a few thousand flops) finish
-// faster than the goroutine fan-out costs. Above it, the product is
-// banded over destination rows on the shared worker pool. Each output
-// row is written by exactly one band and accumulates in the same inner
-// k-order as the serial loop, so results are bit-identical for any
-// worker count.
-const gemmParallelFlops = 64 * 1024
+import "fmt"
 
 // Matrix is a dense row-major float32 matrix. Data is a single backing
 // slice of length Rows*Cols; row i occupies Data[i*Cols : (i+1)*Cols].
@@ -85,115 +72,33 @@ func (m *Matrix) FillNormal(r *RNG, std float32) {
 	}
 }
 
-// MatMul computes dst = a·b where a is (n×k) and b is (k×m).
-// dst must be n×m and is overwritten. It panics on shape mismatch.
-// Large products are banded over dst rows on the shared worker pool.
-func MatMul(dst, a, b *Matrix) {
-	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMul shape mismatch: (%dx%d)·(%dx%d) -> %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+// GatherRows copies src rows idx[i] into dst rows i in one fused pass
+// — the permuted-batch gather of the training loop. dst must have
+// len(idx) rows and src's column count.
+func GatherRows(dst, src *Matrix, idx []int) {
+	if dst.Cols != src.Cols || dst.Rows != len(idx) {
+		panic(fmt.Sprintf("tensor: GatherRows shape mismatch: dst %dx%d, src cols %d, %d indices",
+			dst.Rows, dst.Cols, src.Cols, len(idx)))
 	}
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for j := range drow {
-				drow[j] = 0
-			}
-			for k := 0; k < a.Cols; k++ {
-				av := arow[k]
-				if av == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j := range drow {
-					drow[j] += av * brow[j]
-				}
-			}
-		}
+	for i, s := range idx {
+		copy(dst.Row(i), src.Row(s))
 	}
-	if gemmSerial(a.Rows, a.Cols, b.Cols) {
-		body(0, a.Rows)
-		return
-	}
-	parallel.Default().For(a.Rows, 0, body)
 }
 
-// MatMulTransB computes dst = a·bᵀ where a is (n×k) and b is (m×k).
-// dst must be n×m. This is the layout used for Dense layers whose
-// weights are stored (out×in).
-func MatMulTransB(dst, a, b *Matrix) {
-	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch: (%dx%d)·(%dx%d)ᵀ -> %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+// EnsureShape returns m resized to rows×cols, reusing its backing
+// array whenever capacity allows — the scratch-arena primitive behind
+// the zero-allocation training loop. A nil m or insufficient capacity
+// allocates fresh; contents are unspecified either way (callers
+// overwrite). Shrinking (e.g. for a short tail batch) keeps the full
+// capacity, so the next full-size batch reuses the same storage.
+func EnsureShape(m *Matrix, rows, cols int) *Matrix {
+	n := rows * cols
+	if m == nil || cap(m.Data) < n {
+		return NewMatrix(rows, cols)
 	}
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				var sum float32
-				for k := range arow {
-					sum += arow[k] * brow[k]
-				}
-				drow[j] = sum
-			}
-		}
-	}
-	if gemmSerial(a.Rows, a.Cols, b.Rows) {
-		body(0, a.Rows)
-		return
-	}
-	parallel.Default().For(a.Rows, 0, body)
-}
-
-// MatMulTransA computes dst = aᵀ·b where a is (k×n) and b is (k×m).
-// dst must be n×m. Used for weight gradients: dW = dOutᵀ·X.
-// Bands cover dst rows (columns of a); within a band the reduction
-// still walks a's rows in ascending k, matching the serial
-// accumulation order exactly.
-func MatMulTransA(dst, a, b *Matrix) {
-	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch: (%dx%d)ᵀ·(%dx%d) -> %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			drow := dst.Row(i)
-			for j := range drow {
-				drow[j] = 0
-			}
-		}
-		for k := 0; k < a.Rows; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				drow := dst.Row(i)
-				for j := range brow {
-					drow[j] += av * brow[j]
-				}
-			}
-		}
-	}
-	if gemmSerial(a.Rows, a.Cols, b.Cols) {
-		body(0, a.Cols)
-		return
-	}
-	parallel.Default().For(a.Cols, 0, body)
-}
-
-// gemmSerial reports whether a product with the given inner dimension
-// and output shape is too small to benefit from the pool.
-func gemmSerial(rows, inner, cols int) bool {
-	if parallel.Default().Workers() <= 1 {
-		return true
-	}
-	return rows*inner*cols < gemmParallelFlops
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return m
 }
 
 // AddRowVec adds vector v to every row of m in place.
@@ -205,6 +110,26 @@ func AddRowVec(m *Matrix, v []float32) {
 		row := m.Row(i)
 		for j := range row {
 			row[j] += v[j]
+		}
+	}
+}
+
+// AddRowVecReLU adds vector v to every row of m and applies
+// max(0, ·), in one pass: the fused bias + activation epilogue of a
+// hidden layer. Identical values to AddRowVec followed by a separate
+// clamp, without re-streaming m through the cache.
+func AddRowVecReLU(m *Matrix, v []float32) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVecReLU length %d, want %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			t := row[j] + v[j]
+			if t < 0 {
+				t = 0
+			}
+			row[j] = t
 		}
 	}
 }
@@ -221,7 +146,5 @@ func AXPY(dst *Matrix, alpha float32, src *Matrix) {
 	if dst.Rows != src.Rows || dst.Cols != src.Cols {
 		panic("tensor: AXPY shape mismatch")
 	}
-	for i := range dst.Data {
-		dst.Data[i] += alpha * src.Data[i]
-	}
+	axpyRow(dst.Data, src.Data, alpha)
 }

@@ -1,0 +1,75 @@
+package trainer
+
+import (
+	"testing"
+
+	"nessa/internal/data"
+	"nessa/internal/parallel"
+)
+
+// benchSpec is a CIFAR-10-shaped workload at reduced scale: enough
+// rows that the per-batch GEMMs clear the parallel threshold, small
+// enough that one epoch runs in milliseconds.
+func benchSpec() data.Spec {
+	return data.Spec{
+		Name: "bench", Classes: 10, Train: 4096, BytesPerImage: 3072, Network: "ResNet-20",
+		SimTrain: 4096, SimTest: 512, FeatureDim: 64, Spread: 0.15, HardFrac: 0.1, NoiseFrac: 0.02, Seed: 5,
+	}
+}
+
+// BenchmarkTrainEpoch measures one full epoch of weighted mini-batch
+// SGD — the training hot path of core.Run — at 1 worker and at all
+// cores. b.ReportAllocs surfaces the steady-state allocation count the
+// scratch arenas are meant to hold at O(1) per epoch.
+func BenchmarkTrainEpoch(b *testing.B) {
+	train, _ := data.Generate(benchSpec())
+	weights := make([]float32, train.Len())
+	for i := range weights {
+		weights[i] = 1 + float32(i%3)
+	}
+	for _, workers := range []int{1, 0} { // 0 = NumCPU
+		name := "workers=1"
+		if workers == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			parallel.SetDefaultWorkers(workers)
+			defer parallel.SetDefaultWorkers(0)
+			cfg := Default()
+			cfg.Epochs = 1
+			tr := New(train.Spec, cfg)
+			tr.SetEpoch(0)
+			tr.TrainEpoch(train.X, train.Labels, weights) // warm scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.TrainEpoch(train.X, train.Labels, weights)
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluate measures full-dataset inference (accuracy pass),
+// which PR 2 runs in bounded-memory parallel chunks on the pool.
+func BenchmarkEvaluate(b *testing.B) {
+	train, test := data.Generate(benchSpec())
+	cfg := Default()
+	cfg.Epochs = 1
+	tr := New(train.Spec, cfg)
+	for _, workers := range []int{1, 0} {
+		name := "workers=1"
+		if workers == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			parallel.SetDefaultWorkers(workers)
+			defer parallel.SetDefaultWorkers(0)
+			tr.Evaluate(test)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Evaluate(test)
+			}
+		})
+	}
+}

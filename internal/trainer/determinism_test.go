@@ -1,0 +1,110 @@
+package trainer
+
+import (
+	"math"
+	"testing"
+
+	"nessa/internal/data"
+	"nessa/internal/nn"
+	"nessa/internal/parallel"
+)
+
+// trainRun trains a fresh model for a few epochs at the current worker
+// setting and returns the per-epoch losses and the final weights.
+func trainRun(t *testing.T, epochs int) ([]float64, []float32) {
+	t.Helper()
+	tr, _ := data.Generate(tinySpec())
+	cfg := tinyCfg()
+	cfg.Epochs = epochs
+	tt := New(tr.Spec, cfg)
+	losses := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		tt.SetEpoch(e)
+		losses = append(losses, tt.TrainEpoch(tr.X, tr.Labels, nil))
+	}
+	var weights []float32
+	for _, l := range tt.Model.Layers {
+		weights = append(weights, l.W.Data...)
+		weights = append(weights, l.B...)
+	}
+	return losses, weights
+}
+
+// TestTrainEpochWorkerCountInvariant is the trainer-level determinism
+// contract: the entire optimization trajectory — every epoch loss and
+// every final parameter — must be bit-identical at any worker count.
+// This is what makes the parallel GEMM bands and chunked evaluation
+// safe to enable by default.
+func TestTrainEpochWorkerCountInvariant(t *testing.T) {
+	defer parallel.SetDefaultWorkers(0)
+	parallel.SetDefaultWorkers(1)
+	refLosses, refWeights := trainRun(t, 4)
+
+	for _, w := range []int{2, 3, 8} {
+		parallel.SetDefaultWorkers(w)
+		losses, weights := trainRun(t, 4)
+		for e := range refLosses {
+			if losses[e] != refLosses[e] {
+				t.Fatalf("workers=%d epoch %d loss %v != serial %v", w, e, losses[e], refLosses[e])
+			}
+		}
+		for i := range refWeights {
+			if math.Float32bits(weights[i]) != math.Float32bits(refWeights[i]) {
+				t.Fatalf("workers=%d parameter %d = %v, serial %v (bitwise)", w, i, weights[i], refWeights[i])
+			}
+		}
+	}
+}
+
+// TestChunkedEvalMatchesFullPass verifies that the chunked parallel
+// inference paths (EvaluateModel, PerSampleLosses) produce exactly the
+// single-pass results: each logit row depends only on its own input
+// row, so chunking is invisible.
+func TestChunkedEvalMatchesFullPass(t *testing.T) {
+	tr, te := data.Generate(tinySpec())
+	cfg := tinyCfg()
+	cfg.Epochs = 3
+	model, _ := TrainFull(tr, te, cfg)
+
+	// Reference: one whole-dataset forward pass, no chunking.
+	var fwd nn.FwdScratch
+	logits := model.ForwardInto(&fwd, te.X)
+	refLosses := nn.SoftmaxCE(logits, te.Labels, nil, nil)
+	refAcc := nn.Accuracy(logits, te.Labels)
+
+	defer parallel.SetDefaultWorkers(0)
+	for _, w := range []int{1, 2, 7} {
+		parallel.SetDefaultWorkers(w)
+		if acc := EvaluateModel(model, te); acc != refAcc {
+			t.Fatalf("workers=%d EvaluateModel = %v, full pass %v", w, acc, refAcc)
+		}
+		losses := PerSampleLosses(model, te)
+		for i := range refLosses {
+			if math.Float32bits(losses[i]) != math.Float32bits(refLosses[i]) {
+				t.Fatalf("workers=%d loss[%d] = %v, full pass %v (bitwise)", w, i, losses[i], refLosses[i])
+			}
+		}
+	}
+}
+
+// TestTrainEpochSteadyStateAllocs locks in the zero-allocation epoch:
+// after the first epoch warms the scratch arena, TrainEpoch must not
+// allocate. The small tolerance absorbs rare sync.Pool refills after a
+// GC; the regression guarded against is hundreds of allocations per
+// epoch.
+func TestTrainEpochSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	tr, _ := data.Generate(tinySpec())
+	tt := New(tr.Spec, tinyCfg())
+	weights := make([]float32, tr.Len())
+	for i := range weights {
+		weights[i] = 1 + float32(i%3)
+	}
+	epoch := func() { tt.TrainEpoch(tr.X, tr.Labels, weights) }
+	epoch() // warm the scratch buffers
+	if avg := testing.AllocsPerRun(10, epoch); avg > 8 {
+		t.Fatalf("steady-state TrainEpoch allocates %.1f times, want ~0", avg)
+	}
+}

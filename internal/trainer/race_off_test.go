@@ -1,0 +1,5 @@
+//go:build !race
+
+package trainer
+
+const raceEnabled = false

@@ -7,9 +7,11 @@ package trainer
 
 import (
 	"fmt"
+	"sync"
 
 	"nessa/internal/data"
 	"nessa/internal/nn"
+	"nessa/internal/parallel"
 	"nessa/internal/tensor"
 )
 
@@ -44,8 +46,24 @@ type Trainer struct {
 	Opt   *nn.SGD
 	Cfg   Config
 
-	grads *nn.Grads
-	rng   *tensor.RNG
+	grads   *nn.Grads
+	rng     *tensor.RNG
+	scratch epochScratch
+}
+
+// epochScratch holds the per-batch working buffers of TrainEpoch,
+// hoisted out of the batch loop so a steady-state epoch allocates
+// nothing: the shuffled permutation, the gathered batch (inputs,
+// labels, weights), the logit gradients, and the per-sample losses.
+// Buffers are sized for the full batch and re-sliced for the short
+// tail batch, keeping their capacity across epochs.
+type epochScratch struct {
+	perm     []int
+	bx       *tensor.Matrix
+	blabels  []int
+	bweights []float32
+	dLogits  *tensor.Matrix
+	losses   []float32
 }
 
 // New builds a model and optimizer for the dataset's geometry.
@@ -77,7 +95,27 @@ func (t *Trainer) TrainEpoch(x *tensor.Matrix, labels []int, weights []float32) 
 	if n == 0 {
 		return 0
 	}
-	perm := t.rng.Perm(n)
+	s := &t.scratch
+	// Identity fill + Shuffle consumes the same RNG stream as
+	// rng.Perm, so reusing the buffer leaves trajectories unchanged.
+	if cap(s.perm) < n {
+		s.perm = make([]int, n)
+	}
+	perm := s.perm[:n]
+	for i := range perm {
+		perm[i] = i
+	}
+	t.rng.Shuffle(perm)
+
+	maxBn := t.Cfg.BatchSize
+	if maxBn > n {
+		maxBn = n
+	}
+	if cap(s.blabels) < maxBn {
+		s.blabels = make([]int, maxBn)
+		s.bweights = make([]float32, maxBn)
+		s.losses = make([]float32, maxBn)
+	}
 	var lossSum, wSum float64
 
 	for start := 0; start < n; start += t.Cfg.BatchSize {
@@ -86,23 +124,28 @@ func (t *Trainer) TrainEpoch(x *tensor.Matrix, labels []int, weights []float32) 
 			end = n
 		}
 		bn := end - start
-		bx := tensor.NewMatrix(bn, x.Cols)
-		blabels := make([]int, bn)
+		// A short tail batch re-slices the same buffers to bn rows.
+		// The loss gradient is normalized by the within-batch weight
+		// sum (SoftmaxCE), so the final partial batch contributes its
+		// own weighted mean gradient exactly as the paper's recipe
+		// prescribes — batch size never skews sample weighting.
+		idx := perm[start:end]
+		s.bx = tensor.EnsureShape(s.bx, bn, x.Cols)
+		tensor.GatherRows(s.bx, x, idx)
+		blabels := s.blabels[:bn]
 		var bweights []float32
 		if weights != nil {
-			bweights = make([]float32, bn)
+			bweights = s.bweights[:bn]
 		}
-		for i := 0; i < bn; i++ {
-			src := perm[start+i]
-			copy(bx.Row(i), x.Row(src))
+		for i, src := range idx {
 			blabels[i] = labels[src]
 			if weights != nil {
 				bweights[i] = weights[src]
 			}
 		}
-		logits := t.Model.Forward(bx)
-		dLogits := tensor.NewMatrix(bn, logits.Cols)
-		losses := nn.SoftmaxCE(logits, blabels, bweights, dLogits)
+		logits := t.Model.Forward(s.bx)
+		s.dLogits = tensor.EnsureShape(s.dLogits, bn, logits.Cols)
+		losses := nn.SoftmaxCEInto(s.losses[:bn], nil, logits, blabels, bweights, s.dLogits)
 		for i, l := range losses {
 			w := 1.0
 			if bweights != nil {
@@ -112,7 +155,7 @@ func (t *Trainer) TrainEpoch(x *tensor.Matrix, labels []int, weights []float32) 
 			wSum += w
 		}
 		t.grads.Zero()
-		t.Model.Backward(t.grads, dLogits)
+		t.Model.Backward(t.grads, s.dLogits)
 		t.Opt.Step(t.Model, t.grads)
 	}
 	if wSum == 0 {
@@ -126,19 +169,79 @@ func (t *Trainer) Evaluate(ds *data.Dataset) float64 {
 	return EvaluateModel(t.Model, ds)
 }
 
-// EvaluateModel reports the accuracy of any model on ds.
+// evalScratch bundles the per-goroutine buffers of a chunked inference
+// pass: a row-view into the dataset, the forward activations, and a
+// softmax scratch. Pooled so repeated evaluations allocate only on
+// first use per goroutine.
+type evalScratch struct {
+	view  tensor.Matrix
+	fwd   nn.FwdScratch
+	probs []float32
+}
+
+var evalScratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// viewRows points sc.view at rows [lo, hi) of x without copying.
+func (sc *evalScratch) viewRows(x *tensor.Matrix, lo, hi int) *tensor.Matrix {
+	sc.view.Rows = hi - lo
+	sc.view.Cols = x.Cols
+	sc.view.Data = x.Data[lo*x.Cols : hi*x.Cols]
+	return &sc.view
+}
+
+// EvaluateModel reports the accuracy of any model on ds. The dataset is
+// processed in fixed-size chunks on the shared worker pool — each chunk
+// is an independent forward pass through a pooled scratch, so memory
+// stays bounded by workers × chunk size rather than the dataset size,
+// and every logit row equals the full-pass value bit for bit (each row
+// depends only on its own input row).
 func EvaluateModel(m *nn.MLP, ds *data.Dataset) float64 {
-	if ds.Len() == 0 {
+	n := ds.Len()
+	if n == 0 {
 		return 0
 	}
-	return nn.Accuracy(m.Forward(ds.X), ds.Labels)
+	pool := parallel.Default()
+	correct := make([]int, parallel.Chunks(n))
+	pool.ForChunks(n, func(c, lo, hi int) {
+		sc := evalScratchPool.Get().(*evalScratch)
+		logits := m.ForwardInto(&sc.fwd, sc.viewRows(ds.X, lo, hi))
+		cnt := 0
+		for i := lo; i < hi; i++ {
+			if tensor.Argmax(logits.Row(i-lo)) == ds.Labels[i] {
+				cnt++
+			}
+		}
+		correct[c] = cnt
+		evalScratchPool.Put(sc)
+	})
+	total := 0
+	for _, c := range correct {
+		total += c
+	}
+	return float64(total) / float64(n)
 }
 
 // PerSampleLosses runs a forward pass of model m over ds and returns
 // each sample's cross-entropy loss — the feedback signal of §3.2.2.
+// Chunked over the shared pool like EvaluateModel; each loss is
+// bit-identical to the full-pass value.
 func PerSampleLosses(m *nn.MLP, ds *data.Dataset) []float32 {
-	logits := m.Forward(ds.X)
-	return nn.SoftmaxCE(logits, ds.Labels, nil, nil)
+	n := ds.Len()
+	out := make([]float32, n)
+	if n == 0 {
+		return out
+	}
+	pool := parallel.Default()
+	pool.ForChunks(n, func(c, lo, hi int) {
+		sc := evalScratchPool.Get().(*evalScratch)
+		if cap(sc.probs) < m.Classes {
+			sc.probs = make([]float32, m.Classes)
+		}
+		logits := m.ForwardInto(&sc.fwd, sc.viewRows(ds.X, lo, hi))
+		nn.SoftmaxCEInto(out[lo:hi], sc.probs, logits, ds.Labels[lo:hi], nil, nil)
+		evalScratchPool.Put(sc)
+	})
+	return out
 }
 
 // Metrics records a training run for the convergence figures.

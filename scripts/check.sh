@@ -16,4 +16,19 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== benchmarks (short mode) =="
+# One pass over the hot-path benchmarks so a perf-destroying change
+# shows up in CI logs even when every test still passes.
+go test -run xxx -bench 'BenchmarkTrainEpoch|BenchmarkGEMMKernels' -benchtime 1x \
+	./internal/trainer/ ./internal/tensor/
+
+echo "== determinism gate =="
+# The bench emitters recompute selection subsets and training
+# trajectories at workers=1 and workers=max and exit non-zero if the
+# two diverge bitwise — the repo-wide reproducibility contract.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/nessa-bench -quick -results "$tmpdir" \
+	-only bench-selection,bench-training >/dev/null
+
 echo "OK"
