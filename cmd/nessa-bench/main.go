@@ -28,7 +28,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
 	stride := flag.Int("stride", 5, "epoch stride for figure5 rows")
 	seeds := flag.Int("seeds", 3, "seed count for the seed-variance artifact")
-	resultsDir := flag.String("results", "results", "directory for machine-readable benchmark artifacts (BENCH_selection.json, BENCH_training.json)")
+	resultsDir := flag.String("results", "results", "directory for machine-readable benchmark artifacts (BENCH_selection.json, BENCH_training.json, BENCH_faults.json)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -143,6 +143,28 @@ func main() {
 		}
 		if !res.IdenticalTrajectories {
 			fatal(fmt.Errorf("parallel training diverged from serial — determinism contract broken"))
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+		add(tab)
+	}
+	if selected("bench-faults") {
+		fmt.Fprintln(os.Stderr, "measuring fault-tolerance overhead and chaos resilience...")
+		path := filepath.Join(*resultsDir, "BENCH_faults.json")
+		res, tab, err := bench.WriteFaultBench(path, *quick)
+		if err != nil {
+			fatal(err)
+		}
+		if res.OverheadPct > 2 {
+			fatal(fmt.Errorf("fault-tolerance clean-path overhead %.2f%% exceeds the 2%% budget", res.OverheadPct))
+		}
+		if !res.IdenticalTrajectories {
+			fatal(fmt.Errorf("resilient scan path diverged from the raw path — determinism contract broken"))
+		}
+		if !res.ChaosAllDone {
+			fatal(fmt.Errorf("a chaos-profile run failed to complete all epochs"))
+		}
+		if res.CleanFallback != 0 {
+			fatal(fmt.Errorf("clean-path run engaged degraded mode (%d fallback epochs)", res.CleanFallback))
 		}
 		fmt.Fprintln(os.Stderr, "wrote", path)
 		add(tab)

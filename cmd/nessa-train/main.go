@@ -6,12 +6,21 @@
 //
 //	nessa-train [-dataset CIFAR-10] [-method nessa|craig|kcenters|random|full]
 //	            [-epochs 60] [-subset 0.4] [-seed 7] [-workers 0] [-no-device]
+//	            [-chaos] [-fault-seed 42] [-fault-corrupt 0] [-fault-transient 0]
+//	            [-fault-latency 0] [-fault-linkdown 0]
+//
+// The -fault-* flags attach a deterministic fault injector to the
+// simulated device (requires the device, i.e. not -no-device); -chaos
+// is shorthand for the standard profile with every class active. The
+// run completes through retries, host-path fallback, and degraded-mode
+// selection, and prints what the recovery machinery absorbed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"nessa"
 )
@@ -24,6 +33,12 @@ func main() {
 	seed := flag.Uint64("seed", 7, "controller seed")
 	workers := flag.Int("workers", 0, "worker goroutines for selection, training GEMMs, and evaluation (0 = all cores, 1 = serial; results are identical either way)")
 	noDevice := flag.Bool("no-device", false, "skip the SmartSSD simulation / movement accounting")
+	chaos := flag.Bool("chaos", false, "inject the standard chaos fault profile (all classes active)")
+	faultSeed := flag.Uint64("fault-seed", 42, "fault injector seed")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "NAND read corruption probability per flash command")
+	faultTransient := flag.Float64("fault-transient", 0, "transient I/O error probability per flash command")
+	faultLatency := flag.Float64("fault-latency", 0, "latency spike probability per flash command")
+	faultLinkdown := flag.Float64("fault-linkdown", 0, "P2P link drop probability per transfer")
 	flag.Parse()
 
 	spec, ok := nessa.LookupDataset(*dataset)
@@ -99,6 +114,25 @@ func main() {
 		opt.DatasetName = spec.Name
 	}
 
+	wantFaults := *chaos || *faultCorrupt > 0 || *faultTransient > 0 || *faultLatency > 0 || *faultLinkdown > 0
+	if wantFaults {
+		if dev == nil {
+			fatal(fmt.Errorf("fault injection needs the simulated device (drop -no-device)"))
+		}
+		profile := nessa.DefaultChaosProfile()
+		if !*chaos {
+			profile = nessa.FaultProfile{
+				CorruptRate:   *faultCorrupt,
+				TransientRate: *faultTransient,
+				LatencyRate:   *faultLatency,
+				LatencySpike:  5 * time.Millisecond,
+				LinkDownRate:  *faultLinkdown,
+			}
+		}
+		profile.Seed = *faultSeed
+		opt.Injector = nessa.NewFaultInjector(profile)
+	}
+
 	rep, err := nessa.Train(train, test, cfg, opt)
 	if err != nil {
 		fatal(err)
@@ -109,6 +143,22 @@ func main() {
 		rep.FinalSubsetFrac*100, rep.AvgSubsetFrac*100, rep.Dropped, train.Len())
 	fmt.Printf("gradient computations: %d (full training: %d)\n",
 		rep.Metrics.SamplesSeen(), cfg.Epochs*train.Len())
+
+	if opt.Injector != nil {
+		f := rep.Faults
+		fmt.Println("\nfault recovery:")
+		fmt.Printf("  scan attempts %d  retries %d  transient absorbed %d  corrupt caught %d\n",
+			f.ScanAttempts, f.Retries, f.TransientErrors, f.CorruptDetected)
+		fmt.Printf("  host fallbacks %d  degraded (weighted-random) epochs %d\n",
+			f.HostFallbacks, f.FallbackEpochs)
+		fmt.Print("  injected:")
+		for _, c := range nessa.FaultClasses() {
+			if n := f.Injected[c]; n > 0 {
+				fmt.Printf("  %s=%d", c, n)
+			}
+		}
+		fmt.Println()
+	}
 
 	if dev != nil {
 		fmt.Println("\nsimulated data movement:")

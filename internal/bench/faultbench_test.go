@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The gate semantics live in cmd/nessa-bench; here we pin the artifact
+// shape and the properties the gates read, at a small spec so the test
+// stays fast.
+func TestFaultBenchArtifact(t *testing.T) {
+	spec := DefaultFaultBenchSpec(true)
+	spec.Train, spec.Epochs, spec.Reps = 256, 4, 2
+	spec.ChaosSeeds = spec.ChaosSeeds[:1]
+	res, err := RunFaultBench(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IdenticalTrajectories {
+		t.Error("clean resilient path diverged from the raw path")
+	}
+	if res.CleanFallback != 0 {
+		t.Errorf("clean path engaged degraded mode %d times", res.CleanFallback)
+	}
+	if !res.ChaosAllDone {
+		t.Error("chaos run failed to complete")
+	}
+	for _, r := range res.ChaosRuns {
+		if !r.Completed || r.Epochs != spec.Epochs {
+			t.Errorf("chaos seed %d: completed=%v epochs=%d, want full run", r.Seed, r.Completed, r.Epochs)
+		}
+	}
+	if res.RawMS <= 0 || res.ResilientMS <= 0 {
+		t.Errorf("non-positive timings: raw %.2f resilient %.2f", res.RawMS, res.ResilientMS)
+	}
+
+	tab := FaultBenchTable(res)
+	if tab.ID != "bench-faults" || len(tab.Rows) != len(res.ChaosRuns) {
+		t.Errorf("table id %q with %d rows, want bench-faults with %d", tab.ID, len(tab.Rows), len(res.ChaosRuns))
+	}
+}
+
+func TestWriteFaultBenchRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes and re-runs the full quick benchmark")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_faults.json")
+	res, tab, err := WriteFaultBench(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab == nil {
+		t.Fatal("no table returned")
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FaultBenchResult
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if back.Spec.Train != res.Spec.Train || back.OverheadPct != res.OverheadPct ||
+		len(back.ChaosRuns) != len(res.ChaosRuns) {
+		t.Error("artifact round-trip lost fields")
+	}
+}

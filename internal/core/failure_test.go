@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"testing"
+	"time"
 
 	"nessa/internal/data"
+	"nessa/internal/faults"
 	"nessa/internal/smartssd"
 	"nessa/internal/storage"
 )
@@ -21,8 +24,8 @@ func TestRunFailsWhenDatasetMissingFromDrive(t *testing.T) {
 	opt := tinyOptions()
 	opt.Device = dev
 	opt.DatasetName = "never-stored"
-	if _, err := Run(tr, te, tinyCfg(), opt); err == nil {
-		t.Fatal("expected error for dataset missing from the drive")
+	if _, err := Run(tr, te, tinyCfg(), opt); !errors.Is(err, faults.ErrNotFound) {
+		t.Fatalf("err = %v, want wrapped faults.ErrNotFound", err)
 	}
 }
 
@@ -45,8 +48,8 @@ func TestRunFailsWhenStoredImageTruncated(t *testing.T) {
 	opt := tinyOptions()
 	opt.Device = dev
 	opt.DatasetName = "truncated"
-	if _, err := Run(tr, te, tinyCfg(), opt); err == nil {
-		t.Fatal("expected error for truncated stored dataset")
+	if _, err := Run(tr, te, tinyCfg(), opt); !errors.Is(err, faults.ErrOutOfRange) {
+		t.Fatalf("err = %v, want wrapped faults.ErrOutOfRange", err)
 	}
 }
 
@@ -96,5 +99,155 @@ func TestEmptyTrainingSetRejected(t *testing.T) {
 	_, te := data.Generate(spec)
 	if _, err := Run(empty, te, tinyCfg(), tinyOptions()); err == nil {
 		t.Fatal("expected error for empty training set")
+	}
+}
+
+func TestInjectorRequiresDevice(t *testing.T) {
+	tr, te := data.Generate(tinySpec())
+	opt := tinyOptions()
+	opt.Injector = faults.NewInjector(faults.Profile{Seed: 1, TransientRate: 0.1})
+	if _, err := Run(tr, te, tinyCfg(), opt); err == nil {
+		t.Fatal("expected error for injector without a device")
+	}
+}
+
+// faultRig generates the tiny dataset and a device with its image
+// stored under "ds".
+func faultRig(t *testing.T) (*data.Dataset, *data.Dataset, *smartssd.Device) {
+	t.Helper()
+	tr, te := data.Generate(tinySpec())
+	dev, err := smartssd.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := data.Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.StoreDataset("ds", img); err != nil {
+		t.Fatal(err)
+	}
+	return tr, te, dev
+}
+
+// TestFaultMatrix drives every fault class through the three outcomes
+// the §4.6 recovery policy defines: retries recover, the degraded-mode
+// fallback engages, or the run fails with a typed error when the fault
+// is total and both paths are down. Seeds are pinned, so each row is a
+// fixed, reproducible fault schedule.
+func TestFaultMatrix(t *testing.T) {
+	cases := []struct {
+		name    string
+		profile faults.Profile
+		// fatal, when non-nil, is the sentinel the run error must wrap;
+		// nil means the run must complete all epochs.
+		fatal        error
+		wantRetry    bool // Retries > 0
+		wantFallback bool // FallbackEpochs > 0
+		wantCorrupt  bool // CorruptDetected > 0
+		wantHost     bool // HostFallbacks > 0
+	}{
+		{
+			name:      "transient low: retries recover, no fallback",
+			profile:   faults.Profile{Seed: 3, TransientRate: 0.15},
+			wantRetry: true,
+		},
+		{
+			name:         "transient heavy: scan exhausts, fallback completes the job",
+			profile:      faults.Profile{Seed: 1, TransientRate: 0.55},
+			wantRetry:    true,
+			wantFallback: true,
+		},
+		{
+			name:    "transient total: both paths down, fatal",
+			profile: faults.Profile{Seed: 2, TransientRate: 1},
+			fatal:   faults.ErrTransientIO,
+		},
+		{
+			name:        "corrupt moderate: CRC detects, re-read recovers",
+			profile:     faults.Profile{Seed: 1, CorruptRate: 0.3},
+			wantRetry:   true,
+			wantCorrupt: true,
+		},
+		{
+			name:    "corrupt total: every re-read corrupt, fatal",
+			profile: faults.Profile{Seed: 2, CorruptRate: 1},
+			fatal:   faults.ErrCorruptRecord,
+		},
+		{
+			name:     "link down total: host path carries every scan",
+			profile:  faults.Profile{Seed: 1, LinkDownRate: 1},
+			wantHost: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, te, dev := faultRig(t)
+			opt := tinyOptions()
+			opt.Device = dev
+			opt.DatasetName = "ds"
+			opt.Injector = faults.NewInjector(tc.profile)
+			cfg := tinyCfg()
+			rep, err := Run(tr, te, cfg, opt)
+			if tc.fatal != nil {
+				if !errors.Is(err, tc.fatal) {
+					t.Fatalf("err = %v, want wrapped %v", err, tc.fatal)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("run failed: %v (want recovery)", err)
+			}
+			if got := len(rep.Metrics.EpochLoss); got != cfg.Epochs {
+				t.Fatalf("trained %d epochs, want %d", got, cfg.Epochs)
+			}
+			f := rep.Faults
+			if tc.wantRetry && f.Retries == 0 {
+				t.Error("no retries recorded")
+			}
+			if tc.wantFallback != (f.FallbackEpochs > 0) {
+				t.Errorf("fallback epochs = %d, want engaged=%v", f.FallbackEpochs, tc.wantFallback)
+			}
+			if tc.wantCorrupt && f.CorruptDetected == 0 {
+				t.Error("no corruption detected")
+			}
+			if tc.wantHost && f.HostFallbacks == 0 {
+				t.Error("no host fallbacks recorded")
+			}
+			if f.Injected == nil || len(f.Injected) == 0 {
+				t.Error("report carries no injected-fault ground truth")
+			}
+		})
+	}
+}
+
+func TestLatencySpikesSlowTheClockButNotTheResult(t *testing.T) {
+	trA, teA, devA := faultRig(t)
+	optA := tinyOptions()
+	optA.Device = devA
+	optA.DatasetName = "ds"
+	repA, err := Run(trA, teA, tinyCfg(), optA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trB, teB, devB := faultRig(t)
+	optB := tinyOptions()
+	optB.Device = devB
+	optB.DatasetName = "ds"
+	optB.Injector = faults.NewInjector(faults.Profile{Seed: 4, LatencyRate: 0.5, LatencySpike: 2 * time.Millisecond})
+	repB, err := Run(trB, teB, tinyCfg(), optB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if devB.Clock.Now() <= devA.Clock.Now() {
+		t.Errorf("spiked clock %v not slower than clean clock %v", devB.Clock.Now(), devA.Clock.Now())
+	}
+	// Latency faults perturb time only: the trajectory is untouched.
+	for i := range repA.Metrics.EpochLoss {
+		if repA.Metrics.EpochLoss[i] != repB.Metrics.EpochLoss[i] {
+			t.Fatalf("epoch %d loss diverged under latency-only faults", i)
+		}
 	}
 }

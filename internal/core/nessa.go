@@ -24,6 +24,7 @@ import (
 	"runtime"
 
 	"nessa/internal/data"
+	"nessa/internal/faults"
 	"nessa/internal/nn"
 	"nessa/internal/parallel"
 	"nessa/internal/quant"
@@ -103,6 +104,23 @@ type Options struct {
 	// stored dataset image on the device.
 	Device      *smartssd.Device
 	DatasetName string
+
+	// Fault tolerance (§4.6). Injector, when non-nil, is attached to
+	// Device before the run and perturbs storage operations with its
+	// seeded fault schedule; it requires Device. Retry bounds the
+	// recovery loop around each candidate scan (zero value means
+	// smartssd.DefaultRetryPolicy). When a scan still fails with a
+	// degradable fault after retries, the epoch falls back to weighted-
+	// random selection over a host-path read so the job completes;
+	// permanent faults (addressing, capacity, missing data) abort.
+	Injector *faults.Injector
+	Retry    smartssd.RetryPolicy
+
+	// RawScan bypasses the resilient read and per-record CRC verify on
+	// the scan path, reading exactly as the pre-fault-tolerance
+	// pipeline did. Benchmark-only: it exists so bench-faults can
+	// price the clean-path overhead of the recovery machinery.
+	RawScan bool
 }
 
 // DefaultOptions returns the full NeSSA configuration (the "SB+PA"
@@ -139,6 +157,36 @@ type Report struct {
 	AvgSubsetFrac   float64
 	CandidatesLeft  int // candidate-pool size after biasing
 	Dropped         int // samples pruned by subset biasing
+
+	Faults FaultReport // what the recovery machinery did (§4.6)
+}
+
+// FaultReport aggregates the fault-recovery activity of a run: what the
+// resilient read layer absorbed, and how many epochs fell back to
+// degraded-mode selection. All zero for a fault-free run.
+type FaultReport struct {
+	ScanAttempts    int // storage read issues across all epochs
+	Retries         int // re-issues after recoverable failures
+	TransientErrors int // transient I/O errors absorbed
+	CorruptDetected int // CRC-verification failures caught and re-read
+	HostFallbacks   int // reads that fell from the P2P to the host path
+	FallbackEpochs  int // epochs trained on weighted-random fallback subsets
+
+	// Injected counts the faults the attached injector actually fired,
+	// by class — ground truth to compare the detection counters against.
+	// Nil when no injector was attached.
+	Injected map[faults.Class]int64
+}
+
+// absorb folds one resilient read's stats into the report.
+func (f *FaultReport) absorb(st smartssd.ReadStats) {
+	f.ScanAttempts += st.Attempts
+	f.Retries += st.Retries
+	f.TransientErrors += st.Transient
+	f.CorruptDetected += st.Corrupt
+	if st.HostFallback {
+		f.HostFallbacks++
+	}
 }
 
 // Run trains on (train, test) with the given training recipe and
@@ -178,6 +226,9 @@ func Run(train, test *data.Dataset, tcfg trainer.Config, opt Options) (*Report, 
 			return nil, err
 		}
 	}
+	if opt.Injector != nil {
+		opt.Device.SetInjector(opt.Injector)
+	}
 
 	for e := 0; e < tcfg.Epochs; e++ {
 		tr.SetEpoch(e)
@@ -192,21 +243,48 @@ func Run(train, test *data.Dataset, tcfg trainer.Config, opt Options) (*Report, 
 					opt.Device.ReceiveFeedback(qm.SizeBytes())
 				}
 			}
+			degraded := false
 			if opt.Device != nil {
 				// Near-storage scan of the remaining candidates.
 				length := int64(len(cands)) * recBytes
-				if _, err := opt.Device.ReadToFPGA(opt.DatasetName, 0, length, len(cands)); err != nil {
-					return nil, fmt.Errorf("core: candidate scan: %w", err)
+				if opt.RawScan {
+					if _, err := opt.Device.ReadToFPGA(opt.DatasetName, 0, length, len(cands)); err != nil {
+						return nil, fmt.Errorf("core: candidate scan: %w", err)
+					}
+				} else {
+					_, st, err := opt.Device.ReadResilient(opt.DatasetName, 0, length, len(cands),
+						verifyRecords(recBytes), opt.Retry)
+					rep.Faults.absorb(st)
+					if err != nil {
+						if !faults.IsDegradable(err) {
+							return nil, fmt.Errorf("core: candidate scan: %w", err)
+						}
+						// The near-storage pipeline is unavailable this
+						// epoch even after retries; degrade rather than
+						// abort the whole job.
+						degraded = true
+					}
 				}
 			}
-			res, losses, err := selectSubset(selModel, train, cands, frac, opt, rng)
-			if err != nil {
-				return nil, err
-			}
-			current = res
-			hist.record(cands, losses)
-			if opt.Device != nil {
-				opt.Device.SendToGPU(int64(len(current.Selected))*recBytes, len(current.Selected))
+			if degraded {
+				res, err := fallbackSubset(train, cands, frac, opt, rng, recBytes, &rep.Faults)
+				if err != nil {
+					return nil, err
+				}
+				current = res
+				rep.Faults.FallbackEpochs++
+				// No selection pass ran, so there are no fresh losses to
+				// feed the subset-biasing history this epoch.
+			} else {
+				res, losses, err := selectSubset(selModel, train, cands, frac, opt, rng)
+				if err != nil {
+					return nil, err
+				}
+				current = res
+				hist.record(cands, losses)
+				if opt.Device != nil {
+					opt.Device.SendToGPU(int64(len(current.Selected))*recBytes, len(current.Selected))
+				}
 			}
 		}
 
@@ -273,7 +351,57 @@ func Run(train, test *data.Dataset, tcfg trainer.Config, opt Options) (*Report, 
 	rep.AvgSubsetFrac = sum / float64(len(rep.EpochSubsetFrac))
 	rep.CandidatesLeft = len(cands)
 	rep.Dropped = dropped
+	if opt.Injector != nil {
+		rep.Faults.Injected = opt.Injector.Counts()
+	}
 	return rep, nil
+}
+
+// verifyRecords returns a per-record CRC verifier for scan payloads.
+func verifyRecords(recordSize int64) func([]byte) error {
+	return func(buf []byte) error { return data.VerifyImage(buf, recordSize) }
+}
+
+// subsetK sizes the subset: frac of the full set, clamped to [1, pool].
+func subsetK(frac float64, n, pool int) int {
+	k := int(frac * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	if k > pool {
+		k = pool
+	}
+	return k
+}
+
+// fallbackSubset implements degraded-mode selection (§4.6): when the
+// near-storage scan is unavailable even after retries, pick a weighted-
+// random subset (the unbiased n/k-weighted baseline — no fresh loss or
+// gradient information exists without a scan) and fetch exactly those
+// records over the resilient host path. A failure here is fatal: both
+// the near-storage and conventional paths are down.
+func fallbackSubset(train *data.Dataset, cands []int, frac float64, opt Options, rng *tensor.RNG, recBytes int64, fr *FaultReport) (selection.Result, error) {
+	k := subsetK(frac, train.Len(), len(cands))
+	local := make([]int, len(cands))
+	for i := range local {
+		local[i] = i
+	}
+	res, err := selection.Random(local, k, rng)
+	if err != nil {
+		return selection.Result{}, fmt.Errorf("core: fallback selection: %w", err)
+	}
+	for i, s := range res.Selected {
+		res.Selected[i] = cands[s]
+	}
+	length := int64(len(res.Selected)) * recBytes
+	_, st, err := opt.Device.ReadResilientHost(opt.DatasetName, 0, length, len(res.Selected),
+		verifyRecords(recBytes), opt.Retry)
+	fr.absorb(st)
+	if err != nil {
+		return selection.Result{}, fmt.Errorf("core: degraded-mode host read: %w", err)
+	}
+	opt.Device.SendToGPU(length, len(res.Selected))
+	return res, nil
 }
 
 // selectSubset runs one near-storage selection pass: a forward of the
@@ -286,13 +414,7 @@ func selectSubset(selModel *nn.MLP, train *data.Dataset, cands []int, frac float
 	losses := nn.SoftmaxCE(logits, candSet.Labels, nil, nil)
 	localEmb := nn.GradEmbeddings(logits, candSet.Labels)
 
-	k := int(frac * float64(train.Len()))
-	if k < 1 {
-		k = 1
-	}
-	if k > len(cands) {
-		k = len(cands)
-	}
+	k := subsetK(frac, train.Len(), len(cands))
 
 	// Selection runs on local candidate positions; map back after.
 	local := make([]int, len(cands))
@@ -384,6 +506,9 @@ func validateOptions(opt *Options) error {
 	}
 	if opt.Device != nil && opt.DatasetName == "" {
 		return fmt.Errorf("core: device attached without a dataset name")
+	}
+	if opt.Injector != nil && opt.Device == nil {
+		return fmt.Errorf("core: fault injector attached without a device")
 	}
 	return nil
 }

@@ -3,8 +3,10 @@ package data
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 
+	"nessa/internal/faults"
 	"nessa/internal/tensor"
 )
 
@@ -15,11 +17,32 @@ import (
 //
 //	[0:2]   uint16 label (little endian)
 //	[2:6]   uint32 feature count
-//	[6:..]  float32 features
+//	[6:10]  uint32 CRC32C of the whole record with this field zeroed
+//	[10:..] float32 features
 //	[..:]   zero padding up to BytesPerImage
 //
-// RecordSize validates that the features fit the record.
-const recordHeader = 6
+// The CRC covers the entire record — header, features, and padding —
+// so a bit flip anywhere in the stored bytes is detected (DESIGN.md
+// §4.6); single-bit NAND errors are always caught by CRC32C. RecordSize
+// validates that the features fit the record.
+const (
+	recordHeader = 10
+	crcOff       = 6
+)
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64), the checksum real storage stacks use for end-to-end
+// data integrity.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// recordCRC computes the record checksum: CRC32C over buf with the
+// 4-byte CRC field treated as zero.
+func recordCRC(buf []byte) uint32 {
+	crc := crc32.Update(0, castagnoli, buf[:crcOff])
+	var zeros [4]byte
+	crc = crc32.Update(crc, castagnoli, zeros[:])
+	return crc32.Update(crc, castagnoli, buf[crcOff+4:])
+}
 
 // RecordSize reports the per-sample on-disk record size for spec and
 // validates that the simulated feature payload fits within it.
@@ -48,13 +71,50 @@ func EncodeSample(d *Dataset, i int) ([]byte, error) {
 	for j, v := range row {
 		binary.LittleEndian.PutUint32(buf[recordHeader+4*j:], math.Float32bits(v))
 	}
+	binary.LittleEndian.PutUint32(buf[crcOff:crcOff+4], recordCRC(buf))
 	return buf, nil
 }
 
-// DecodeSample parses a record buffer into a label and feature vector.
-func DecodeSample(buf []byte) (label int, features []float32, err error) {
+// VerifyRecord checks a record's CRC32C without decoding it. A mismatch
+// returns an error wrapping faults.ErrCorruptRecord.
+func VerifyRecord(buf []byte) error {
 	if len(buf) < recordHeader {
-		return 0, nil, fmt.Errorf("data: record too short (%d bytes)", len(buf))
+		return fmt.Errorf("data: record too short (%d bytes)", len(buf))
+	}
+	stored := binary.LittleEndian.Uint32(buf[crcOff : crcOff+4])
+	if got := recordCRC(buf); got != stored {
+		return fmt.Errorf("data: stored CRC %08x, computed %08x: %w",
+			stored, got, faults.ErrCorruptRecord)
+	}
+	return nil
+}
+
+// VerifyImage CRC-checks every record of a contiguous record image —
+// the integrity pass the controller runs over each near-storage scan.
+// It returns nil if every record is clean, or an error wrapping
+// faults.ErrCorruptRecord identifying the first corrupt record.
+func VerifyImage(img []byte, recordSize int64) error {
+	if recordSize <= 0 {
+		return fmt.Errorf("data: record size %d must be positive", recordSize)
+	}
+	if int64(len(img))%recordSize != 0 {
+		return fmt.Errorf("data: image length %d not a multiple of record size %d", len(img), recordSize)
+	}
+	for off := int64(0); off < int64(len(img)); off += recordSize {
+		if err := VerifyRecord(img[off : off+recordSize]); err != nil {
+			return fmt.Errorf("data: record %d: %w", off/recordSize, err)
+		}
+	}
+	return nil
+}
+
+// DecodeSample parses a record buffer into a label and feature vector,
+// verifying the record CRC first: a corrupted record fails with an
+// error wrapping faults.ErrCorruptRecord rather than silently decoding
+// flipped bits into training data.
+func DecodeSample(buf []byte) (label int, features []float32, err error) {
+	if err := VerifyRecord(buf); err != nil {
+		return 0, nil, err
 	}
 	label = int(binary.LittleEndian.Uint16(buf[0:2]))
 	n := int(binary.LittleEndian.Uint32(buf[2:6]))

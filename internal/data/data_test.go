@@ -1,9 +1,11 @@
 package data
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
+	"nessa/internal/faults"
 	"nessa/internal/tensor"
 )
 
@@ -239,6 +241,57 @@ func TestDecodeTruncatedRecord(t *testing.T) {
 	buf[2] = 200
 	if _, _, err := DecodeSample(buf); err == nil {
 		t.Fatal("expected error for truncated features")
+	}
+}
+
+func TestCRCDetectsEveryByteFlip(t *testing.T) {
+	spec, _ := Lookup("CIFAR-10")
+	spec.SimTrain, spec.SimTest = 2, 1
+	tr, _ := Generate(spec)
+	rec, err := EncodeSample(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRecord(rec); err != nil {
+		t.Fatalf("fresh record failed verification: %v", err)
+	}
+	// Flip one bit at every byte position — header, CRC field, features,
+	// and padding alike — and require detection each time.
+	for i := range rec {
+		rec[i] ^= 0x40
+		if err := VerifyRecord(rec); !errors.Is(err, faults.ErrCorruptRecord) {
+			t.Fatalf("flip at byte %d undetected (err=%v)", i, err)
+		}
+		if _, _, err := DecodeSample(rec); !errors.Is(err, faults.ErrCorruptRecord) {
+			t.Fatalf("DecodeSample accepted corrupt record (flip at %d)", i)
+		}
+		rec[i] ^= 0x40
+	}
+	if err := VerifyRecord(rec); err != nil {
+		t.Fatalf("restored record failed verification: %v", err)
+	}
+}
+
+func TestVerifyImage(t *testing.T) {
+	spec, _ := Lookup("CIFAR-10")
+	spec.SimTrain, spec.SimTest = 8, 1
+	tr, _ := Generate(spec)
+	img, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyImage(img, spec.BytesPerImage); err != nil {
+		t.Fatalf("clean image failed verification: %v", err)
+	}
+	img[5*spec.BytesPerImage+17] ^= 1
+	if err := VerifyImage(img, spec.BytesPerImage); !errors.Is(err, faults.ErrCorruptRecord) {
+		t.Fatalf("corrupt record 5 undetected: %v", err)
+	}
+	if err := VerifyImage(img, 0); err == nil {
+		t.Error("zero record size accepted")
+	}
+	if err := VerifyImage(img[:len(img)-1], spec.BytesPerImage); err == nil {
+		t.Error("non-multiple image length accepted")
 	}
 }
 

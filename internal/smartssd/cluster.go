@@ -3,6 +3,8 @@ package smartssd
 import (
 	"fmt"
 	"time"
+
+	"nessa/internal/faults"
 )
 
 // Cluster models the paper's stated future work (§5): scaling NeSSA
@@ -13,6 +15,15 @@ import (
 // crosses the host interconnect.
 type Cluster struct {
 	Devices []*Device
+
+	// ShardDeadline, when positive, bounds the simulated time one
+	// shard may spend on its scan before the host declares it a
+	// straggler and re-issues the read (§4.6). Zero disables the
+	// deadline.
+	ShardDeadline time.Duration
+	// MaxReissue caps straggler re-issues per shard before the scan
+	// fails with faults.ErrShardTimeout. Zero means 2.
+	MaxReissue int
 }
 
 // NewCluster assembles n independent SmartSSDs.
@@ -34,22 +45,39 @@ func NewCluster(n int) (*Cluster, error) {
 // Size reports the number of devices.
 func (c *Cluster) Size() int { return len(c.Devices) }
 
+// SetInjector attaches one shared fault injector to every device (and
+// its flash array). Scans issue device operations in a fixed order, so
+// a shared seeded injector still yields a reproducible schedule.
+func (c *Cluster) SetInjector(in *faults.Injector) {
+	for _, d := range c.Devices {
+		d.SetInjector(in)
+	}
+}
+
 // ShardDataset splits a record-aligned dataset image across the
 // devices (round-robin by contiguous stripe: device i receives records
 // [i·n/D, (i+1)·n/D)) and stores each shard under name. It returns the
 // per-device record counts.
 func (c *Cluster) ShardDataset(name string, img []byte, recordSize int64) ([]int, error) {
-	if recordSize <= 0 || int64(len(img))%recordSize != 0 {
+	if recordSize <= 0 {
+		return nil, fmt.Errorf("smartssd: record size %d must be positive", recordSize)
+	}
+	if int64(len(img))%recordSize != 0 {
 		return nil, fmt.Errorf("smartssd: image length %d not a multiple of record size %d", len(img), recordSize)
 	}
 	records := int(int64(len(img)) / recordSize)
 	if records < len(c.Devices) {
-		return nil, fmt.Errorf("smartssd: %d records cannot shard across %d devices", records, len(c.Devices))
+		return nil, fmt.Errorf("smartssd: %d records cannot shard across %d devices without empty shards",
+			records, len(c.Devices))
 	}
 	counts := make([]int, len(c.Devices))
 	for i, d := range c.Devices {
 		lo := int64(i*records/len(c.Devices)) * recordSize
 		hi := int64((i+1)*records/len(c.Devices)) * recordSize
+		if lo == hi {
+			return nil, fmt.Errorf("smartssd: sharding %d records across %d devices leaves shard %d empty",
+				records, len(c.Devices), i)
+		}
 		if err := d.StoreDataset(name, img[lo:hi]); err != nil {
 			return nil, fmt.Errorf("smartssd: shard %d: %w", i, err)
 		}
@@ -62,7 +90,21 @@ func (c *Cluster) ShardDataset(name string, img []byte, recordSize int64) ([]int
 // over the P2P links concurrently. It returns the per-shard payloads
 // and the wall-clock time of the slowest device — the cluster's
 // selection-scan latency.
+//
+// Each per-shard read runs under the resilient recovery loop (retry on
+// transient faults, host-path fallback on link drops). When
+// ShardDeadline is set, a shard whose scan — including injected stalls
+// — exceeds the deadline is treated as a straggler and re-issued up to
+// MaxReissue times; a shard that still misses its deadline fails the
+// scan with an error wrapping faults.ErrShardTimeout.
 func (c *Cluster) ParallelScan(name string, recordSize int64) ([][]byte, time.Duration, error) {
+	if recordSize <= 0 {
+		return nil, 0, fmt.Errorf("smartssd: record size %d must be positive", recordSize)
+	}
+	reissues := c.MaxReissue
+	if reissues <= 0 {
+		reissues = 2
+	}
 	shards := make([][]byte, len(c.Devices))
 	var wall time.Duration
 	for i, d := range c.Devices {
@@ -70,15 +112,32 @@ func (c *Cluster) ParallelScan(name string, recordSize int64) ([][]byte, time.Du
 		if err != nil {
 			return nil, 0, fmt.Errorf("smartssd: shard %d: %w", i, err)
 		}
-		before := d.Clock.Now()
-		buf, err := d.ReadToFPGA(name, 0, size, int(size/recordSize))
-		if err != nil {
-			return nil, 0, fmt.Errorf("smartssd: shard %d: %w", i, err)
+		scanStart := d.Clock.Now()
+		for issue := 0; ; issue++ {
+			before := d.Clock.Now()
+			buf, _, err := d.ReadResilient(name, 0, size, int(size/recordSize), nil, RetryPolicy{})
+			if err != nil {
+				return nil, 0, fmt.Errorf("smartssd: shard %d: %w", i, err)
+			}
+			if stall := d.Injector.Stall(); stall > 0 {
+				d.Clock.Advance(stall)
+				d.Acct.AddTime("scan.stall", stall)
+			}
+			// The deadline applies per issue; the shard's wall cost below
+			// still accumulates every abandoned straggler issue.
+			if dt := d.Clock.Now() - before; c.ShardDeadline <= 0 || dt <= c.ShardDeadline {
+				shards[i] = buf
+				break
+			}
+			if issue == reissues {
+				return nil, 0, fmt.Errorf("smartssd: shard %d missed %v deadline on %d issues: %w",
+					i, c.ShardDeadline, issue+1, faults.ErrShardTimeout)
+			}
+			// Straggler: drop the slow issue and read the shard again.
 		}
-		if dt := d.Clock.Now() - before; dt > wall {
-			wall = dt
+		if total := d.Clock.Now() - scanStart; total > wall {
+			wall = total
 		}
-		shards[i] = buf
 	}
 	return shards, wall, nil
 }

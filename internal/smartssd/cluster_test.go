@@ -2,9 +2,12 @@ package smartssd
 
 import (
 	"bytes"
+	"errors"
 	"testing"
+	"time"
 
 	"nessa/internal/data"
+	"nessa/internal/faults"
 )
 
 func TestNewClusterValidation(t *testing.T) {
@@ -49,12 +52,46 @@ func TestShardDatasetSplitsRecords(t *testing.T) {
 }
 
 func TestShardDatasetErrors(t *testing.T) {
-	c, _ := NewCluster(2)
-	if _, err := c.ShardDataset("ds", make([]byte, 65), 64); err == nil {
-		t.Error("non-aligned image accepted")
+	cases := []struct {
+		name    string
+		devices int
+		img     int64
+		rec     int64
+		ok      bool
+	}{
+		{"valid even split", 2, 8 * 64, 64, true},
+		{"valid uneven split", 3, 10 * 64, 64, true},
+		{"one record per device", 4, 4 * 64, 64, true},
+		{"zero record size", 2, 128, 0, false},
+		{"negative record size", 2, 128, -64, false},
+		{"non-aligned image", 2, 65, 64, false},
+		{"fewer records than devices", 2, 64, 64, false},
+		{"empty image", 2, 0, 64, false},
 	}
-	if _, err := c.ShardDataset("ds", make([]byte, 64), 64); err == nil {
-		t.Error("fewer records than devices accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := NewCluster(tc.devices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts, err := c.ShardDataset("ds", make([]byte, tc.img), tc.rec)
+			if tc.ok != (err == nil) {
+				t.Fatalf("err = %v, want ok=%v", err, tc.ok)
+			}
+			if !tc.ok {
+				return
+			}
+			total := 0
+			for i, n := range counts {
+				if n <= 0 {
+					t.Errorf("shard %d holds %d records; empty shards must be rejected", i, n)
+				}
+				total += n
+			}
+			if int64(total)*tc.rec != tc.img {
+				t.Errorf("shards hold %d records, want %d", total, tc.img/tc.rec)
+			}
+		})
 	}
 }
 
@@ -117,6 +154,102 @@ func TestParallelScanFasterThanSingleDevice(t *testing.T) {
 	ratio := wall1.Seconds() / wall4.Seconds()
 	if ratio < 2.5 {
 		t.Fatalf("4-drive scan speed-up = %.2fx, want near 4x", ratio)
+	}
+}
+
+func TestParallelScanValidatesRecordSize(t *testing.T) {
+	c, _ := NewCluster(2)
+	if _, _, err := c.ParallelScan("ds", 0); err == nil {
+		t.Error("zero record size accepted")
+	}
+	if _, _, err := c.ParallelScan("ds", -3); err == nil {
+		t.Error("negative record size accepted")
+	}
+}
+
+func TestParallelScanSurvivesStalls(t *testing.T) {
+	spec, _ := data.Lookup("CIFAR-10")
+	spec.SimTrain, spec.SimTest = 40, 5
+	train, _ := data.Generate(spec)
+	img, _ := data.Encode(train)
+
+	c, _ := NewCluster(4)
+	if _, err := c.ShardDataset("ds", img, spec.BytesPerImage); err != nil {
+		t.Fatal(err)
+	}
+	// Frequent stalls but no deadline: the scan completes, just slower,
+	// with the stall time visible in the accounting.
+	c.SetInjector(faults.NewInjector(faults.Profile{Seed: 11, StallRate: 0.5, StallFor: 3 * time.Millisecond}))
+	shards, wall, err := c.ParallelScan("ds", spec.BytesPerImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rebuilt []byte
+	for _, s := range shards {
+		rebuilt = append(rebuilt, s...)
+	}
+	if !bytes.Equal(rebuilt, img) {
+		t.Fatal("shards corrupted by stalls")
+	}
+	var stallT time.Duration
+	for _, d := range c.Devices {
+		stallT += d.Acct.Time("scan.stall")
+	}
+	if stallT <= 0 {
+		t.Fatal("no stall time charged despite 50% stall rate")
+	}
+	if wall <= 0 {
+		t.Fatal("wall time not positive")
+	}
+}
+
+func TestParallelScanReissuesStragglers(t *testing.T) {
+	spec, _ := data.Lookup("CIFAR-10")
+	spec.SimTrain, spec.SimTest = 40, 5
+	train, _ := data.Generate(spec)
+	img, _ := data.Encode(train)
+
+	c, _ := NewCluster(4)
+	if _, err := c.ShardDataset("ds", img, spec.BytesPerImage); err != nil {
+		t.Fatal(err)
+	}
+	// A clean shard scan takes well under 1 ms of simulated time; a 5 ms
+	// stall blows the 2 ms deadline, so stalled issues are abandoned and
+	// re-issued. With a 40% stall rate and 4 re-issues, every shard finds
+	// a stall-free issue under this seed.
+	c.ShardDeadline = 2 * time.Millisecond
+	c.MaxReissue = 4
+	c.SetInjector(faults.NewInjector(faults.Profile{Seed: 3, StallRate: 0.4, StallFor: 5 * time.Millisecond}))
+	shards, _, err := c.ParallelScan("ds", spec.BytesPerImage)
+	if err != nil {
+		t.Fatalf("scan with straggler re-issue failed: %v", err)
+	}
+	var rebuilt []byte
+	for _, s := range shards {
+		rebuilt = append(rebuilt, s...)
+	}
+	if !bytes.Equal(rebuilt, img) {
+		t.Fatal("re-issued shards differ from the original image")
+	}
+}
+
+func TestParallelScanPersistentStallTimesOut(t *testing.T) {
+	spec, _ := data.Lookup("CIFAR-10")
+	spec.SimTrain, spec.SimTest = 16, 5
+	train, _ := data.Generate(spec)
+	img, _ := data.Encode(train)
+
+	c, _ := NewCluster(2)
+	if _, err := c.ShardDataset("ds", img, spec.BytesPerImage); err != nil {
+		t.Fatal(err)
+	}
+	c.ShardDeadline = 2 * time.Millisecond
+	c.MaxReissue = 2
+	// Every issue stalls past the deadline: the shard can never finish.
+	c.SetInjector(faults.NewInjector(faults.Profile{Seed: 1, StallRate: 1, StallFor: 10 * time.Millisecond}))
+	_, _, err := c.ParallelScan("ds", spec.BytesPerImage)
+	if !errors.Is(err, faults.ErrShardTimeout) {
+		t.Fatalf("persistent stall error = %v, want wrapped ErrShardTimeout", err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"nessa/internal/faults"
 	"nessa/internal/simtime"
 	"nessa/internal/storage"
 )
@@ -37,6 +38,13 @@ type Device struct {
 	GPU   LinkModel
 	Clock *simtime.Clock
 	Acct  *simtime.Accountant
+
+	// Injector, when non-nil, perturbs device operations with the
+	// configured fault schedule: the P2P link consults it for link
+	// drops, and SetInjector wires the same injector into the
+	// underlying flash array for NAND-level faults. Use SetInjector
+	// rather than assigning the field so both layers stay in sync.
+	Injector *faults.Injector
 }
 
 // New assembles a SmartSSD with the default drive, links, and spec.
@@ -54,6 +62,13 @@ func New() (*Device, error) {
 		Clock: simtime.NewClock(),
 		Acct:  simtime.NewAccountant(),
 	}, nil
+}
+
+// SetInjector attaches (or, with nil, detaches) a fault injector to
+// both the device links and the underlying flash array.
+func (d *Device) SetInjector(in *faults.Injector) {
+	d.Injector = in
+	d.SSD.SetInjector(in)
 }
 
 // StoreDataset writes a dataset image to the drive under name.
@@ -74,11 +89,24 @@ func (d *Device) StoreDataset(name string, img []byte) error {
 // the charged time is the maximum of the two plus the flash command
 // setup.
 func (d *Device) ReadToFPGA(name string, off, length int64, commands int) ([]byte, error) {
+	if off < 0 || length < 0 {
+		return nil, fmt.Errorf("smartssd: p2p read [%d,+%d) of %q: %w", off, length, name, faults.ErrOutOfRange)
+	}
 	if length > d.Spec.DRAMBytes {
 		return nil, fmt.Errorf("smartssd: transfer of %d bytes exceeds FPGA DRAM (%d)", length, d.Spec.DRAMBytes)
 	}
+	if d.Injector.LinkDown() {
+		// The DMA setup is spent before the link failure is observed.
+		d.Clock.Advance(d.P2P.CommandLatency)
+		d.Acct.AddTime("p2p.error", d.P2P.CommandLatency)
+		return nil, fmt.Errorf("smartssd: p2p read of %q: %w", name, faults.ErrLinkDown)
+	}
 	buf, flashT, err := d.SSD.ReadAt(name, off, length)
 	if err != nil {
+		// A failed flash command still advances simulated time by its
+		// reported setup cost, so retry storms are visible on the clock.
+		d.Clock.Advance(flashT)
+		d.Acct.AddTime("p2p.error", flashT)
 		return nil, err
 	}
 	linkT := d.P2P.Duration(length, commands)
@@ -93,8 +121,13 @@ func (d *Device) ReadToFPGA(name string, off, length int64, commands int) ([]byt
 // drive DMAs into host DRAM and the host DMAs into the FPGA. Flash and
 // the staged copies serialize at the 1.4 GB/s effective host bandwidth.
 func (d *Device) ReadViaHost(name string, off, length int64, commands int) ([]byte, error) {
+	if off < 0 || length < 0 {
+		return nil, fmt.Errorf("smartssd: host read [%d,+%d) of %q: %w", off, length, name, faults.ErrOutOfRange)
+	}
 	buf, flashT, err := d.SSD.ReadAt(name, off, length)
 	if err != nil {
+		d.Clock.Advance(flashT)
+		d.Acct.AddTime("host.error", flashT)
 		return nil, err
 	}
 	linkT := d.Host.Duration(length, commands)

@@ -1,0 +1,166 @@
+package smartssd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"nessa/internal/data"
+	"nessa/internal/faults"
+)
+
+// storeImage writes a small encoded dataset and returns its image and
+// record size.
+func storeImage(t *testing.T, d *Device) ([]byte, int64) {
+	t.Helper()
+	spec, _ := data.Lookup("CIFAR-10")
+	spec.SimTrain, spec.SimTest = 24, 4
+	tr, _ := data.Generate(spec)
+	img, err := data.Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StoreDataset("ds", img); err != nil {
+		t.Fatal(err)
+	}
+	return img, spec.BytesPerImage
+}
+
+func verifier(rec int64) func([]byte) error {
+	return func(buf []byte) error { return data.VerifyImage(buf, rec) }
+}
+
+func TestReadResilientCleanPathSingleAttempt(t *testing.T) {
+	d := newDevice(t)
+	img, rec := storeImage(t, d)
+	buf, st, err := d.ReadResilient("ds", 0, int64(len(img)), len(img)/int(rec), verifier(rec), RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, img) {
+		t.Fatal("payload mismatch")
+	}
+	if st.Attempts != 1 || st.Retries != 0 || st.HostFallback {
+		t.Fatalf("clean read stats = %+v, want one attempt, no recovery", st)
+	}
+	if d.Acct.Time("retry.backoff") != 0 {
+		t.Fatal("clean read charged backoff time")
+	}
+}
+
+func TestReadResilientRetriesTransientFaults(t *testing.T) {
+	d := newDevice(t)
+	img, rec := storeImage(t, d)
+	// ~50 % of commands fail; this seed's schedule fails the first two
+	// issues and succeeds on the third, exercising the retry loop.
+	d.SetInjector(faults.NewInjector(faults.Profile{Seed: 7, TransientRate: 0.5}))
+	buf, st, err := d.ReadResilient("ds", 0, int64(len(img)), 24, verifier(rec), RetryPolicy{})
+	if err != nil {
+		t.Fatalf("resilient read failed: %v (stats %+v)", err, st)
+	}
+	if !bytes.Equal(buf, img) {
+		t.Fatal("payload mismatch after retries")
+	}
+	if st.Transient == 0 || st.Retries == 0 {
+		t.Fatalf("stats %+v recorded no recovery despite 50%% fault rate", st)
+	}
+	if d.Acct.Time("retry.backoff") <= 0 {
+		t.Fatal("retries did not charge backoff time")
+	}
+}
+
+func TestReadResilientDetectsAndRereadsCorruption(t *testing.T) {
+	d := newDevice(t)
+	img, rec := storeImage(t, d)
+	d.SetInjector(faults.NewInjector(faults.Profile{Seed: 6, CorruptRate: 0.6}))
+	buf, st, err := d.ReadResilient("ds", 0, int64(len(img)), 24, verifier(rec), RetryPolicy{MaxAttempts: 8})
+	if err != nil {
+		t.Fatalf("resilient read failed: %v (stats %+v)", err, st)
+	}
+	if !bytes.Equal(buf, img) {
+		t.Fatal("returned payload still corrupt")
+	}
+	if st.Corrupt == 0 {
+		t.Fatalf("stats %+v detected no corruption despite 60%% rate", st)
+	}
+}
+
+func TestReadResilientFallsBackToHostOnLinkDown(t *testing.T) {
+	d := newDevice(t)
+	img, rec := storeImage(t, d)
+	d.SetInjector(faults.NewInjector(faults.Profile{Seed: 7, LinkDownRate: 1}))
+	buf, st, err := d.ReadResilient("ds", 0, int64(len(img)), 24, verifier(rec), RetryPolicy{})
+	if err != nil {
+		t.Fatalf("read with dead P2P link failed: %v", err)
+	}
+	if !bytes.Equal(buf, img) {
+		t.Fatal("payload mismatch on host path")
+	}
+	if !st.HostFallback {
+		t.Fatalf("stats %+v did not record host fallback", st)
+	}
+	if d.Acct.Bytes("host.read") != int64(len(img)) {
+		t.Fatalf("host path moved %d bytes, want %d", d.Acct.Bytes("host.read"), len(img))
+	}
+	if d.Acct.Bytes("p2p.read") != 0 {
+		t.Fatal("bytes charged to the dead P2P link")
+	}
+}
+
+func TestReadResilientExhaustionWrapsLastError(t *testing.T) {
+	d := newDevice(t)
+	img, _ := storeImage(t, d)
+	d.SetInjector(faults.NewInjector(faults.Profile{Seed: 8, TransientRate: 1}))
+	_, st, err := d.ReadResilient("ds", 0, int64(len(img)), 24, nil, RetryPolicy{})
+	if !errors.Is(err, faults.ErrTransientIO) {
+		t.Fatalf("exhaustion error = %v, want wrapped ErrTransientIO", err)
+	}
+	if st.Attempts != DefaultRetryPolicy().MaxAttempts {
+		t.Fatalf("attempts = %d, want %d", st.Attempts, DefaultRetryPolicy().MaxAttempts)
+	}
+}
+
+func TestReadResilientPermanentErrorNotRetried(t *testing.T) {
+	d := newDevice(t)
+	storeImage(t, d)
+	_, st, err := d.ReadResilient("missing", 0, 64, 1, nil, RetryPolicy{})
+	if !errors.Is(err, faults.ErrNotFound) {
+		t.Fatalf("error = %v, want ErrNotFound", err)
+	}
+	if st.Attempts != 1 {
+		t.Fatalf("permanent error retried %d times", st.Attempts-1)
+	}
+	if _, _, err := d.ReadResilient("ds", -1, 64, 1, nil, RetryPolicy{}); !errors.Is(err, faults.ErrOutOfRange) {
+		t.Fatalf("negative offset error = %v, want ErrOutOfRange", err)
+	}
+	if _, err := d.ReadViaHost("ds", 0, -5, 1); !errors.Is(err, faults.ErrOutOfRange) {
+		t.Fatalf("host-path negative length error = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestReadResilientHostIgnoresLinkDown(t *testing.T) {
+	d := newDevice(t)
+	img, rec := storeImage(t, d)
+	d.SetInjector(faults.NewInjector(faults.Profile{Seed: 9, LinkDownRate: 1}))
+	buf, st, err := d.ReadResilientHost("ds", 0, int64(len(img)), 24, verifier(rec), RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, img) || st.Attempts != 1 {
+		t.Fatalf("host-pinned read perturbed by P2P link faults: %+v", st)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond}
+	for i, w := range want {
+		if got := p.backoff(i + 1); got != w {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if (RetryPolicy{}).normalize() != DefaultRetryPolicy() {
+		t.Error("zero policy does not normalize to the default")
+	}
+}

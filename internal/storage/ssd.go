@@ -11,6 +11,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"nessa/internal/faults"
 )
 
 // Config describes the flash device. DefaultConfig matches the Samsung
@@ -58,6 +60,7 @@ type SSD struct {
 	mu      sync.Mutex
 	objects map[string]*extent
 	nextOff int64
+	inj     *faults.Injector
 }
 
 // New creates an empty SSD with the given config.
@@ -70,6 +73,16 @@ func New(cfg Config) (*SSD, error) {
 
 // Config returns the device configuration.
 func (s *SSD) Config() Config { return s.cfg }
+
+// SetInjector attaches a fault injector to the flash array. Every
+// subsequent read consults it for NAND-level faults (silent payload
+// corruption, transient command failures, latency spikes). A nil
+// injector restores fault-free operation.
+func (s *SSD) SetInjector(in *faults.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inj = in
+}
 
 // Used reports the bytes currently allocated (page-aligned).
 func (s *SSD) Used() int64 {
@@ -105,20 +118,35 @@ func (s *SSD) Write(name string, data []byte) (time.Duration, error) {
 }
 
 // ReadAt reads length bytes of object name starting at off, returning
-// the payload and the simulated flash access time.
+// the payload and the simulated flash access time. Addressing failures
+// wrap faults.ErrOutOfRange / faults.ErrNotFound; with an injector
+// attached, reads may also fail with faults.ErrTransientIO, return a
+// silently corrupted payload, or take a latency spike.
 func (s *SSD) ReadAt(name string, off, length int64) ([]byte, time.Duration, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.objects[name]
 	if !ok {
-		return nil, 0, fmt.Errorf("storage: object %q not found", name)
+		return nil, 0, fmt.Errorf("storage: object %q: %w", name, faults.ErrNotFound)
 	}
-	if off < 0 || off+length > int64(len(e.data)) {
-		return nil, 0, fmt.Errorf("storage: read [%d,%d) out of range of %q (%d bytes)",
-			off, off+length, name, len(e.data))
+	// Bounds are checked overflow-safely: off+length is never formed
+	// before both operands are known non-negative and in range.
+	if off < 0 || length < 0 || off > int64(len(e.data)) || length > int64(len(e.data))-off {
+		return nil, 0, fmt.Errorf("storage: read [%d,+%d) of %q (%d bytes): %w",
+			off, length, name, len(e.data), faults.ErrOutOfRange)
+	}
+	f := s.inj.FlashRead()
+	if f.Transient {
+		// The failed command still costs its setup latency (plus any
+		// spike) so retry storms advance simulated time.
+		return nil, s.cfg.CommandLatency + f.Extra,
+			fmt.Errorf("storage: read %q: %w", name, faults.ErrTransientIO)
 	}
 	out := append([]byte(nil), e.data[off:off+length]...)
-	return out, s.transferTime(length, false), nil
+	if f.Corrupt {
+		s.inj.CorruptPayload(out) // silent: detection is the codec's CRC
+	}
+	return out, s.transferTime(length, false) + f.Extra, nil
 }
 
 // Size reports the byte length of object name.
@@ -127,7 +155,7 @@ func (s *SSD) Size(name string) (int64, error) {
 	defer s.mu.Unlock()
 	e, ok := s.objects[name]
 	if !ok {
-		return 0, fmt.Errorf("storage: object %q not found", name)
+		return 0, fmt.Errorf("storage: object %q: %w", name, faults.ErrNotFound)
 	}
 	return int64(len(e.data)), nil
 }

@@ -2,9 +2,12 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"nessa/internal/faults"
 )
 
 func newTestSSD(t *testing.T) *SSD {
@@ -48,19 +51,88 @@ func TestPartialRead(t *testing.T) {
 
 func TestReadMissingObject(t *testing.T) {
 	s := newTestSSD(t)
-	if _, _, err := s.ReadAt("ghost", 0, 1); err == nil {
-		t.Fatal("expected error for missing object")
+	_, _, err := s.ReadAt("ghost", 0, 1)
+	if !errors.Is(err, faults.ErrNotFound) {
+		t.Fatalf("missing object error = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Size("ghost"); !errors.Is(err, faults.ErrNotFound) {
+		t.Fatal("Size of missing object should be ErrNotFound")
 	}
 }
 
 func TestReadOutOfRange(t *testing.T) {
 	s := newTestSSD(t)
 	s.Write("obj", make([]byte, 10))
-	if _, _, err := s.ReadAt("obj", 5, 10); err == nil {
-		t.Fatal("expected error for out-of-range read")
+	cases := []struct{ off, length int64 }{
+		{5, 10},              // past the end
+		{-1, 2},              // negative offset
+		{0, -1},              // negative length
+		{11, 0},              // offset beyond the object
+		{1, 1<<63 - 2},       // length that would overflow off+length
+		{1<<62 + 1, 1 << 62}, // offset+length would overflow int64
 	}
-	if _, _, err := s.ReadAt("obj", -1, 2); err == nil {
-		t.Fatal("expected error for negative offset")
+	for _, c := range cases {
+		if _, _, err := s.ReadAt("obj", c.off, c.length); !errors.Is(err, faults.ErrOutOfRange) {
+			t.Errorf("ReadAt(%d,%d) = %v, want ErrOutOfRange", c.off, c.length, err)
+		}
+	}
+}
+
+func TestInjectedTransientError(t *testing.T) {
+	s := newTestSSD(t)
+	s.Write("obj", make([]byte, 1024))
+	s.SetInjector(faults.NewInjector(faults.Profile{Seed: 1, TransientRate: 1}))
+	_, d, err := s.ReadAt("obj", 0, 1024)
+	if !errors.Is(err, faults.ErrTransientIO) {
+		t.Fatalf("error = %v, want ErrTransientIO", err)
+	}
+	if d != DefaultConfig().CommandLatency {
+		t.Fatalf("failed command charged %v, want command latency %v", d, DefaultConfig().CommandLatency)
+	}
+	s.SetInjector(nil)
+	if _, _, err := s.ReadAt("obj", 0, 1024); err != nil {
+		t.Fatalf("detached injector still failing reads: %v", err)
+	}
+}
+
+func TestInjectedCorruptionIsSilent(t *testing.T) {
+	s := newTestSSD(t)
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	s.Write("obj", payload)
+	s.SetInjector(faults.NewInjector(faults.Profile{Seed: 2, CorruptRate: 1}))
+	got, _, err := s.ReadAt("obj", 0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("corruption did not alter the payload")
+	}
+	// The stored extent itself stays clean: a later fault-free read is intact.
+	s.SetInjector(nil)
+	clean, _, _ := s.ReadAt("obj", 0, 256)
+	if !bytes.Equal(clean, payload) {
+		t.Fatal("corruption leaked into the stored extent")
+	}
+}
+
+func TestInjectedLatencySpike(t *testing.T) {
+	s := newTestSSD(t)
+	s.Write("obj", make([]byte, 1024))
+	_, clean, err := s.ReadAt("obj", 0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spike := 3 * time.Millisecond
+	s.SetInjector(faults.NewInjector(faults.Profile{Seed: 3, LatencyRate: 1, LatencySpike: spike}))
+	_, slow, err := s.ReadAt("obj", 0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow != clean+spike {
+		t.Fatalf("spiked read took %v, want %v + %v", slow, clean, spike)
 	}
 }
 

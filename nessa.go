@@ -27,6 +27,7 @@ package nessa
 import (
 	"nessa/internal/core"
 	"nessa/internal/data"
+	"nessa/internal/faults"
 	"nessa/internal/nn"
 	"nessa/internal/selection"
 	"nessa/internal/smartssd"
@@ -149,6 +150,50 @@ func SelectCoresetDistributed(embeddings *Matrix, cand []int, k, shards int, see
 func CoresetObjective(embeddings *Matrix, cand, selected []int) float64 {
 	return selection.Objective(embeddings, cand, selected)
 }
+
+// FaultProfile configures per-operation fault rates for the seeded
+// injector (§4.6): NAND read corruption, transient I/O errors, latency
+// spikes, P2P link drops, and shard stalls.
+type FaultProfile = faults.Profile
+
+// FaultInjector is a deterministic seeded fault injector. Attach one
+// via Options.Injector (or SmartSSD.SetInjector for device-level use).
+type FaultInjector = faults.Injector
+
+// FaultClass names one injectable fault class.
+type FaultClass = faults.Class
+
+// FaultReport aggregates a run's fault-recovery activity.
+type FaultReport = core.FaultReport
+
+// RetryPolicy bounds the recovery loop around device reads. The zero
+// value means DefaultRetryPolicy.
+type RetryPolicy = smartssd.RetryPolicy
+
+// Typed fault sentinels: classify failures with errors.Is.
+var (
+	ErrCorruptRecord = faults.ErrCorruptRecord
+	ErrTransientIO   = faults.ErrTransientIO
+	ErrLinkDown      = faults.ErrLinkDown
+	ErrShardTimeout  = faults.ErrShardTimeout
+	ErrOutOfRange    = faults.ErrOutOfRange
+	ErrNotFound      = faults.ErrNotFound
+)
+
+// NewFaultInjector builds a deterministic injector from a profile.
+func NewFaultInjector(p FaultProfile) *FaultInjector { return faults.NewInjector(p) }
+
+// FaultClasses lists every injectable fault class.
+func FaultClasses() []FaultClass { return faults.AllClasses() }
+
+// DefaultChaosProfile returns the standard chaos profile: every fault
+// class active at moderate rates — the configuration the resilience
+// tests and bench-faults run under.
+func DefaultChaosProfile() FaultProfile { return faults.DefaultChaosProfile() }
+
+// DefaultRetryPolicy returns the standard read-recovery policy: four
+// attempts with 200 µs → 5 ms exponential backoff.
+func DefaultRetryPolicy() RetryPolicy { return smartssd.DefaultRetryPolicy() }
 
 // ProxyEmbeddings trains a proxy model for warmupEpochs and returns
 // the per-sample last-layer gradient embeddings (softmax − one-hot) —

@@ -26,9 +26,12 @@ echo "== determinism gate =="
 # The bench emitters recompute selection subsets and training
 # trajectories at workers=1 and workers=max and exit non-zero if the
 # two diverge bitwise — the repo-wide reproducibility contract.
+# bench-faults additionally gates the fault-tolerance machinery: the
+# resilient scan path must match the raw path bit-for-bit, cost under
+# 2% on the clean path, and complete every chaos-profile run.
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/nessa-bench -quick -results "$tmpdir" \
-	-only bench-selection,bench-training >/dev/null
+	-only bench-selection,bench-training,bench-faults >/dev/null
 
 echo "OK"
