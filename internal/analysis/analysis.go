@@ -1,0 +1,233 @@
+// Package analysis implements nessa-vet, the repository's custom
+// static-analysis suite. Five analyzers machine-check the source-level
+// contracts the test suite otherwise only samples at runtime:
+//
+//   - determinism: no wall-clock or math/rand in device/core code
+//   - maporder:    no order-sensitive accumulation over map iteration
+//   - hotpath:     no allocating or formatting constructs in functions
+//     annotated //nessa:hotpath
+//   - fma:         no fusable a*b±c float expressions in the kernels
+//   - errhygiene:  sentinel errors compared with errors.Is and wrapped
+//     with %w, never matched by identity or message text
+//
+// Every analyzer reports position-accurate findings and honors a
+// source-level opt-out annotation (see the directive constants below
+// and DESIGN.md §4.7). The suite is built purely on the standard
+// library — go/parser, go/ast, go/token, go/types with a
+// source-loading importer — preserving the repository's
+// no-external-dependency rule.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Directive names recognized after the "//nessa:" comment prefix.
+const (
+	// DirHotpath marks a function whose body must stay free of
+	// allocating and formatting constructs (opt-in for the hotpath
+	// analyzer).
+	DirHotpath = "hotpath"
+	// DirSortedIteration marks a map-range statement whose iteration
+	// order has been made irrelevant or whose keys are externally
+	// sorted (opt-out for maporder).
+	DirSortedIteration = "sorted-iteration"
+	// DirAllocOK exempts one flagged site inside a hotpath function
+	// (e.g. a pool-miss refill or a once-per-call dispatch closure).
+	DirAllocOK = "alloc-ok"
+	// DirWallclock exempts one wall-clock or math/rand use from the
+	// determinism analyzer.
+	DirWallclock = "wallclock"
+	// DirFMAOK exempts one fusable float expression from the fma
+	// analyzer.
+	DirFMAOK = "fma-ok"
+	// DirErrOK exempts one error-handling site from errhygiene.
+	DirErrOK = "err-ok"
+)
+
+// Finding is one diagnostic: where, which analyzer, and why.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer(),
+		MapOrderAnalyzer(),
+		HotPathAnalyzer(),
+		FMAAnalyzer(),
+		ErrHygieneAnalyzer(),
+	}
+}
+
+// ByName returns the named analyzers, or an error naming the first
+// unknown one.
+func ByName(names []string) ([]*Analyzer, error) {
+	index := make(map[string]*Analyzer)
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := index[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Pass is the per-package context handed to an analyzer's Run.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	findings *[]Finding
+	// directives maps filename -> line -> directive names present on
+	// that line, for line-level opt-out lookup.
+	directives map[string]map[int][]string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExemptAt reports whether the line of pos, or the line immediately
+// above it, carries the named //nessa: directive — the suite's
+// site-level opt-out convention.
+func (p *Pass) ExemptAt(pos token.Pos, name string) bool {
+	position := p.Pkg.Fset.Position(pos)
+	lines := p.directives[position.Filename]
+	for _, d := range lines[position.Line] {
+		if d == name {
+			return true
+		}
+	}
+	for _, d := range lines[position.Line-1] {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirective extracts the directive name from one comment, or ""
+// if the comment is not a //nessa: directive. Trailing words after the
+// name are free-form justification text:
+//
+//	//nessa:alloc-ok pool miss, steady state reuses the buffer
+func parseDirective(text string) string {
+	rest, ok := strings.CutPrefix(text, "//nessa:")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.TrimSpace(rest)
+}
+
+// HasDirective reports whether a doc comment group carries the named
+// //nessa: directive (function-level annotations such as hotpath).
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if parseDirective(c.Text) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// buildDirectives indexes every //nessa: comment in the package by
+// file and line.
+func buildDirectives(pkg *Package) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name := parseDirective(c.Text)
+				if name == "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					out[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the given analyzers over the given packages and returns
+// all findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		dirs := buildDirectives(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Pkg:        pkg,
+				analyzer:   a,
+				findings:   &findings,
+				directives: dirs,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// pathIn reports whether importPath equals one of the prefixes or sits
+// beneath one of them ("nessa/internal/tensor" matches prefix
+// "nessa/internal/tensor" and so does "nessa/internal/tensor/sub").
+func pathIn(importPath string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if importPath == p || strings.HasPrefix(importPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}

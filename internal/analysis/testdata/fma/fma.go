@@ -1,0 +1,41 @@
+// Fixture for the fma analyzer: single-expression float multiply-adds
+// may fuse into an FMA and are violations in the kernel packages; the
+// explicit-temporary form and integer arithmetic are clean.
+package fixture
+
+// MulAdd is the canonical fusable shape.
+func MulAdd(a, b, c float32) float32 {
+	return a*b + c // want "fused multiply-add"
+}
+
+// MulSub fuses just the same.
+func MulSub(a, b, c float64) float64 {
+	return c - a*b // want "fused multiply-add"
+}
+
+// AccumLoop is the compound-assignment form of the same hazard.
+func AccumLoop(xs, ys []float32) float32 {
+	var s float32
+	for i := range xs {
+		s += xs[i] * ys[i] // want "fuse into an FMA"
+	}
+	return s
+}
+
+// IntMulAdd is integer arithmetic: exact, never flagged.
+func IntMulAdd(a, b, c int) int { return a*b + c }
+
+// TempOK is the required fix: assignment rounds the product first.
+func TempOK(a, b, c float32) float32 {
+	t := a * b
+	return t + c
+}
+
+// ConstOK is folded at compile time.
+func ConstOK() float64 { return 2.0*3.0 + 1.0 }
+
+// Waived carries the site-level opt-out.
+func Waived(a, b, c float64) float64 {
+	//nessa:fma-ok fixture demonstrates the opt-out
+	return a*b - c
+}

@@ -1,0 +1,52 @@
+// Fixture for the hotpath analyzer: allocating and formatting
+// constructs inside //nessa:hotpath functions are violations unless
+// they sit in a panic argument, under an amortized growth guard, or on
+// a //nessa:alloc-ok line.
+package fixture
+
+import "fmt"
+
+// Kernel is annotated hot: every construct below must be flagged.
+//
+//nessa:hotpath
+func Kernel(dst, a []float32) []float32 {
+	buf := make([]float32, len(a)) // want "make in"
+	copy(buf, a)
+	dst = append(dst, buf...) // want "append"
+	pair := []int{1, 2}       // want "composite literal"
+	_ = pair
+	f := func() {} // want "closure"
+	f()
+	fmt.Println("hot") // want "call to fmt.Println"
+	return dst
+}
+
+// Label concatenates strings on the hot path.
+//
+//nessa:hotpath
+func Label(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+// Warm demonstrates every sanctioned escape: growth guard, panic
+// argument, and the alloc-ok annotation. No findings.
+//
+//nessa:hotpath
+func Warm(buf []float32, n int) []float32 {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+	if cap(buf) < n {
+		buf = make([]float32, n)
+	}
+	//nessa:alloc-ok demonstrates the site-level opt-out
+	extra := make([]int, 1)
+	_ = extra
+	return buf[:n]
+}
+
+// Cold carries no annotation: identical constructs, no findings.
+func Cold(n int) []float32 {
+	fmt.Println("cold")
+	return make([]float32, n)
+}

@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to the module
+// root (the directory holding go.mod).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// wantRe matches the golden-fixture expectation comments:
+//
+//	expr // want "substring of the diagnostic"
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// readWants returns line -> expected message substrings for every
+// `// want "..."` comment in the fixture file.
+func readWants(t *testing.T, file string) map[int][]string {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[int][]string)
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+			wants[i+1] = append(wants[i+1], m[1])
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no // want comments", file)
+	}
+	return wants
+}
+
+// runFixture loads one testdata package under the given import path
+// (paths matter: several analyzers scope their rules by package), runs
+// a single analyzer, and matches findings against the fixture's
+// `// want` comments one-to-one.
+func runFixture(t *testing.T, analyzer, dir, importPath string) {
+	t.Helper()
+	root := repoRoot(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixDir := filepath.Join(root, "internal", "analysis", "testdata", dir)
+	pkg, err := l.LoadDir(fixDir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	az, err := ByName([]string{analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{pkg}, az)
+
+	// One want file per fixture keeps the harness simple.
+	entries, err := os.ReadDir(fixDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[int][]string)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			for line, subs := range readWants(t, filepath.Join(fixDir, e.Name())) {
+				wants[line] = append(wants[line], subs...)
+			}
+		}
+	}
+
+	for _, f := range findings {
+		line := f.Pos.Line
+		matched := -1
+		for i, sub := range wants[line] {
+			if strings.Contains(f.Message, sub) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding at line %d: %s", line, f.Message)
+			continue
+		}
+		wants[line] = append(wants[line][:matched], wants[line][matched+1:]...)
+		if len(wants[line]) == 0 {
+			delete(wants, line)
+		}
+	}
+	for line, subs := range wants {
+		for _, sub := range subs {
+			t.Errorf("line %d: expected a finding containing %q, got none", line, sub)
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	// Any import path outside internal/bench, cmd, and examples is in
+	// scope for the determinism rules.
+	runFixture(t, "determinism", "determinism", "nessa/internal/fixture/determinism")
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	runFixture(t, "maporder", "maporder", "nessa/internal/fixture/maporder")
+}
+
+func TestHotPathFixture(t *testing.T) {
+	runFixture(t, "hotpath", "hotpath", "nessa/internal/fixture/hotpath")
+}
+
+func TestFMAFixture(t *testing.T) {
+	// The fma rules only fire inside the kernel packages, so the
+	// fixture is loaded as if it lived under internal/tensor.
+	runFixture(t, "fma", "fma", "nessa/internal/tensor/fixture")
+}
+
+func TestErrHygieneFixture(t *testing.T) {
+	// errhygiene scopes to the sentinel-error packages.
+	runFixture(t, "errhygiene", "errhygiene", "nessa/internal/storage/fixture")
+}
+
+// TestRepoVetClean is the clean-tree gate: every analyzer over every
+// package in the repository must report zero findings at HEAD.
+func TestRepoVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree type check is slow; skipped in -short mode")
+	}
+	root := repoRoot(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("LoadAll found only %d packages; loader is likely skipping the tree", len(pkgs))
+	}
+	findings := Run(pkgs, All())
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+}
+
+// pinnedHotPaths are the PR2 steady-state training entry points that
+// must keep their //nessa:hotpath annotation: losing one silently
+// removes the analyzer's allocation coverage for that kernel.
+var pinnedHotPaths = map[string][]string{
+	"internal/tensor":  {"MatMul", "MatMulTransB", "MatMulTransA", "MatMulTransAAcc", "gemmMicro4x4", "gemmMicroP4x4", "axpyRow", "Dot", "Softmax"},
+	"internal/nn":      {"Forward", "ForwardInto", "Backward", "SoftmaxCEInto"},
+	"internal/trainer": {"TrainEpoch"},
+}
+
+func TestHotPathAnnotationsPinned(t *testing.T) {
+	root := repoRoot(t)
+	for rel, fns := range pinnedHotPaths {
+		annotated := make(map[string]bool)
+		fset := token.NewFileSet()
+		pkgDir := filepath.Join(root, rel)
+		entries, err := os.ReadDir(pkgDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(pkgDir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range f.Decls {
+				if fn, ok := d.(*ast.FuncDecl); ok && HasDirective(fn.Doc, DirHotpath) {
+					annotated[fn.Name.Name] = true
+				}
+			}
+		}
+		for _, name := range fns {
+			if !annotated[name] {
+				t.Errorf("%s: %s has lost its //nessa:hotpath annotation", rel, name)
+			}
+		}
+	}
+}
+
+// TestInjectedAllocationCaught is the acceptance mutation test: inject
+// an unguarded make into the MatMul driver on a scratch copy of
+// internal/tensor and the hotpath analyzer must flag it; strip the
+// annotation from the same copy and the finding must disappear.
+func TestInjectedAllocationCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("package copies and repeated type checks are slow; skipped in -short mode")
+	}
+	root := repoRoot(t)
+	srcDir := filepath.Join(root, "internal", "tensor")
+
+	copyTensor := func(t *testing.T, mutate func(name string, src []byte) []byte) string {
+		t.Helper()
+		dst := t.TempDir()
+		entries, err := os.ReadDir(srcDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			if !strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, ".s") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(srcDir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data = mutate(name, data)
+			if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dst
+	}
+
+	const driver = "func MatMul(dst, a, b *Matrix) {\n"
+	const injected = driver + "\tprobe := make([]float32, 1)\n\t_ = probe\n"
+
+	hotpathFindings := func(t *testing.T, dir string) []Finding {
+		t.Helper()
+		l, err := NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := l.LoadDir(dir, "nessa/internal/tensor")
+		if err != nil {
+			t.Fatalf("loading mutated copy: %v", err)
+		}
+		az, err := ByName([]string{"hotpath"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Run([]*Package{pkg}, az)
+	}
+
+	t.Run("annotated driver flags injected make", func(t *testing.T) {
+		dir := copyTensor(t, func(name string, src []byte) []byte {
+			if name != "gemm.go" {
+				return src
+			}
+			if !strings.Contains(string(src), driver) {
+				t.Fatalf("gemm.go no longer contains the MatMul driver signature")
+			}
+			return []byte(strings.Replace(string(src), driver, injected, 1))
+		})
+		findings := hotpathFindings(t, dir)
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f.Message, "make in //nessa:hotpath function MatMul") {
+				found = true
+			} else {
+				t.Errorf("unexpected extra finding: %s", f.String())
+			}
+		}
+		if !found {
+			t.Fatalf("injected make in MatMul was not flagged; findings: %v", findings)
+		}
+	})
+
+	t.Run("stripping the annotation silences the analyzer", func(t *testing.T) {
+		dir := copyTensor(t, func(name string, src []byte) []byte {
+			if name != "gemm.go" {
+				return src
+			}
+			s := strings.Replace(string(src), driver, injected, 1)
+			// Drop only the directive line immediately above MatMul.
+			lines := strings.Split(s, "\n")
+			for i, line := range lines {
+				if strings.HasPrefix(line, "func MatMul(") {
+					for j := i - 1; j >= 0 && strings.HasPrefix(strings.TrimSpace(lines[j]), "//"); j-- {
+						if strings.TrimSpace(lines[j]) == "//nessa:hotpath" {
+							lines = append(lines[:j], lines[j+1:]...)
+							break
+						}
+					}
+					break
+				}
+			}
+			return []byte(strings.Join(lines, "\n"))
+		})
+		findings := hotpathFindings(t, dir)
+		for _, f := range findings {
+			if strings.Contains(f.Message, "function MatMul") {
+				t.Errorf("annotation stripped but MatMul still flagged: %s", f.String())
+			}
+		}
+	})
+}

@@ -29,6 +29,8 @@ func SoftmaxCE(logits *tensor.Matrix, labels []int, weights []float32, dLogits *
 // non-nil its rows double as the softmax buffer, and probs is unused
 // (may be nil); otherwise probs must be a scratch slice of length
 // ≥ logits.Cols. The computed values are identical to SoftmaxCE's.
+//
+//nessa:hotpath
 func SoftmaxCEInto(losses, probs []float32, logits *tensor.Matrix, labels []int, weights []float32, dLogits *tensor.Matrix) []float32 {
 	n := logits.Rows
 	if len(labels) != n {

@@ -93,6 +93,8 @@ func (m *MLP) NumParams() int {
 // subsequent Backward. Activation buffers are reused across calls —
 // including across differing batch sizes, so a short tail batch does
 // not reallocate.
+//
+//nessa:hotpath
 func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if len(m.acts) != len(m.Layers)+1 {
 		m.acts = make([]*tensor.Matrix, len(m.Layers)+1)
@@ -113,6 +115,8 @@ type FwdScratch struct {
 // touches the model's training activations — so it cannot feed a
 // subsequent Backward, and conversely never disturbs one in flight.
 // The model itself is only read.
+//
+//nessa:hotpath
 func (m *MLP) ForwardInto(s *FwdScratch, x *tensor.Matrix) *tensor.Matrix {
 	if len(s.acts) != len(m.Layers)+1 {
 		s.acts = make([]*tensor.Matrix, len(m.Layers)+1)
@@ -120,6 +124,7 @@ func (m *MLP) ForwardInto(s *FwdScratch, x *tensor.Matrix) *tensor.Matrix {
 	return m.forwardInto(s.acts, x)
 }
 
+//nessa:hotpath
 func (m *MLP) forwardInto(acts []*tensor.Matrix, x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != m.In {
 		panic(fmt.Sprintf("nn: Forward input has %d features, model wants %d", x.Cols, m.In))
@@ -172,6 +177,8 @@ func (g *Grads) Zero() {
 // g (call g.Zero first for a fresh batch). All intermediate gradient
 // buffers live in a per-model scratch arena, so steady-state calls
 // allocate nothing.
+//
+//nessa:hotpath
 func (m *MLP) Backward(g *Grads, dLogits *tensor.Matrix) {
 	if len(m.acts) == 0 || m.acts[0] == nil {
 		panic("nn: Backward called before Forward")

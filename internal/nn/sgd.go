@@ -68,16 +68,31 @@ func (s *SGD) Step(m *MLP, g *Grads) {
 		v := s.vW[i]
 		gw := g.W[i]
 		for k := range l.W.Data {
-			grad := gw.Data[k] + wd*l.W.Data[k]
-			v.Data[k] = mu*v.Data[k] - s.lr*grad
-			l.W.Data[k] += mu*v.Data[k] - s.lr*grad
+			// Every product is rounded into a temporary before the
+			// adjacent add/subtract: `a*b - c*d` is a single expression
+			// the spec lets the compiler fuse into an FMA, which would
+			// make update trajectories architecture-dependent. The
+			// temporaries compute the identical bits on amd64, where no
+			// fusion happened anyway.
+			decay := wd * l.W.Data[k]
+			grad := gw.Data[k] + decay
+			lg := s.lr * grad
+			vm := mu * v.Data[k]
+			vNew := vm - lg
+			v.Data[k] = vNew
+			look := mu * vNew // Nesterov look-ahead reuses the updated velocity
+			l.W.Data[k] += look - lg
 		}
 		vb := s.vB[i]
 		gb := g.B[i]
 		for k := range l.B {
 			grad := gb[k] // no weight decay on biases, standard practice
-			vb[k] = mu*vb[k] - s.lr*grad
-			l.B[k] += mu*vb[k] - s.lr*grad
+			lg := s.lr * grad
+			vm := mu * vb[k]
+			vNew := vm - lg
+			vb[k] = vNew
+			look := mu * vNew
+			l.B[k] += look - lg
 		}
 	}
 }

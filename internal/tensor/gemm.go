@@ -67,6 +67,7 @@ const gemmParallelFlops = 64 * 1024
 // allocate nothing.
 var gemmScratch sync.Pool
 
+//nessa:hotpath
 func gemmBuf(n int) *[]float32 {
 	if v := gemmScratch.Get(); v != nil {
 		s := v.(*[]float32)
@@ -75,12 +76,15 @@ func gemmBuf(n int) *[]float32 {
 			return s
 		}
 	}
+	//nessa:alloc-ok pool miss: first call at this size allocates; steady state reuses pooled buffers
 	s := make([]float32, n)
 	return &s
 }
 
 // gemmSerial reports whether a product with the given inner dimension
 // and output shape is too small to benefit from the pool.
+//
+//nessa:hotpath
 func gemmSerial(rows, inner, cols int) bool {
 	if parallel.Default().Workers() <= 1 {
 		return true
@@ -93,6 +97,8 @@ func gemmSerial(rows, inner, cols int) bool {
 // micro-kernels. The counting pass is O(|a|) reads against O(|a|·m)
 // multiply-adds saved, and the verdict depends only on the data, so the
 // same inputs take the same path at every worker count.
+//
+//nessa:hotpath
 func gemmSparseA(a *Matrix) bool {
 	zeros := 0
 	for _, v := range a.Data {
@@ -106,6 +112,8 @@ func gemmSparseA(a *Matrix) bool {
 // MatMul computes dst = a·b where a is (n×k) and b is (k×m).
 // dst must be n×m and is overwritten; it must not alias a or b.
 // Large products are banded over dst rows on the shared worker pool.
+//
+//nessa:hotpath
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch: (%dx%d)·(%dx%d) -> %dx%d",
@@ -119,6 +127,7 @@ func MatMul(dst, a, b *Matrix) {
 		if gemmSerial(n, k, m) {
 			matMulSkipBand(dst, a, b, 0, n)
 		} else {
+			//nessa:alloc-ok one dispatch closure per call, amortized over the whole banded product
 			parallel.Default().For(n, 0, func(lo, hi int) {
 				matMulSkipBand(dst, a, b, lo, hi)
 			})
@@ -136,6 +145,7 @@ func MatMul(dst, a, b *Matrix) {
 	if gemmSerial(n, k, m) {
 		matMulBand(dst, a, b, packed, 0, n)
 	} else {
+		//nessa:alloc-ok one dispatch closure per call, amortized over the whole banded product
 		parallel.Default().For(n, 0, func(lo, hi int) {
 			matMulBand(dst, a, b, packed, lo, hi)
 		})
@@ -148,6 +158,8 @@ func MatMul(dst, a, b *Matrix) {
 // MatMulTransB computes dst = a·bᵀ where a is (n×k) and b is (m×k).
 // dst must be n×m and must not alias a or b. This is the layout used
 // for Dense layers whose weights are stored (out×in).
+//
+//nessa:hotpath
 func MatMulTransB(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch: (%dx%d)·(%dx%d)ᵀ -> %dx%d",
@@ -168,6 +180,7 @@ func MatMulTransB(dst, a, b *Matrix) {
 	if gemmSerial(n, k, m) {
 		matMulTransBBand(dst, a, b, packed, 0, n)
 	} else {
+		//nessa:alloc-ok one dispatch closure per call, amortized over the whole banded product
 		parallel.Default().For(n, 0, func(lo, hi int) {
 			matMulTransBBand(dst, a, b, packed, lo, hi)
 		})
@@ -182,6 +195,8 @@ func MatMulTransB(dst, a, b *Matrix) {
 // gradients: dW = dOutᵀ·X. Bands cover dst rows (columns of a); within
 // a band every element accumulates in ascending k, matching the serial
 // order exactly.
+//
+//nessa:hotpath
 func MatMulTransA(dst, a, b *Matrix) {
 	matMulTransAInto(dst, a, b, false)
 }
@@ -194,10 +209,13 @@ func MatMulTransA(dst, a, b *Matrix) {
 // one by one or summed first and added once differs between the tiled
 // and skip paths — path choice depends only on operand data, so the
 // output remains deterministic and worker-count invariant either way.
+//
+//nessa:hotpath
 func MatMulTransAAcc(dst, a, b *Matrix) {
 	matMulTransAInto(dst, a, b, true)
 }
 
+//nessa:hotpath
 func matMulTransAInto(dst, a, b *Matrix, acc bool) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch: (%dx%d)ᵀ·(%dx%d) -> %dx%d",
@@ -211,6 +229,7 @@ func matMulTransAInto(dst, a, b *Matrix, acc bool) {
 		if gemmSerial(n, k, m) {
 			matMulTransASkipBand(dst, a, b, acc, 0, n)
 		} else {
+			//nessa:alloc-ok one dispatch closure per call, amortized over the whole banded product
 			parallel.Default().For(n, 0, func(lo, hi int) {
 				matMulTransASkipBand(dst, a, b, acc, lo, hi)
 			})
@@ -228,6 +247,7 @@ func matMulTransAInto(dst, a, b *Matrix, acc bool) {
 	if gemmSerial(n, k, m) {
 		matMulTransABand(dst, a, b, packed, acc, 0, n)
 	} else {
+		//nessa:alloc-ok one dispatch closure per call, amortized over the whole banded product
 		parallel.Default().For(n, 0, func(lo, hi int) {
 			matMulTransABand(dst, a, b, packed, acc, lo, hi)
 		})
@@ -240,8 +260,11 @@ func matMulTransAInto(dst, a, b *Matrix, acc bool) {
 // packColPanels packs b's first np·4 columns into 4-wide k-interleaved
 // panels: out[(jp·k + kk)·4 + c] = b[kk][jp·4+c]. Panels are disjoint,
 // so packing parallelizes trivially for large operands.
+//
+//nessa:hotpath
 func packColPanels(out []float32, b *Matrix, np int) {
 	if np*b.Rows*gemmNR >= gemmParallelFlops && parallel.Default().Workers() > 1 {
+		//nessa:alloc-ok one dispatch closure per call, amortized over the whole packing fan-out
 		parallel.Default().For(np, 1, func(lo, hi int) {
 			packColRange(out, b, lo, hi)
 		})
@@ -250,6 +273,7 @@ func packColPanels(out []float32, b *Matrix, np int) {
 	packColRange(out, b, 0, np)
 }
 
+//nessa:hotpath
 func packColRange(out []float32, b *Matrix, lo, hi int) {
 	k := b.Rows
 	for jp := lo; jp < hi; jp++ {
@@ -268,8 +292,11 @@ func packColRange(out []float32, b *Matrix, lo, hi int) {
 
 // packRowPanels packs b's first np·4 rows (the columns of bᵀ) into the
 // same panel layout: out[(jp·k + kk)·4 + c] = b[jp·4+c][kk].
+//
+//nessa:hotpath
 func packRowPanels(out []float32, b *Matrix, np int) {
 	if np*b.Cols*gemmNR >= gemmParallelFlops && parallel.Default().Workers() > 1 {
+		//nessa:alloc-ok one dispatch closure per call, amortized over the whole packing fan-out
 		parallel.Default().For(np, 1, func(lo, hi int) {
 			packRowRange(out, b, lo, hi)
 		})
@@ -278,6 +305,7 @@ func packRowPanels(out []float32, b *Matrix, np int) {
 	packRowRange(out, b, 0, np)
 }
 
+//nessa:hotpath
 func packRowRange(out []float32, b *Matrix, lo, hi int) {
 	k := b.Cols
 	for jp := lo; jp < hi; jp++ {
@@ -296,6 +324,8 @@ func packRowRange(out []float32, b *Matrix, lo, hi int) {
 
 // packAPanel packs gemmMR columns of a (starting at i0) over rows
 // [k0,k1) into a 4-interleaved strip: pa[(kk−k0)·4 + r] = a[kk][i0+r].
+//
+//nessa:hotpath
 func packAPanel(pa []float32, a *Matrix, i0, k0, k1 int) {
 	o := 0
 	for kk := k0; kk < k1; kk++ {
@@ -309,6 +339,8 @@ func packAPanel(pa []float32, a *Matrix, i0, k0, k1 int) {
 }
 
 // zeroRows clears dst rows [lo,hi).
+//
+//nessa:hotpath
 func zeroRows(dst *Matrix, lo, hi int) {
 	z := dst.Data[lo*dst.Cols : hi*dst.Cols]
 	for i := range z {
@@ -319,6 +351,8 @@ func zeroRows(dst *Matrix, lo, hi int) {
 // gemmPanelCore computes the paneled columns [0, np·4) of dst rows
 // [lo,hi) for a dot-product GEMM whose A rows are natural matrix rows.
 // dst rows must be pre-zeroed; the micro-kernels accumulate.
+//
+//nessa:hotpath
 func gemmPanelCore(dst, a *Matrix, packed []float32, np, lo, hi int) {
 	k := a.Cols
 	for jp := 0; jp < np; jp++ {
@@ -336,6 +370,8 @@ func gemmPanelCore(dst, a *Matrix, packed []float32, np, lo, hi int) {
 }
 
 // matMulBand computes dst rows [lo,hi) of dst = a·b.
+//
+//nessa:hotpath
 func matMulBand(dst, a, b *Matrix, packed []float32, lo, hi int) {
 	k, m := a.Cols, b.Cols
 	np := m / gemmNR
@@ -346,7 +382,10 @@ func matMulBand(dst, a, b *Matrix, packed []float32, lo, hi int) {
 			arow := a.Row(i)
 			var sum float32
 			for kk := 0; kk < k; kk++ {
-				sum += arow[kk] * b.Data[kk*m+j]
+				// Round each product before the add so the compiler
+				// cannot fuse it into an FMA (bit-identity contract).
+				t := arow[kk] * b.Data[kk*m+j]
+				sum += t
 			}
 			dst.Row(i)[j] = sum
 		}
@@ -354,6 +393,8 @@ func matMulBand(dst, a, b *Matrix, packed []float32, lo, hi int) {
 }
 
 // matMulTransBBand computes dst rows [lo,hi) of dst = a·bᵀ.
+//
+//nessa:hotpath
 func matMulTransBBand(dst, a, b *Matrix, packed []float32, lo, hi int) {
 	m := b.Rows
 	np := m / gemmNR
@@ -371,6 +412,8 @@ func matMulTransBBand(dst, a, b *Matrix, packed []float32, lo, hi int) {
 // A operand, skipping zero A elements. b rows are read contiguously
 // and each dst element accumulates in ascending k — the identical
 // term order as the dense path, minus the zero products.
+//
+//nessa:hotpath
 func matMulSkipBand(dst, a, b *Matrix, lo, hi int) {
 	k := a.Cols
 	for i := lo; i < hi; i++ {
@@ -394,6 +437,8 @@ func matMulSkipBand(dst, a, b *Matrix, lo, hi int) {
 // of backprop, where typically half the elements are exact zeros. The
 // k-outer loop reads a and b rows sequentially; dst rows of the band
 // stay cache-resident. Every dst element accumulates in ascending k.
+//
+//nessa:hotpath
 func matMulTransASkipBand(dst, a, b *Matrix, acc bool, lo, hi int) {
 	k := a.Rows
 	if !acc {
@@ -415,6 +460,8 @@ func matMulTransASkipBand(dst, a, b *Matrix, acc bool, lo, hi int) {
 // matMulTransABand computes dst rows [lo,hi) of dst = aᵀ·b (or
 // dst += aᵀ·b when acc). dst rows are columns of a, so the A side is
 // packed per 4-row tile into a pooled strip buffer.
+//
+//nessa:hotpath
 func matMulTransABand(dst, a, b *Matrix, packed []float32, acc bool, lo, hi int) {
 	k, m := a.Rows, b.Cols
 	np := m / gemmNR
@@ -442,7 +489,9 @@ func matMulTransABand(dst, a, b *Matrix, packed []float32, acc bool, lo, hi int)
 		for i := lo; i < iTileEnd; i++ {
 			var sum float32
 			for kk := 0; kk < k; kk++ {
-				sum += a.Data[kk*a.Cols+i] * b.Data[kk*m+j]
+				// Round each product before the add (no FMA).
+				t := a.Data[kk*a.Cols+i] * b.Data[kk*m+j]
+				sum += t
 			}
 			dst.Row(i)[j] += sum
 		}

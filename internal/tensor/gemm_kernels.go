@@ -8,6 +8,8 @@ package tensor
 // gemmMicro4x4 dispatches the 4×4 micro-kernel: SSE on amd64, the
 // portable loop below elsewhere. The slicing bounds-checks every
 // pointer handed to assembly once per call.
+//
+//nessa:hotpath
 func gemmMicro4x4(d0, d1, d2, d3 []float32, j0 int, a0, a1, a2, a3, p []float32) {
 	if !useAsmKernels {
 		goMicro4x4(d0, d1, d2, d3, j0, a0, a1, a2, a3, p)
@@ -30,6 +32,8 @@ func gemmMicro4x4(d0, d1, d2, d3 []float32, j0 int, a0, a1, a2, a3, p []float32)
 }
 
 // gemmMicro1x4 dispatches the row-tail micro-kernel.
+//
+//nessa:hotpath
 func gemmMicro1x4(d []float32, j0 int, a, p []float32) {
 	if !useAsmKernels {
 		goMicro1x4(d, j0, a, p)
@@ -45,6 +49,8 @@ func gemmMicro1x4(d []float32, j0 int, a, p []float32) {
 }
 
 // gemmMicroP4x4 dispatches the both-sides-packed micro-kernel.
+//
+//nessa:hotpath
 func gemmMicroP4x4(d0, d1, d2, d3 []float32, j0 int, pa, p []float32) {
 	if !useAsmKernels {
 		goMicroP4x4(d0, d1, d2, d3, j0, pa, p)
@@ -67,6 +73,8 @@ func gemmMicroP4x4(d0, d1, d2, d3 []float32, j0 int, pa, p []float32) {
 // sparse skip bands. The SSE form processes four lanes per step, but
 // each element still sees exactly one multiply then one add, so the
 // result matches the scalar loop bit for bit.
+//
+//nessa:hotpath
 func axpyRow(dst, src []float32, alpha float32) {
 	if len(src) != len(dst) {
 		panic("tensor: axpyRow length mismatch")
@@ -76,13 +84,17 @@ func axpyRow(dst, src []float32, alpha float32) {
 		return
 	}
 	for j, v := range src {
-		dst[j] += alpha * v
+		// Round the product before the add (no FMA; see goMicro4x4).
+		t := alpha * v
+		dst[j] += t
 	}
 }
 
 // goMicro4x4 accumulates the 4×4 destination tile at columns
 // [j0,j0+4) of rows d0..d3 with the products of four A rows against
 // one packed panel. Every accumulator adds in ascending k.
+//
+//nessa:hotpath
 func goMicro4x4(d0, d1, d2, d3 []float32, j0 int, a0, a1, a2, a3, p []float32) {
 	kn := len(a0)
 	if kn == 0 {
@@ -101,22 +113,19 @@ func goMicro4x4(d0, d1, d2, d3 []float32, j0 int, a0, a1, a2, a3, p []float32) {
 		o := k * gemmNR
 		bv0, bv1, bv2, bv3 := p[o], p[o+1], p[o+2], p[o+3]
 		av0, av1, av2, av3 := a0[k], a1[k], a2[k], a3[k]
-		c00 += av0 * bv0
-		c01 += av0 * bv1
-		c02 += av0 * bv2
-		c03 += av0 * bv3
-		c10 += av1 * bv0
-		c11 += av1 * bv1
-		c12 += av1 * bv2
-		c13 += av1 * bv3
-		c20 += av2 * bv0
-		c21 += av2 * bv1
-		c22 += av2 * bv2
-		c23 += av2 * bv3
-		c30 += av3 * bv0
-		c31 += av3 * bv1
-		c32 += av3 * bv2
-		c33 += av3 * bv3
+		// The products are materialized into temporaries before the
+		// adds: the spec lets `c += a*b` fuse into one FMA (a single
+		// rounding), while an assignment forces the product to round
+		// to float32 first — exactly what the SSE kernels do, keeping
+		// the two paths bit-identical on every architecture.
+		m0, m1, m2, m3 := av0*bv0, av0*bv1, av0*bv2, av0*bv3
+		c00, c01, c02, c03 = c00+m0, c01+m1, c02+m2, c03+m3
+		m0, m1, m2, m3 = av1*bv0, av1*bv1, av1*bv2, av1*bv3
+		c10, c11, c12, c13 = c10+m0, c11+m1, c12+m2, c13+m3
+		m0, m1, m2, m3 = av2*bv0, av2*bv1, av2*bv2, av2*bv3
+		c20, c21, c22, c23 = c20+m0, c21+m1, c22+m2, c23+m3
+		m0, m1, m2, m3 = av3*bv0, av3*bv1, av3*bv2, av3*bv3
+		c30, c31, c32, c33 = c30+m0, c31+m1, c32+m2, c33+m3
 	}
 	d0 = d0[j0 : j0+gemmNR]
 	d0[0] += c00
@@ -141,6 +150,8 @@ func goMicro4x4(d0, d1, d2, d3 []float32, j0 int, a0, a1, a2, a3, p []float32) {
 }
 
 // goMicro1x4 is the row-tail variant: one A row against one panel.
+//
+//nessa:hotpath
 func goMicro1x4(d []float32, j0 int, a, p []float32) {
 	kn := len(a)
 	if kn == 0 {
@@ -152,10 +163,9 @@ func goMicro1x4(d []float32, j0 int, a, p []float32) {
 	for k := 0; k < kn; k++ {
 		o := k * gemmNR
 		av := a[k]
-		c0 += av * p[o]
-		c1 += av * p[o+1]
-		c2 += av * p[o+2]
-		c3 += av * p[o+3]
+		// Explicit product temporaries: see goMicro4x4.
+		m0, m1, m2, m3 := av*p[o], av*p[o+1], av*p[o+2], av*p[o+3]
+		c0, c1, c2, c3 = c0+m0, c1+m1, c2+m2, c3+m3
 	}
 	d = d[j0 : j0+gemmNR]
 	d[0] += c0
@@ -167,6 +177,8 @@ func goMicro1x4(d []float32, j0 int, a, p []float32) {
 // goMicroP4x4 is the both-sides-packed variant used by MatMulTransA:
 // pa holds four A columns and p four B columns, both 4-interleaved
 // over the same k range.
+//
+//nessa:hotpath
 func goMicroP4x4(d0, d1, d2, d3 []float32, j0 int, pa, p []float32) {
 	kn := len(pa) / gemmNR
 	if kn == 0 {
@@ -182,22 +194,15 @@ func goMicroP4x4(d0, d1, d2, d3 []float32, j0 int, pa, p []float32) {
 		o := k * gemmNR
 		av0, av1, av2, av3 := pa[o], pa[o+1], pa[o+2], pa[o+3]
 		bv0, bv1, bv2, bv3 := p[o], p[o+1], p[o+2], p[o+3]
-		c00 += av0 * bv0
-		c01 += av0 * bv1
-		c02 += av0 * bv2
-		c03 += av0 * bv3
-		c10 += av1 * bv0
-		c11 += av1 * bv1
-		c12 += av1 * bv2
-		c13 += av1 * bv3
-		c20 += av2 * bv0
-		c21 += av2 * bv1
-		c22 += av2 * bv2
-		c23 += av2 * bv3
-		c30 += av3 * bv0
-		c31 += av3 * bv1
-		c32 += av3 * bv2
-		c33 += av3 * bv3
+		// Explicit product temporaries: see goMicro4x4.
+		m0, m1, m2, m3 := av0*bv0, av0*bv1, av0*bv2, av0*bv3
+		c00, c01, c02, c03 = c00+m0, c01+m1, c02+m2, c03+m3
+		m0, m1, m2, m3 = av1*bv0, av1*bv1, av1*bv2, av1*bv3
+		c10, c11, c12, c13 = c10+m0, c11+m1, c12+m2, c13+m3
+		m0, m1, m2, m3 = av2*bv0, av2*bv1, av2*bv2, av2*bv3
+		c20, c21, c22, c23 = c20+m0, c21+m1, c22+m2, c23+m3
+		m0, m1, m2, m3 = av3*bv0, av3*bv1, av3*bv2, av3*bv3
+		c30, c31, c32, c33 = c30+m0, c31+m1, c32+m2, c33+m3
 	}
 	d0 = d0[j0 : j0+gemmNR]
 	d0[0] += c00

@@ -75,6 +75,8 @@ func (m *Matrix) FillNormal(r *RNG, std float32) {
 // GatherRows copies src rows idx[i] into dst rows i in one fused pass
 // — the permuted-batch gather of the training loop. dst must have
 // len(idx) rows and src's column count.
+//
+//nessa:hotpath
 func GatherRows(dst, src *Matrix, idx []int) {
 	if dst.Cols != src.Cols || dst.Rows != len(idx) {
 		panic(fmt.Sprintf("tensor: GatherRows shape mismatch: dst %dx%d, src cols %d, %d indices",
@@ -91,6 +93,8 @@ func GatherRows(dst, src *Matrix, idx []int) {
 // allocates fresh; contents are unspecified either way (callers
 // overwrite). Shrinking (e.g. for a short tail batch) keeps the full
 // capacity, so the next full-size batch reuses the same storage.
+//
+//nessa:hotpath
 func EnsureShape(m *Matrix, rows, cols int) *Matrix {
 	n := rows * cols
 	if m == nil || cap(m.Data) < n {
@@ -102,6 +106,8 @@ func EnsureShape(m *Matrix, rows, cols int) *Matrix {
 }
 
 // AddRowVec adds vector v to every row of m in place.
+//
+//nessa:hotpath
 func AddRowVec(m *Matrix, v []float32) {
 	if len(v) != m.Cols {
 		panic(fmt.Sprintf("tensor: AddRowVec length %d, want %d", len(v), m.Cols))
@@ -118,6 +124,8 @@ func AddRowVec(m *Matrix, v []float32) {
 // max(0, ·), in one pass: the fused bias + activation epilogue of a
 // hidden layer. Identical values to AddRowVec followed by a separate
 // clamp, without re-streaming m through the cache.
+//
+//nessa:hotpath
 func AddRowVecReLU(m *Matrix, v []float32) {
 	if len(v) != m.Cols {
 		panic(fmt.Sprintf("tensor: AddRowVecReLU length %d, want %d", len(v), m.Cols))

@@ -3,18 +3,26 @@ package tensor
 import "math"
 
 // Dot returns the inner product of a and b. Lengths must match.
+//
+//nessa:hotpath
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("tensor: Dot length mismatch")
 	}
 	var s float32
 	for i := range a {
-		s += a[i] * b[i]
+		// Round each product before the add: `s += a*b` is a single
+		// expression the compiler may fuse into an FMA, which would
+		// break the amd64-vs-portable bit-identity contract.
+		t := a[i] * b[i]
+		s += t
 	}
 	return s
 }
 
 // SqDist returns the squared Euclidean distance between a and b.
+//
+//nessa:hotpath
 func SqDist(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("tensor: SqDist length mismatch")
@@ -22,7 +30,9 @@ func SqDist(a, b []float32) float32 {
 	var s float32
 	for i := range a {
 		d := a[i] - b[i]
-		s += d * d
+		// Round the square before the add (no FMA; see Dot).
+		dd := d * d
+		s += dd
 	}
 	return s
 }
@@ -31,13 +41,17 @@ func SqDist(a, b []float32) float32 {
 func Norm(v []float32) float32 {
 	var s float64
 	for _, x := range v {
-		s += float64(x) * float64(x)
+		// Round the square before the add (no FMA; see Dot).
+		xx := float64(x) * float64(x)
+		s += xx
 	}
 	return float32(math.Sqrt(s))
 }
 
 // Argmax returns the index of the largest element of v, or -1 if v is
 // empty. Ties resolve to the lowest index.
+//
+//nessa:hotpath
 func Argmax(v []float32) int {
 	if len(v) == 0 {
 		return -1
@@ -53,6 +67,8 @@ func Argmax(v []float32) int {
 
 // Softmax writes the softmax of logits into out (which may alias
 // logits). It is numerically stabilized by max subtraction.
+//
+//nessa:hotpath
 func Softmax(out, logits []float32) {
 	if len(out) != len(logits) {
 		panic("tensor: Softmax length mismatch")

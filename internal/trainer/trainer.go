@@ -90,6 +90,8 @@ func (t *Trainer) SetEpoch(epoch int) {
 // TrainEpoch runs one epoch of weighted mini-batch SGD over the given
 // samples (rows of x with labels and per-sample weights; weights may be
 // nil for uniform). Returns the weighted mean training loss.
+//
+//nessa:hotpath
 func (t *Trainer) TrainEpoch(x *tensor.Matrix, labels []int, weights []float32) float64 {
 	n := x.Rows
 	if n == 0 {

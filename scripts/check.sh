@@ -13,6 +13,25 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== gofmt =="
+# gofmt placement is load-bearing for nessa-vet: a mis-formatted
+# //nessa: directive (no blank // separator, wrong indentation) can
+# silently detach from its declaration and stop exempting anything.
+unformatted="$(gofmt -l .)"
+if [[ -n "$unformatted" ]]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== nessa-vet =="
+# The repo's own analyzers: determinism (no wall clock / math/rand in
+# device code), maporder (no order-sensitive folds over map iteration),
+# hotpath (//nessa:hotpath functions stay allocation-free), fma (no
+# fusable float multiply-adds in the kernel packages), errhygiene
+# (sentinel errors compared with errors.Is, wrapped with %w).
+go run ./cmd/nessa-vet ./...
+
 echo "== go test -race =="
 go test -race ./...
 
