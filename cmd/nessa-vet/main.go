@@ -1,20 +1,31 @@
 // Command nessa-vet runs the repository's custom static-analysis
-// suite (internal/analysis): five analyzers that machine-check the
-// determinism, hot-path-allocation, FMA bit-identity, map-order, and
-// error-hygiene contracts at the source level.
+// suite (internal/analysis): eight analyzers that machine-check the
+// determinism, hot-path-allocation, FMA bit-identity, map-order,
+// error-hygiene, concurrency, scratch-lifetime, and seed-provenance
+// contracts at the source level.
 //
 // Usage:
 //
-//	nessa-vet [-run name[,name...]] [packages]
+//	nessa-vet [-run name[,name...]] [-json] [-baseline file [-write-baseline]] [packages]
 //
 // With no package arguments (or the pattern "./...") every buildable
 // non-test package in the module is analyzed. Individual directories
 // may be named instead. The command exits 0 when the tree is clean,
 // 1 with one file:line:col diagnostic per line otherwise, and 2 on a
 // load or usage error.
+//
+// -json emits each finding as one JSON object per line (analyzer,
+// severity, file, line, col, message) instead of the text form.
+//
+// -baseline compares findings against a recorded baseline file and
+// reports (and fails on) only findings not present in it, so CI gates
+// on regressions rather than the historical backlog. A missing
+// baseline file is treated as empty. -write-baseline records the
+// current findings into the baseline file and exits 0.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,11 +38,18 @@ import (
 func main() {
 	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
+	baselinePath := flag.String("baseline", "", "baseline file: suppress findings recorded in it")
+	writeBaseline := flag.Bool("write-baseline", false, "write current findings to -baseline and exit 0")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: nessa-vet [-run name[,name...]] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: nessa-vet [-run name[,name...]] [-json] [-baseline file [-write-baseline]] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "nessa-vet: -write-baseline requires -baseline")
+		os.Exit(2)
+	}
 
 	analyzers := analysis.All()
 	if *list {
@@ -67,13 +85,57 @@ func main() {
 	}
 
 	findings := analysis.Run(pkgs, analyzers)
+
+	if *writeBaseline {
+		if err := analysis.NewBaseline(findings, root).Write(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "nessa-vet:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "nessa-vet: wrote %d finding(s) to %s\n", len(findings), *baselinePath)
+		return
+	}
+	if *baselinePath != "" {
+		base, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nessa-vet:", err)
+			os.Exit(2)
+		}
+		findings = base.Diff(findings, root)
+	}
+
 	for _, f := range findings {
-		fmt.Println(f)
+		if *jsonOut {
+			printJSON(f)
+		} else {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "nessa-vet: %d finding(s)\n", len(findings))
+		what := "finding(s)"
+		if *baselinePath != "" {
+			what = "new finding(s) not in baseline"
+		}
+		fmt.Fprintf(os.Stderr, "nessa-vet: %d %s\n", len(findings), what)
 		os.Exit(1)
 	}
+}
+
+// printJSON emits one finding as a single-line JSON object.
+func printJSON(f analysis.Finding) {
+	rec := struct {
+		Analyzer string `json:"analyzer"`
+		Severity string `json:"severity"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}{f.Analyzer, f.Severity, f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message}
+	out, err := json.Marshal(rec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nessa-vet:", err)
+		os.Exit(2)
+	}
+	fmt.Println(string(out))
 }
 
 // loadTargets resolves the command-line package arguments. The empty

@@ -47,12 +47,40 @@ const (
 	DirFMAOK = "fma-ok"
 	// DirErrOK exempts one error-handling site from errhygiene.
 	DirErrOK = "err-ok"
+	// DirArena marks a type or struct field whose memory is pooled or
+	// epoch-scoped scratch (opt-in seed for the scratchlife analyzer):
+	// values read from it are valid only until the owning pool Put or
+	// the next epoch, and must not outlive that boundary.
+	DirArena = "arena"
+	// DirScratchOK waives one scratchlife escape: either a function
+	// documented to hand out scratch-backed memory (ownership transfer
+	// to a caller that returns it, or a view with a documented
+	// lifetime), or a single flagged line.
+	DirScratchOK = "scratch-ok"
+	// DirSeedOK exempts one RNG/injector construction whose seed does
+	// not flow from a configured seed (e.g. a documented deterministic
+	// fallback for a nil RNG argument).
+	DirSeedOK = "seed-ok"
+	// DirSyncOK exempts one concurrency finding (e.g. a shared write
+	// the caller serializes by other means).
+	DirSyncOK = "sync-ok"
 )
 
-// Finding is one diagnostic: where, which analyzer, and why.
+// Finding severities. Every rule reports SeverityError except the
+// loop-variable-capture rule, which is a contract violation but — with
+// the module at go >= 1.22 per-iteration loop variables — no longer a
+// language-level data race.
+const (
+	SeverityError = "error"
+	SeverityWarn  = "warn"
+)
+
+// Finding is one diagnostic: where, which analyzer, how severe, and
+// why.
 type Finding struct {
 	Analyzer string
 	Pos      token.Position
+	Severity string
 	Message  string
 }
 
@@ -75,18 +103,29 @@ func All() []*Analyzer {
 		HotPathAnalyzer(),
 		FMAAnalyzer(),
 		ErrHygieneAnalyzer(),
+		ConcurrencyAnalyzer(),
+		ScratchLifeAnalyzer(),
+		SeedFlowAnalyzer(),
 	}
 }
 
 // ByName returns the named analyzers, or an error naming the first
-// unknown one.
+// unknown one. Names are trimmed of surrounding whitespace (so
+// "fma, hotpath" works) and deduplicated in first-occurrence order;
+// empty segments are ignored.
 func ByName(names []string) ([]*Analyzer, error) {
 	index := make(map[string]*Analyzer)
 	for _, a := range All() {
 		index[a.Name] = a
 	}
+	seen := make(map[string]bool)
 	var out []*Analyzer
 	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
 		a, ok := index[n]
 		if !ok {
 			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
@@ -106,11 +145,21 @@ type Pass struct {
 	directives map[string]map[int][]string
 }
 
-// Reportf records a finding at pos.
+// Reportf records a finding at pos with SeverityError.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, SeverityError, format, args...)
+}
+
+// Warnf records a finding at pos with SeverityWarn.
+func (p *Pass) Warnf(pos token.Pos, format string, args ...any) {
+	p.report(pos, SeverityWarn, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, severity, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
 		Analyzer: p.analyzer.Name,
 		Pos:      p.Pkg.Fset.Position(pos),
+		Severity: severity,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -215,7 +264,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return findings
 }

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline support: a recorded set of accepted findings so CI can fail
+// only on NEW findings. Entries are keyed by (analyzer, module-relative
+// file, message) with a count — deliberately line-insensitive, so
+// unrelated edits that shift a waived finding up or down a few lines do
+// not break the gate, while a second instance of the same message in
+// the same file does.
+
+// BaselineEntry is one accepted finding class in a baseline file.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-root-relative, forward slashes
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the decoded contents of a baseline file.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+func (b *Baseline) index() map[baselineKey]int {
+	m := make(map[baselineKey]int, len(b.Entries))
+	for _, e := range b.Entries {
+		m[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	return m
+}
+
+// LoadBaseline reads a baseline file. A missing file is not an error —
+// it decodes as the empty baseline, so bootstrapping a repo needs no
+// special case.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{}
+	if len(data) == 0 {
+		return b, nil
+	}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	return b, nil
+}
+
+// NewBaseline builds a baseline from the given findings, with file
+// paths relativized against root.
+func NewBaseline(findings []Finding, root string) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, f := range findings {
+		k := baselineKey{f.Analyzer, relToRoot(f.Pos.Filename, root), f.Message}
+		counts[k]++
+	}
+	b := &Baseline{}
+	for k, n := range counts {
+		//nessa:sorted-iteration entries are sorted wholesale right below
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n,
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Write serializes the baseline to path, creating parent directories.
+func (b *Baseline) Write(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Diff returns the findings not covered by the baseline: each
+// (analyzer, file, message) key absorbs up to its recorded count, and
+// everything beyond that is new. Findings arrive and leave in Run's
+// deterministic order.
+func (b *Baseline) Diff(findings []Finding, root string) []Finding {
+	budget := b.index()
+	var fresh []Finding
+	for _, f := range findings {
+		k := baselineKey{f.Analyzer, relToRoot(f.Pos.Filename, root), f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh
+}
+
+// relToRoot converts an absolute finding path to a slash-separated
+// path relative to the module root, falling back to the input when the
+// file lies outside it.
+func relToRoot(file, root string) string {
+	rel, err := filepath.Rel(root, file)
+	if err != nil || rel == ".." || filepath.IsAbs(rel) || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator) {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A types-based, intraprocedurally-conservative call graph for one
+// package: nodes are the functions and methods declared in the
+// package, edges are static call sites resolved through go/types.
+// Dynamic calls (interface methods, function values) resolve to the
+// interface method object or nothing, and therefore never reach a
+// declared body — callers treat missing summaries as "unknown" and
+// stay conservative. The seedflow and scratchlife analyzers run small
+// boolean summary fixpoints over this graph.
+type CallGraph struct {
+	pkg *Package
+	// Decls maps every function object declared in the package to its
+	// syntax.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Callees maps a declared function to the distinct function
+	// objects it calls directly (in source order, deduplicated).
+	Callees map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph constructs the call graph of one loaded package.
+func BuildCallGraph(pkg *Package) *CallGraph {
+	cg := &CallGraph{
+		pkg:     pkg,
+		Decls:   make(map[*types.Func]*ast.FuncDecl),
+		Callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			cg.Decls[fn] = fd
+			seen := make(map[*types.Func]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := StaticCallee(pkg.Info, call); callee != nil && !seen[callee] {
+					seen[callee] = true
+					cg.Callees[fn] = append(cg.Callees[fn], callee)
+				}
+				return true
+			})
+		}
+	}
+	return cg
+}
+
+// StaticCallee resolves the function object a call expression invokes,
+// or nil when the callee is dynamic (a function value), a builtin, or
+// a type conversion. Interface method calls resolve to the interface's
+// method object, which has no declaration in any package.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// Fixpoint iterates a boolean per-function summary to a fixed point.
+// eval decides, for one declared function and the current summary map,
+// whether the function has the property; it may consult cur for
+// callees (missing entries mean "not known to have it"). The result
+// is monotone: once a function's summary turns true it stays true.
+func (cg *CallGraph) Fixpoint(eval func(fn *types.Func, decl *ast.FuncDecl, cur map[*types.Func]bool) bool) map[*types.Func]bool {
+	cur := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for fn, decl := range cg.Decls {
+			if cur[fn] {
+				continue
+			}
+			if eval(fn, decl, cur) {
+				cur[fn] = true
+				changed = true
+			}
+		}
+	}
+	return cur
+}

@@ -1,0 +1,644 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The concurrency analyzer machine-checks the contracts the
+// internal/parallel pool and the repo's mutex discipline rely on:
+//
+//  1. loop-capture: a closure that executes concurrently (a go
+//     statement, an argument to a parallel.Pool method, or a task
+//     appended to a slice handed to the pool) must not capture an
+//     enclosing loop variable. Since go 1.22 loop variables are
+//     per-iteration so this is no longer a data race, but the repo
+//     keeps iteration-state capture explicit (rebind or parameter) so
+//     the code stays correct under pre-1.22 toolchains and obvious to
+//     reviewers; reported at SeverityWarn.
+//  2. shared-write: a concurrently executed closure must not write a
+//     captured variable directly — the sanctioned reduction shape is
+//     a write to a disjoint per-chunk slot (partial[c] = ...), which
+//     writes through an index and is not flagged.
+//  3. copylocks: sync.Mutex, sync.WaitGroup and friends must never be
+//     copied — by-value parameters, results, receivers, assignments
+//     from existing values, range-value copies, or call arguments.
+//  4. add-in-goroutine: sync.WaitGroup.Add must happen before the
+//     goroutine is spawned, never inside it (the race where Wait runs
+//     before Add).
+//  5. unlock-without-lock: flow-sensitively (over the CFG), an Unlock
+//     must not be reachable on a path with no preceding Lock of the
+//     same mutex expression. `mu.Lock(); defer mu.Unlock()` is clean:
+//     the deferred unlock is modeled at the defer site.
+//
+// //nessa:sync-ok on the flagged line (or the line above) waives one
+// finding.
+
+// ConcurrencyAnalyzer returns the concurrency analyzer.
+func ConcurrencyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "concurrency",
+		Doc:  "loop capture and shared writes in pool/go closures, copied locks, WaitGroup.Add placement, unlock-without-lock paths",
+		Run:  runConcurrency,
+	}
+}
+
+func runConcurrency(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSignatureLocks(p, fd.Recv, fd.Type)
+			checkLockCopies(p, fd.Body)
+			cc := &concChecker{p: p}
+			cc.collectSpawned(fd.Body)
+			cc.collectLoopVars(fd.Body)
+			cc.checkSpawned()
+			checkLockState(p, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkSignatureLocks(p, nil, lit.Type)
+					checkLockState(p, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Rules 1, 2, 4: spawned closures
+// ---------------------------------------------------------------------
+
+type loopVar struct {
+	obj  types.Object
+	body span
+}
+
+type concChecker struct {
+	p        *Pass
+	spawned  []*ast.FuncLit // closures that execute concurrently
+	deferred []*ast.FuncLit // defer func(){...}() literals
+	loopVars []loopVar
+}
+
+// collectSpawned finds every function literal that executes
+// concurrently with the enclosing function: go statement operands,
+// direct parallel.Pool arguments, and literals that flow into a local
+// variable (or slice) later handed to a pool method.
+func (cc *concChecker) collectSpawned(body *ast.BlockStmt) {
+	info := cc.p.Pkg.Info
+	mark := make(map[*ast.FuncLit]bool)
+	spawnObjs := make(map[types.Object]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				mark[lit] = true
+			}
+		case *ast.DeferStmt:
+			if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				cc.deferred = append(cc.deferred, lit)
+			}
+		case *ast.CallExpr:
+			if !isParallelPoolCall(info, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				switch arg := unparen(arg).(type) {
+				case *ast.FuncLit:
+					mark[arg] = true
+				case *ast.Ident:
+					if obj := objOf(info, arg); obj != nil && isFuncish(obj.Type()) {
+						spawnObjs[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Second pass: literals flowing into the variables handed to the
+	// pool — `tasks = append(tasks, func(){...})`, `body := func...`,
+	// `tasks[i] = func...`.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			var target types.Object
+			switch lhs := unparen(lhs).(type) {
+			case *ast.Ident:
+				target = objOf(info, lhs)
+			case *ast.IndexExpr:
+				if id, ok := unparen(lhs.X).(*ast.Ident); ok {
+					target = objOf(info, id)
+				}
+			}
+			if target == nil || !spawnObjs[target] {
+				continue
+			}
+			switch rhs := unparen(as.Rhs[i]).(type) {
+			case *ast.FuncLit:
+				mark[rhs] = true
+			case *ast.CallExpr:
+				if isBuiltin(cc.p, rhs.Fun, "append") {
+					for _, a := range rhs.Args[1:] {
+						if lit, ok := unparen(a).(*ast.FuncLit); ok {
+							mark[lit] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for lit := range mark {
+		//nessa:sorted-iteration findings are globally sorted by Run; per-closure checks are independent
+		cc.spawned = append(cc.spawned, lit)
+	}
+}
+
+// collectLoopVars records every per-iteration variable (range key and
+// value, for-init definitions) with the span in which a closure could
+// capture it.
+func (cc *concChecker) collectLoopVars(body *ast.BlockStmt) {
+	info := cc.p.Pkg.Info
+	add := func(e ast.Expr, sp span) {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if obj := info.Defs[id]; obj != nil {
+			cc.loopVars = append(cc.loopVars, loopVar{obj: obj, body: sp})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				sp := span{n.Body.Pos(), n.Body.End()}
+				add(n.Key, sp)
+				add(n.Value, sp)
+			}
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				sp := span{n.Body.Pos(), n.Body.End()}
+				for _, lhs := range init.Lhs {
+					add(lhs, sp)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (cc *concChecker) checkSpawned() {
+	for _, lit := range cc.spawned {
+		cc.checkLoopCapture(lit, "concurrently executed closure")
+		cc.checkSharedWrites(lit)
+		cc.checkAddInside(lit)
+	}
+	for _, lit := range cc.deferred {
+		cc.checkLoopCapture(lit, "deferred closure")
+	}
+}
+
+// checkLoopCapture flags uses, inside lit, of loop variables of any
+// enclosing loop (rule 1).
+func (cc *concChecker) checkLoopCapture(lit *ast.FuncLit, how string) {
+	info := cc.p.Pkg.Info
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, lv := range cc.loopVars {
+			if lv.obj == obj && lv.body.contains(lit.Pos()) {
+				if !cc.p.ExemptAt(id.Pos(), DirSyncOK) && !cc.p.ExemptAt(lit.Pos(), DirSyncOK) {
+					cc.p.Warnf(id.Pos(), "loop variable %s captured by %s; rebind it (%s := %s) or pass it as a parameter", id.Name, how, id.Name, id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSharedWrites flags direct writes to captured variables inside a
+// spawned closure (rule 2). Writes through an index or selector are
+// the sanctioned disjoint-slot idiom and stay silent.
+func (cc *concChecker) checkSharedWrites(lit *ast.FuncLit) {
+	info := cc.p.Pkg.Info
+	litSpan := span{lit.Pos(), lit.End()}
+	flag := func(id *ast.Ident, at token.Pos) {
+		obj := objOf(info, id)
+		if obj == nil || litSpan.contains(obj.Pos()) {
+			return // local to the closure (or its parameters)
+		}
+		if _, ok := obj.(*types.Var); !ok {
+			return
+		}
+		if cc.p.ExemptAt(at, DirSyncOK) {
+			return
+		}
+		cc.p.Reportf(at, "write to captured variable %s inside concurrently executed closure may race; use a disjoint per-chunk slot or a mutex", id.Name)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return n == lit // don't descend into nested literals twice
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := unparen(lhs).(*ast.Ident); ok && n.Tok != token.DEFINE {
+					flag(id, n.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := unparen(n.X).(*ast.Ident); ok {
+				flag(id, n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// checkAddInside flags sync.WaitGroup.Add calls inside the spawned
+// closure (rule 4).
+func (cc *concChecker) checkAddInside(lit *ast.FuncLit) {
+	info := cc.p.Pkg.Info
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if m := syncMethod(info, call); m == "WaitGroup.Add" {
+			if !cc.p.ExemptAt(call.Pos(), DirSyncOK) {
+				cc.p.Reportf(call.Pos(), "sync.WaitGroup.Add inside the spawned closure races with Wait; call Add before spawning")
+			}
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: copied locks
+// ---------------------------------------------------------------------
+
+// checkSignatureLocks flags by-value lock types in receivers,
+// parameters, and results.
+func checkSignatureLocks(p *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	lists := []*ast.FieldList{recv, ft.Params, ft.Results}
+	for _, fl := range lists {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			t := p.Pkg.Info.TypeOf(field.Type)
+			if name := lockIn(t); name != "" && !p.ExemptAt(field.Pos(), DirSyncOK) {
+				p.Reportf(field.Pos(), "%s passed by value copies the lock; use a pointer", name)
+			}
+		}
+	}
+}
+
+// checkLockCopies flags assignments, range clauses, and call arguments
+// that copy a lock-containing value.
+func checkLockCopies(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	copyable := func(e ast.Expr) bool {
+		switch unparen(e).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			return true
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if !copyable(rhs) {
+					continue
+				}
+				if name := lockIn(info.TypeOf(rhs)); name != "" && !p.ExemptAt(n.Pos(), DirSyncOK) {
+					p.Reportf(rhs.Pos(), "assignment copies a value containing %s; use a pointer", name)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if name := lockIn(info.TypeOf(n.Value)); name != "" && !p.ExemptAt(n.Pos(), DirSyncOK) {
+					p.Reportf(n.Value.Pos(), "range clause copies a value containing %s; iterate by index", name)
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if !copyable(arg) {
+					continue
+				}
+				if name := lockIn(info.TypeOf(arg)); name != "" && !p.ExemptAt(arg.Pos(), DirSyncOK) {
+					p.Reportf(arg.Pos(), "call argument copies a value containing %s; pass a pointer", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockIn returns the name of the lock type contained by value in t
+// ("sync.Mutex", "sync.WaitGroup", ...), or "" if t holds no lock.
+func lockIn(t types.Type) string {
+	return lockInRec(t, make(map[types.Type]bool))
+}
+
+func lockInRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				switch obj.Name() {
+				case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+					return "sync/atomic." + obj.Name()
+				}
+			}
+		}
+		return lockInRec(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if name := lockInRec(t.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockInRec(t.Elem(), seen)
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------
+// Rule 5: unlock-without-lock (flow-sensitive)
+// ---------------------------------------------------------------------
+
+const (
+	mayUnlocked uint8 = 1 << iota
+	mayLocked
+)
+
+type lockState map[string]uint8
+
+// checkLockState runs a may-analysis over the body's CFG: at every
+// Unlock, the mutex must be locked on all incoming paths.
+func checkLockState(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+
+	// Quick scan: which mutex expressions does this body touch?
+	keys := make(map[string]bool)
+	walkShallow(body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, _, ok := mutexOp(info, call); ok {
+				keys[key] = true
+			}
+		}
+	})
+	if len(keys) == 0 {
+		return
+	}
+
+	g := BuildCFG(body)
+	spec := FlowSpec[lockState]{
+		Dir: Forward,
+		Boundary: func() lockState {
+			s := make(lockState, len(keys))
+			for k := range keys {
+				s[k] = mayUnlocked
+			}
+			return s
+		},
+		Bottom: func() lockState { return make(lockState) },
+		Copy: func(s lockState) lockState {
+			out := make(lockState, len(s))
+			for k, v := range s {
+				out[k] = v
+			}
+			return out
+		},
+		Merge: func(dst, src lockState) bool {
+			changed := false
+			for k, v := range src {
+				if dst[k]|v != dst[k] {
+					dst[k] |= v
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(b *Block, in lockState) lockState {
+			for _, n := range b.Nodes {
+				applyLockOps(info, n, in, nil)
+			}
+			return in
+		},
+	}
+	in := Solve(g, spec)
+
+	// Reporting pass: replay each block from its fixpoint in-state.
+	for _, b := range g.Blocks {
+		state := spec.Copy(in[b])
+		for _, n := range b.Nodes {
+			applyLockOps(info, n, state, func(key string, call *ast.CallExpr) {
+				if p.ExemptAt(call.Pos(), DirSyncOK) {
+					return
+				}
+				p.Reportf(call.Pos(), "%s.Unlock may run without a preceding Lock on some path", strings.TrimPrefix(key, "r:"))
+			})
+		}
+	}
+}
+
+// applyLockOps updates lock state across one CFG node in syntactic
+// order, invoking report at each Unlock whose in-state admits an
+// unlocked path. Function literals are opaque (their bodies are
+// separate CFGs).
+func applyLockOps(info *types.Info, n ast.Node, state lockState, report func(string, *ast.CallExpr)) {
+	walkShallowNode(n, func(c ast.Node) {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		key, op, ok := mutexOp(info, call)
+		if !ok {
+			return
+		}
+		switch op {
+		case "Lock", "RLock":
+			state[key] = mayLocked
+		case "Unlock", "RUnlock":
+			if report != nil && state[key]&mayUnlocked != 0 {
+				report(key, call)
+			}
+			state[key] = mayUnlocked
+		}
+	})
+}
+
+// mutexOp matches a call to sync.Mutex/RWMutex Lock/Unlock/RLock/
+// RUnlock (including via embedding) and returns a stable key for the
+// receiver expression. Read-lock ops get a distinct "r:" key space.
+func mutexOp(info *types.Info, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, okSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	m := syncMethod(info, call)
+	switch m {
+	case "Mutex.Lock", "Mutex.Unlock", "RWMutex.Lock", "RWMutex.Unlock", "RWMutex.RLock", "RWMutex.RUnlock":
+	default:
+		return "", "", false
+	}
+	op = m[strings.LastIndexByte(m, '.')+1:]
+	key = exprKey(sel.X)
+	if op == "RLock" || op == "RUnlock" {
+		key = "r:" + key
+	}
+	return key, op, true
+}
+
+// syncMethod returns "Type.Method" when call invokes a method declared
+// in package sync, else "".
+func syncMethod(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name() + "." + fn.Name()
+}
+
+// isParallelPoolCall reports whether call invokes a method on the
+// repo's internal/parallel.Pool.
+func isParallelPoolCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "/internal/parallel")
+}
+
+// isFuncish reports whether t is a function type or a slice/array of
+// functions (the shapes handed to pool methods).
+func isFuncish(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Signature:
+		return true
+	case *types.Slice:
+		_, ok := u.Elem().Underlying().(*types.Signature)
+		return ok
+	case *types.Array:
+		_, ok := u.Elem().Underlying().(*types.Signature)
+		return ok
+	}
+	return false
+}
+
+// walkShallow visits every node under body without entering function
+// literal bodies.
+func walkShallow(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// walkShallowNode is walkShallow for a single CFG node.
+func walkShallowNode(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		if c != nil {
+			visit(c)
+		}
+		return true
+	})
+}
+
+// exprKey renders a stable identity string for a mutex receiver
+// expression: the root object plus the selector path.
+func exprKey(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[]"
+	}
+	return "?"
+}

@@ -1,0 +1,389 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// objOf resolves an identifier to its object via Uses or Defs (the
+// *types.Info counterpart of objectOf, for code that has no Pass).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// Iterative dataflow over the CFG of one function. Two classic
+// problems are provided — reaching definitions (forward) and live
+// variables (backward) — plus the generic worklist solver they share,
+// which the concurrency analyzer reuses for its lock-state lattice.
+
+// Direction selects forward or backward propagation.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// FlowSpec describes one dataflow problem over states of type S.
+// Merge joins src into dst and reports whether dst changed; Transfer
+// maps a block's in-state (its own copy) to its out-state.
+type FlowSpec[S any] struct {
+	Dir      Direction
+	Boundary func() S // state entering Entry (forward) / Exit (backward)
+	Bottom   func() S // initial state elsewhere
+	Copy     func(S) S
+	Merge    func(dst, src S) bool
+	Transfer func(b *Block, in S) S
+}
+
+// Solve runs the worklist algorithm to fixpoint and returns the
+// in-state of every block (state before the block executes in the
+// direction of flow).
+func Solve[S any](g *CFG, spec FlowSpec[S]) map[*Block]S {
+	in := make(map[*Block]S, len(g.Blocks))
+	out := make(map[*Block]S, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = spec.Bottom()
+		out[b] = spec.Bottom()
+	}
+	boundary := g.Entry
+	if spec.Dir == Backward {
+		boundary = g.Exit
+	}
+	in[boundary] = spec.Boundary()
+
+	preds := func(b *Block) []*Block { return b.Preds }
+	if spec.Dir == Backward {
+		preds = func(b *Block) []*Block { return b.Succs }
+	}
+
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	inWork := make([]bool, len(g.Blocks))
+	for i := range inWork {
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		state := in[b]
+		for _, p := range preds(b) {
+			spec.Merge(state, out[p])
+		}
+		in[b] = state
+		newOut := spec.Transfer(b, spec.Copy(state))
+		if spec.Merge(out[b], newOut) {
+			next := b.Succs
+			if spec.Dir == Backward {
+				next = b.Preds
+			}
+			for _, s := range next {
+				if !inWork[s.Index] {
+					inWork[s.Index] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// ---------------------------------------------------------------------
+// Reaching definitions
+// ---------------------------------------------------------------------
+
+// DefSite is one definition of a variable: the node that assigns it
+// and, when syntactically available, the assigned expression. RHS is
+// nil for definitions with no usable source expression (range
+// variables, zero-value declarations, parameters).
+type DefSite struct {
+	Node ast.Node
+	RHS  ast.Expr
+	// FromCall marks a definition from one result of a multi-value
+	// call or a range clause, where RHS (if set) is the whole
+	// call/range expression rather than the value itself.
+	FromCall bool
+}
+
+type defSet map[types.Object]map[DefSite]bool
+
+// ReachingDefs holds, per block, the definitions live on entry.
+type ReachingDefs struct {
+	info *types.Info
+	in   map[*Block]defSet
+}
+
+// BuildReachingDefs solves reaching definitions for one function body.
+// params are the function's parameter (and receiver) objects, which
+// act as boundary definitions with a nil RHS.
+func BuildReachingDefs(g *CFG, info *types.Info, params []types.Object) *ReachingDefs {
+	spec := FlowSpec[defSet]{
+		Dir: Forward,
+		Boundary: func() defSet {
+			s := make(defSet)
+			for _, p := range params {
+				s[p] = map[DefSite]bool{{}: true}
+			}
+			return s
+		},
+		Bottom: func() defSet { return make(defSet) },
+		Copy:   copyDefSet,
+		Merge:  mergeDefSet,
+		Transfer: func(b *Block, in defSet) defSet {
+			for _, n := range b.Nodes {
+				applyDefs(n, info, in)
+			}
+			return in
+		},
+	}
+	return &ReachingDefs{info: info, in: Solve(g, spec)}
+}
+
+// At returns the definitions of obj reaching block b just before its
+// idx-th node executes.
+func (rd *ReachingDefs) At(b *Block, idx int, obj types.Object) []DefSite {
+	state := copyDefSet(rd.in[b])
+	for i := 0; i < idx && i < len(b.Nodes); i++ {
+		applyDefs(b.Nodes[i], rd.info, state)
+	}
+	var out []DefSite
+	for site := range state[obj] {
+		//nessa:sorted-iteration consumers join over the site set; the lattice join is commutative
+		out = append(out, site)
+	}
+	return out
+}
+
+func copyDefSet(s defSet) defSet {
+	out := make(defSet, len(s))
+	for o, sites := range s {
+		cp := make(map[DefSite]bool, len(sites))
+		for site := range sites {
+			cp[site] = true
+		}
+		out[o] = cp
+	}
+	return out
+}
+
+func mergeDefSet(dst, src defSet) bool {
+	changed := false
+	for o, sites := range src {
+		d := dst[o]
+		if d == nil {
+			d = make(map[DefSite]bool, len(sites))
+			dst[o] = d
+		}
+		for site := range sites {
+			if !d[site] {
+				d[site] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// applyDefs updates the reaching-def state across one CFG node. Only
+// whole-variable writes (plain identifier targets) kill; writes
+// through selectors or indices mutate the referent, not the binding.
+func applyDefs(n ast.Node, info *types.Info, state defSet) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		multi := len(n.Lhs) > 1 && len(n.Rhs) == 1
+		for i, lhs := range n.Lhs {
+			id, ok := unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := objOf(info, id)
+			if obj == nil {
+				continue
+			}
+			site := DefSite{Node: n}
+			if multi {
+				site.RHS = n.Rhs[0]
+				site.FromCall = true
+			} else if i < len(n.Rhs) {
+				site.RHS = n.Rhs[i]
+			}
+			state[obj] = map[DefSite]bool{site: true}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := unparen(n.X).(*ast.Ident); ok {
+			if obj := objOf(info, id); obj != nil {
+				state[obj] = map[DefSite]bool{{Node: n, RHS: n.X}: true}
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				obj := objOf(info, name)
+				if obj == nil || name.Name == "_" {
+					continue
+				}
+				site := DefSite{Node: n}
+				if len(vs.Values) == len(vs.Names) {
+					site.RHS = vs.Values[i]
+				} else if len(vs.Values) == 1 {
+					site.RHS = vs.Values[0]
+					site.FromCall = true
+				}
+				state[obj] = map[DefSite]bool{site: true}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := unparen(e).(*ast.Ident); ok && id.Name != "_" {
+				if obj := objOf(info, id); obj != nil {
+					state[obj] = map[DefSite]bool{{Node: n, RHS: n.X, FromCall: true}: true}
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Liveness
+// ---------------------------------------------------------------------
+
+type liveSet map[types.Object]bool
+
+// Liveness holds, per block, the variables live on exit (the in-state
+// of the backward problem).
+type Liveness struct {
+	info    *types.Info
+	liveOut map[*Block]liveSet
+}
+
+// BuildLiveness solves live variables for one function body.
+func BuildLiveness(g *CFG, info *types.Info) *Liveness {
+	spec := FlowSpec[liveSet]{
+		Dir:      Backward,
+		Boundary: func() liveSet { return make(liveSet) },
+		Bottom:   func() liveSet { return make(liveSet) },
+		Copy: func(s liveSet) liveSet {
+			out := make(liveSet, len(s))
+			for o := range s {
+				out[o] = true
+			}
+			return out
+		},
+		Merge: func(dst, src liveSet) bool {
+			changed := false
+			for o := range src {
+				if !dst[o] {
+					dst[o] = true
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(b *Block, out liveSet) liveSet {
+			for i := len(b.Nodes) - 1; i >= 0; i-- {
+				applyLiveness(b.Nodes[i], info, out)
+			}
+			return out
+		},
+	}
+	return &Liveness{info: info, liveOut: Solve(g, spec)}
+}
+
+// LiveAfter reports whether obj is live immediately after block b's
+// idx-th node.
+func (lv *Liveness) LiveAfter(b *Block, idx int, obj types.Object) bool {
+	state := make(liveSet, len(lv.liveOut[b]))
+	for o := range lv.liveOut[b] {
+		state[o] = true
+	}
+	for i := len(b.Nodes) - 1; i > idx; i-- {
+		applyLiveness(b.Nodes[i], lv.info, state)
+	}
+	return state[obj]
+}
+
+// applyLiveness updates the live set backward across one node:
+// kill whole-variable definitions, then generate uses.
+func applyLiveness(n ast.Node, info *types.Info, live liveSet) {
+	written := make(map[types.Object]bool)
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok {
+				if obj := objOf(info, id); obj != nil {
+					written[obj] = true
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := unparen(e).(*ast.Ident); ok {
+				if obj := objOf(info, id); obj != nil {
+					written[obj] = true
+				}
+			}
+		}
+	}
+	for obj := range written {
+		delete(live, obj)
+	}
+	for obj := range usedObjects(n, info) {
+		live[obj] = true
+	}
+}
+
+// usedObjects collects the variable objects read by node n. Plain
+// identifier assignment targets are excluded (they are writes); bases
+// of selector/index targets count as reads. Function literals read
+// every free variable they mention. For a RangeStmt only the ranged
+// expression counts — the body lives in other CFG blocks.
+func usedObjects(n ast.Node, info *types.Info) map[types.Object]bool {
+	used := make(map[types.Object]bool)
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		n = rs.X
+	}
+	skip := make(map[*ast.Ident]bool)
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok {
+				// x = ... writes x; x += ... also reads it.
+				if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+					skip[id] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		id, ok := c.(*ast.Ident)
+		if !ok || skip[id] {
+			return true
+		}
+		if obj := objOf(info, id); obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				used[obj] = true
+			}
+		}
+		return true
+	})
+	return used
+}

@@ -81,6 +81,14 @@ func NewLoader(root string) (*Loader, error) {
 // Root reports the module root directory.
 func (l *Loader) Root() string { return l.root }
 
+// SetGOARCH overrides the architecture used for build-constraint
+// evaluation (file suffixes like _amd64.go and //go:build lines), so a
+// load can resolve a different port's file set than the host's — e.g.
+// the portable fallback kernels instead of the amd64 assembly ones.
+// Must be called before the first load; already-memoized packages keep
+// the constraint set they were loaded under.
+func (l *Loader) SetGOARCH(arch string) { l.ctxt.GOARCH = arch }
+
 // Module reports the module path.
 func (l *Loader) Module() string { return l.module }
 

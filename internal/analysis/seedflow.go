@@ -1,0 +1,442 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The seedflow analyzer enforces the repo's seed-traceability
+// contract: every PRNG stream and fault injector constructed in
+// library code — tensor.NewRNG (SplitMix64, the source behind every
+// permutation and sampling decision) and faults.NewInjector — must be
+// seeded by a value flowing from configuration: a function parameter,
+// a *Seed struct field, or a draw on an already-seeded RNG. The
+// classification is flow-sensitive (reaching definitions trace a local
+// back to the expressions that defined it on every path) and
+// interprocedural within the package (a helper whose every return is
+// traceable confers traceability on its call sites, computed to
+// fixpoint over the call graph).
+//
+// Two findings:
+//
+//   - a wholly constant seed in library code ("hard-coded seed"):
+//     the stream exists but its identity is invisible to callers, so
+//     reruns cannot be re-seeded;
+//   - a seed that does not flow from any configured source
+//     ("untraceable"), e.g. derived from an unrelated field or an
+//     out-of-module call.
+//
+// Benchmarks, commands, and examples are exempt wholesale (they own
+// their seeds). //nessa:seed-ok on the flagged line or the line above
+// waives one site — the documented use is the deterministic nil-RNG
+// fallback in internal/selection.
+
+// SeedFlowAnalyzer returns the seedflow analyzer.
+func SeedFlowAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "seedflow",
+		Doc:  "RNG and fault-injector seeds in library code must flow from a parameter, a Seed field, or an existing RNG stream",
+		Run:  runSeedFlow,
+	}
+}
+
+// Seed classification lattice.
+type seedClass int
+
+const (
+	seedTraceable seedClass = iota
+	seedConstant
+	seedUntraceable
+)
+
+// combine joins the classes of subexpressions: any untraceable part
+// poisons the result; a traceable part absorbs constants (seed+1 is
+// still traceable); only a wholly constant expression is constant.
+func (a seedClass) combine(b seedClass) seedClass {
+	if a == seedUntraceable || b == seedUntraceable {
+		return seedUntraceable
+	}
+	if a == seedTraceable || b == seedTraceable {
+		return seedTraceable
+	}
+	return seedConstant
+}
+
+func runSeedFlow(p *Pass) {
+	module := moduleOf(p.Pkg.ImportPath)
+	if pathIn(p.Pkg.ImportPath,
+		module+"/internal/bench",
+		module+"/cmd",
+		module+"/examples",
+	) {
+		return
+	}
+	sf := &seedFlow{p: p, cg: BuildCallGraph(p.Pkg)}
+	sf.traceableFns = sf.buildSummaries()
+
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sf.checkFunc(fd)
+		}
+	}
+}
+
+type seedFlow struct {
+	p  *Pass
+	cg *CallGraph
+	// traceableFns holds the package functions whose every return
+	// value classifies traceable (usable as seed derivations).
+	traceableFns map[*types.Func]bool
+}
+
+// checkFunc classifies the seed argument of every RNG/injector
+// construction in one function.
+func (sf *seedFlow) checkFunc(fd *ast.FuncDecl) {
+	info := sf.p.Pkg.Info
+	fc := &funcClassifier{
+		sf:     sf,
+		params: paramSet(info, fd),
+	}
+	// Closure parameters count as configuration inputs too: a literal
+	// receiving a seed is as traceable as a function receiving one.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			for _, obj := range litParams(info, lit) {
+				fc.params[obj] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		seedArg, what := seedConstruction(info, call)
+		if seedArg == nil {
+			return true
+		}
+		fc.ensureFlow(fd)
+		switch fc.classify(seedArg, call.Pos()) {
+		case seedConstant:
+			if !sf.p.ExemptAt(call.Pos(), DirSeedOK) {
+				sf.p.Reportf(call.Pos(), "hard-coded seed in library code: %s must be seeded from configuration (Options.Seed, a parameter, or an existing stream)", what)
+			}
+		case seedUntraceable:
+			if !sf.p.ExemptAt(call.Pos(), DirSeedOK) {
+				sf.p.Reportf(call.Pos(), "seed for %s does not flow from a configured seed (parameter, Seed field, or RNG draw)", what)
+			}
+		}
+		return true
+	})
+}
+
+// funcClassifier classifies seed expressions within one function,
+// lazily building the CFG and reaching definitions the first time a
+// local variable needs tracing.
+type funcClassifier struct {
+	sf     *seedFlow
+	params map[types.Object]bool
+	g      *CFG
+	rd     *ReachingDefs
+	// tracing guards against cycles when a local's reaching defs
+	// mention the local itself (x = x + 1 in a loop).
+	tracing map[types.Object]bool
+}
+
+func (fc *funcClassifier) ensureFlow(fd *ast.FuncDecl) {
+	if fc.g != nil {
+		return
+	}
+	info := fc.sf.p.Pkg.Info
+	fc.g = BuildCFG(fd.Body)
+	var params []types.Object
+	for o := range fc.params {
+		//nessa:sorted-iteration boundary definitions land in a set; order never observed
+		params = append(params, o)
+	}
+	fc.rd = BuildReachingDefs(fc.g, info, params)
+	fc.tracing = make(map[types.Object]bool)
+}
+
+// classify determines how the seed expression relates to configured
+// state. pos is the construction site, used to locate the right CFG
+// node when tracing locals.
+func (fc *funcClassifier) classify(e ast.Expr, pos token.Pos) seedClass {
+	info := fc.sf.p.Pkg.Info
+
+	// A wholly constant expression (literal, named const, arithmetic
+	// over them) is the hard-coded case.
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return seedConstant
+	}
+
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := objOf(info, e)
+		if obj == nil {
+			return seedUntraceable
+		}
+		if _, ok := obj.(*types.Const); ok {
+			return seedConstant
+		}
+		if fc.params[obj] {
+			return seedTraceable
+		}
+		if isPackageLevel(obj) {
+			return fc.classifyName(obj.Name())
+		}
+		return fc.classifyLocal(obj, pos)
+
+	case *ast.SelectorExpr:
+		// o.Seed, prof.BaseSeed, cfg.SeedXY — any Seed-ish field is
+		// configuration; other fields are not seed state.
+		if _, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return fc.classifyName(e.Sel.Name)
+		}
+		return seedUntraceable
+
+	case *ast.CallExpr:
+		return fc.classifyCall(e, pos)
+
+	case *ast.BinaryExpr:
+		return fc.classify(e.X, pos).combine(fc.classify(e.Y, pos))
+
+	case *ast.UnaryExpr:
+		return fc.classify(e.X, pos)
+
+	case *ast.CompositeLit:
+		// A Profile literal: classify its Seed element; a literal
+		// without one pins the zero seed — constant.
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok && strings.Contains(key.Name, "Seed") {
+					return fc.classify(kv.Value, pos)
+				}
+			}
+		}
+		return seedConstant
+
+	case *ast.IndexExpr:
+		return fc.classify(e.X, pos)
+	case *ast.StarExpr:
+		return fc.classify(e.X, pos)
+	case *ast.TypeAssertExpr:
+		return fc.classify(e.X, pos)
+	}
+	return seedUntraceable
+}
+
+// classifyName treats Seed-suffixed/-containing names as configured
+// state.
+func (fc *funcClassifier) classifyName(name string) seedClass {
+	if strings.Contains(strings.ToLower(name), "seed") {
+		return seedTraceable
+	}
+	return seedUntraceable
+}
+
+// classifyCall handles conversions, RNG draws, and module-internal
+// helpers.
+func (fc *funcClassifier) classifyCall(call *ast.CallExpr, pos token.Pos) seedClass {
+	info := fc.sf.p.Pkg.Info
+
+	// Conversion uint64(x): classify the operand.
+	if len(call.Args) == 1 {
+		switch fun := unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if _, ok := info.Uses[fun].(*types.TypeName); ok {
+				return fc.classify(call.Args[0], pos)
+			}
+		case *ast.SelectorExpr:
+			if _, ok := info.Uses[fun.Sel].(*types.TypeName); ok {
+				return fc.classify(call.Args[0], pos)
+			}
+		}
+	}
+
+	// A draw or derivation on an existing RNG stream is traceable:
+	// rng.Uint64(), rng.Split(), r.Float64()...
+	if isRNGMethod(info, call) {
+		return seedTraceable
+	}
+
+	callee := StaticCallee(info, call)
+	if callee == nil {
+		return seedUntraceable
+	}
+	// Same-package helper with a traceable-returns summary: traceable
+	// if some argument flowing in is (helpers like mix(o) return
+	// o.Seed-derived values).
+	if fc.sf.traceableFns[callee] {
+		return seedTraceable
+	}
+	return seedUntraceable
+}
+
+// classifyLocal traces a local variable through its reaching
+// definitions: the local is as good as the worst definition reaching
+// this use.
+func (fc *funcClassifier) classifyLocal(obj types.Object, pos token.Pos) seedClass {
+	if fc.rd == nil {
+		return seedUntraceable
+	}
+	if fc.tracing[obj] {
+		// Cycle (s = s*2+1 reaching its own use): the cyclic edge is
+		// neutral — the class comes from the acyclic definitions, which
+		// the enclosing trace is already joining.
+		return seedTraceable
+	}
+	fc.tracing[obj] = true
+	defer delete(fc.tracing, obj)
+
+	b, idx := fc.locate(pos)
+	if b == nil {
+		return seedUntraceable
+	}
+	sites := fc.rd.At(b, idx, obj)
+	if len(sites) == 0 {
+		return seedUntraceable
+	}
+	out := seedTraceable
+	sawClass := false
+	for _, site := range sites {
+		var cls seedClass
+		switch {
+		case site.Node == nil && site.RHS == nil:
+			cls = seedTraceable // boundary definition: a parameter
+		case site.RHS == nil:
+			cls = seedUntraceable
+		case site.FromCall:
+			// One value of a multi-result call or range clause: the
+			// RHS expression is the whole call/range collection.
+			cls = fc.classify(site.RHS, site.RHS.Pos())
+		default:
+			cls = fc.classify(site.RHS, site.RHS.Pos())
+		}
+		if !sawClass {
+			out = cls
+			sawClass = true
+			continue
+		}
+		// Joining paths: untraceable dominates; traceable beats
+		// constant (a constant-on-one-path fallback next to a real
+		// seed path still identifies the stream... conservatively
+		// keep the worst class).
+		if cls == seedUntraceable || out == seedUntraceable {
+			out = seedUntraceable
+		} else if cls == seedConstant || out == seedConstant {
+			out = seedConstant
+		}
+	}
+	return out
+}
+
+// locate finds the CFG node containing pos.
+func (fc *funcClassifier) locate(pos token.Pos) (*Block, int) {
+	for _, b := range fc.g.Blocks {
+		for i, n := range b.Nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				return b, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// buildSummaries computes which package functions return only
+// traceable seed material: every return expression classifies
+// traceable given the function's own parameters (and callee summaries,
+// to fixpoint).
+func (sf *seedFlow) buildSummaries() map[*types.Func]bool {
+	info := sf.p.Pkg.Info
+	return sf.cg.Fixpoint(func(fn *types.Func, decl *ast.FuncDecl, cur map[*types.Func]bool) bool {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Results().Len() == 0 {
+			return false
+		}
+		fc := &funcClassifier{
+			sf:     &seedFlow{p: sf.p, cg: sf.cg, traceableFns: cur},
+			params: paramSet(info, decl),
+		}
+		hasReturn := false
+		allTraceable := true
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				hasReturn = true
+				fc.ensureFlow(decl)
+				if fc.classify(res, res.Pos()) != seedTraceable {
+					allTraceable = false
+				}
+			}
+			return true
+		})
+		return hasReturn && allTraceable
+	})
+}
+
+// seedConstruction matches the constructors the contract covers and
+// returns the seed-bearing argument: tensor.NewRNG(seed) and
+// faults.NewInjector(profile).
+func seedConstruction(info *types.Info, call *ast.CallExpr) (ast.Expr, string) {
+	fn := StaticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || len(call.Args) != 1 {
+		return nil, ""
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case fn.Name() == "NewRNG" && strings.HasSuffix(path, "/internal/tensor"):
+		return call.Args[0], "tensor.NewRNG"
+	case fn.Name() == "NewInjector" && strings.HasSuffix(path, "/internal/faults"):
+		return call.Args[0], "faults.NewInjector"
+	}
+	return nil, ""
+}
+
+// isRNGMethod reports whether call invokes a method on tensor.RNG.
+func isRNGMethod(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "RNG" && strings.HasSuffix(fn.Pkg().Path(), "/internal/tensor")
+}
+
+// paramSet collects the parameter and receiver objects of a declared
+// function.
+func paramSet(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, obj := range funcParams(info, fd) {
+		out[obj] = true
+	}
+	return out
+}

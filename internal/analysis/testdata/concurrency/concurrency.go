@@ -1,0 +1,187 @@
+// Fixture for the concurrency analyzer: loop capture in spawned and
+// deferred closures, shared writes from pool tasks, copied locks,
+// WaitGroup.Add placement, and unlock-without-lock paths — plus the
+// sanctioned idioms each rule must leave alone.
+package fixture
+
+import (
+	"sync"
+
+	"nessa/internal/parallel"
+)
+
+// LoopCaptureGo spawns goroutines that capture the range variable.
+func LoopCaptureGo(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = it // want "loop variable it captured by concurrently executed closure"
+		}()
+	}
+	wg.Wait()
+}
+
+// LoopCaptureTasks builds a task list for the pool and captures the
+// loop index inside the queued closures.
+func LoopCaptureTasks(pool *parallel.Pool, n int) {
+	var tasks []func()
+	for i := 0; i < n; i++ {
+		tasks = append(tasks, func() {
+			_ = i // want "loop variable i captured by concurrently executed closure"
+		})
+	}
+	pool.Run(tasks)
+}
+
+// DeferredCapture defers a closure that captures the loop variable.
+func DeferredCapture(items []int) {
+	for _, it := range items {
+		defer func() {
+			_ = it // want "loop variable it captured by deferred closure"
+		}()
+	}
+}
+
+// RebindClean is the sanctioned idiom: rebinding pins one iteration's
+// value, so the closure captures the copy.
+func RebindClean(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		it := it
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = it
+		}()
+	}
+	wg.Wait()
+}
+
+// SharedSum accumulates into a captured scalar from concurrent chunks.
+func SharedSum(xs []float64) float64 {
+	pool := parallel.Default()
+	sum := 0.0
+	pool.ForChunks(len(xs), func(c, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want "write to captured variable sum inside concurrently executed closure may race"
+		}
+	})
+	return sum
+}
+
+// SlotSum is the sanctioned reduction: each chunk writes its own
+// disjoint slot, merged after the barrier.
+func SlotSum(xs []float64) float64 {
+	pool := parallel.Default()
+	partial := make([]float64, parallel.Chunks(len(xs)))
+	pool.ForChunks(len(xs), func(c, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		partial[c] = s
+	})
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// WaivedWrite documents a single-writer invariant with the sync-ok
+// escape hatch: the only write happens before done is signalled.
+func WaivedWrite(done func()) int {
+	total := 0
+	go func() {
+		//nessa:sync-ok single writer; the reader joins via done before reading
+		total = 1
+		done()
+	}()
+	return total
+}
+
+// guarded is a lock-bearing struct for the copylock cases.
+type guarded struct {
+	mu  sync.Mutex
+	val int
+}
+
+// CopyParam takes a WaitGroup by value — every Add/Wait pair splits
+// across two copies.
+func CopyParam(wg sync.WaitGroup) { // want "sync.WaitGroup passed by value copies the lock"
+	wg.Wait()
+}
+
+// CopyAssign copies a mutex out of a guarded struct.
+func CopyAssign(g *guarded) int {
+	m := g.mu // want "assignment copies a value containing sync.Mutex"
+	m.Lock()
+	return g.val
+}
+
+// CopyRange iterates lock-bearing values by value.
+func CopyRange(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range clause copies a value containing sync.Mutex"
+		total += g.val
+	}
+	return total
+}
+
+// sink receives a guarded value: the signature itself is a violation,
+// and each call site copying one in is another.
+func sink(g guarded) int { // want "sync.Mutex passed by value copies the lock"
+	return g.val
+}
+
+// CopyCall copies a lock-bearing value into a call.
+func CopyCall(g *guarded) int {
+	return sink(*g) // want "call argument copies a value containing sync.Mutex"
+}
+
+// PointerClean passes locks the sanctioned way.
+func PointerClean(g *guarded, mu *sync.Mutex) {
+	mu.Lock()
+	g.val++
+	mu.Unlock()
+}
+
+// AddInside calls WaitGroup.Add from within the goroutine it tracks —
+// Wait can run before Add does.
+func AddInside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "sync.WaitGroup.Add inside the spawned closure races with Wait"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// UnlockMaybe unlocks on a path where the lock was never taken.
+func UnlockMaybe(mu *sync.Mutex, cond bool) {
+	if cond {
+		mu.Lock()
+	}
+	mu.Unlock() // want "mu.Unlock may run without a preceding Lock on some path"
+}
+
+// LockDefer is the sanctioned shape: the deferred unlock always runs
+// with the lock held.
+func LockDefer(mu *sync.Mutex) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}
+
+// RWDiscipline keeps read and write locks in separate key spaces: the
+// RUnlock pairs with the RLock even with a write Lock in between.
+func RWDiscipline(mu *sync.RWMutex) {
+	mu.RLock()
+	mu.RUnlock()
+	mu.Lock()
+	mu.Unlock()
+}

@@ -1,0 +1,105 @@
+// Fixture for the scratchlife analyzer: pooled and arena-backed
+// scratch escaping its epoch through returns, stores, channel sends,
+// and use-after-Put — next to the documented ownership-transfer and
+// bounded-view idioms that must stay silent.
+package fixture
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]float32, 256); return &b }}
+
+// grab is the documented ownership-transfer helper: every caller
+// returns the buffer with bufPool.Put before it exits. The summary
+// pass still marks its results pooled, so call sites carry taint.
+//
+//nessa:scratch-ok ownership transfer: callers Put the buffer back
+func grab() *[]float32 {
+	return bufPool.Get().(*[]float32)
+}
+
+// LeakReturn hands pooled scratch to the caller with no contract.
+func LeakReturn() *[]float32 {
+	buf := grab()
+	return buf // want "returns pool/arena-backed scratch memory"
+}
+
+// UseAfterPut reads the buffer through an alias after recycling it.
+func UseAfterPut() float32 {
+	buf := grab()
+	b := *buf
+	b[0] = 1
+	bufPool.Put(buf)
+	return b[0] // want "use of pool-backed scratch b after it was returned with Put"
+}
+
+// CleanUse copies the value out of the scratch before recycling; a
+// scalar never carries taint.
+func CleanUse() float32 {
+	buf := grab()
+	v := (*buf)[0]
+	bufPool.Put(buf)
+	return v
+}
+
+// Reuse re-reads after Put under an explicit, justified waiver.
+func Reuse() float32 {
+	buf := grab()
+	bufPool.Put(buf)
+	//nessa:scratch-ok single-threaded re-read before any concurrent Get can reuse the buffer
+	return (*buf)[0]
+}
+
+// scratch is an epoch-scoped arena: its memory is overwritten by the
+// next pass.
+//
+//nessa:arena valid for one pass, overwritten by the next
+type scratch struct {
+	buf []float32
+}
+
+// cache is a long-lived structure unrelated to any arena.
+type cache struct {
+	rows map[int][]float32
+	last []float32
+}
+
+// StashInField parks arena memory in a long-lived struct.
+func StashInField(c *cache, s *scratch) {
+	c.last = s.buf // want "scratch memory stored in field last of a non-scratch value outlives its epoch"
+}
+
+var lastScratch []float32
+
+// StashGlobal parks arena memory in a package-level variable.
+func StashGlobal(s *scratch) {
+	lastScratch = s.buf // want "scratch memory stored in package-level variable lastScratch outlives its epoch"
+}
+
+var rowCache = map[int][]float32{}
+
+// StashContainer parks arena memory in a package-level container.
+func StashContainer(s *scratch, k int) {
+	rowCache[k] = s.buf // want "scratch memory stored in package-level container outlives its epoch"
+}
+
+// Publish sends pooled scratch to another goroutine.
+func Publish(ch chan []float32) {
+	buf := grab()
+	ch <- *buf // want "scratch memory escapes through a channel send"
+}
+
+// View is the documented bounded-view idiom: the doc-level waiver
+// covers every return in the function.
+//
+//nessa:scratch-ok callers consume the view before the next pass overwrites it
+func (s *scratch) View(lo, hi int) []float32 {
+	return s.buf[lo:hi]
+}
+
+// CopyOut materializes arena contents into caller-owned memory —
+// fresh allocation, no taint.
+func CopyOut(s *scratch) []float32 {
+	out := make([]float32, len(s.buf))
+	copy(out, s.buf)
+	return out
+}

@@ -1,0 +1,92 @@
+// Fixture for the seedflow analyzer: every tensor.NewRNG and
+// faults.NewInjector in library code must be seeded from configuration
+// — a parameter, a Seed field, or a draw on an existing stream.
+package fixture
+
+import (
+	"nessa/internal/faults"
+	"nessa/internal/tensor"
+)
+
+// Options is this fixture's configuration surface.
+type Options struct {
+	Seed    uint64
+	Workers int
+}
+
+// FromOptions seeds from configuration.
+func FromOptions(o Options) *tensor.RNG {
+	return tensor.NewRNG(o.Seed)
+}
+
+// FromParam derives the seed from a parameter; arithmetic over a
+// traceable value stays traceable.
+func FromParam(seed uint64) *tensor.RNG {
+	return tensor.NewRNG(seed*2 + 1)
+}
+
+// Derived seeds a second stream from a draw on an existing one.
+func Derived(r *tensor.RNG) *tensor.RNG {
+	return tensor.NewRNG(r.Uint64())
+}
+
+// mix derives per-worker seeds from the configured one; every return
+// is traceable, so call sites inherit traceability from the summary.
+func mix(o Options, w int) uint64 {
+	return o.Seed + uint64(w)*0x9e3779b97f4a7c15
+}
+
+// ViaHelper threads configuration through a package helper.
+func ViaHelper(o Options, w int) *tensor.RNG {
+	return tensor.NewRNG(mix(o, w))
+}
+
+// LocalFlow traces the seed through locals and a branch join.
+func LocalFlow(o Options) *tensor.RNG {
+	s := o.Seed
+	if o.Workers > 1 {
+		s = s*2 + 1
+	}
+	return tensor.NewRNG(s)
+}
+
+// HardCoded pins the stream identity invisibly: reruns cannot re-seed
+// it from the outside.
+func HardCoded() *tensor.RNG {
+	return tensor.NewRNG(42) // want "hard-coded seed in library code: tensor.NewRNG"
+}
+
+// Untraceable derives the seed from unrelated configuration state.
+func Untraceable(o Options) *tensor.RNG {
+	return tensor.NewRNG(uint64(o.Workers)) // want "seed for tensor.NewRNG does not flow from a configured seed"
+}
+
+// Fallback is the documented deterministic nil-RNG fallback, waived at
+// the site.
+func Fallback(r *tensor.RNG) *tensor.RNG {
+	if r == nil {
+		//nessa:seed-ok fixture demonstrates the documented fallback waiver
+		r = tensor.NewRNG(1)
+	}
+	return r
+}
+
+// InjectorSeeded builds a chaos injector from a configured profile.
+func InjectorSeeded(prof faults.Profile) *faults.Injector {
+	return faults.NewInjector(prof)
+}
+
+// InjectorDerived rebuilds a profile around a parameter seed.
+func InjectorDerived(seed uint64, rate float64) *faults.Injector {
+	return faults.NewInjector(faults.Profile{Seed: seed, CorruptRate: rate})
+}
+
+// InjectorLiteral pins the whole chaos schedule.
+func InjectorLiteral() *faults.Injector {
+	return faults.NewInjector(faults.Profile{Seed: 7}) // want "hard-coded seed in library code: faults.NewInjector"
+}
+
+// InjectorZeroSeed omits Seed entirely, pinning the zero seed.
+func InjectorZeroSeed(rate float64) *faults.Injector {
+	return faults.NewInjector(faults.Profile{CorruptRate: rate}) // want "hard-coded seed in library code: faults.NewInjector"
+}

@@ -318,3 +318,17 @@ func TestInjectedAllocationCaught(t *testing.T) {
 		}
 	})
 }
+
+func TestConcurrencyFixture(t *testing.T) {
+	runFixture(t, "concurrency", "concurrency", "nessa/internal/fixture/concurrency")
+}
+
+func TestScratchLifeFixture(t *testing.T) {
+	runFixture(t, "scratchlife", "scratchlife", "nessa/internal/fixture/scratchlife")
+}
+
+func TestSeedFlowFixture(t *testing.T) {
+	// Library-scoped import path: bench, cmd, and examples are exempt
+	// wholesale, so the fixture must not load under those prefixes.
+	runFixture(t, "seedflow", "seedflow", "nessa/internal/fixture/seedflow")
+}

@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// The injector's reproducibility contract: every hook consumes a fixed
+// number of PRNG draws regardless of which faults actually fire —
+// FlashRead exactly three, LinkDown and Stall one each, CorruptPayload
+// two. If a draw ever becomes conditional on an outcome, two schedules
+// with different rates desynchronize and everything downstream of the
+// shared stream (retry jitter, later fault decisions) diverges. These
+// tests pin the contract by aligning streams across outcome-flipping
+// profiles, so a conditional draw fails CI rather than silently
+// reshuffling chaos schedules.
+
+// jitterProbe drains k BackoffJitter values — a pure window onto the
+// injector's PRNG stream position.
+func jitterProbe(in *Injector, k int) []time.Duration {
+	out := make([]time.Duration, k)
+	for i := range out {
+		out[i] = in.BackoffJitter(time.Second)
+	}
+	return out
+}
+
+// assertAligned asserts two same-seed injectors sit at the same stream
+// position after their diverging histories.
+func assertAligned(t *testing.T, a, b *Injector, what string) {
+	t.Helper()
+	ja, jb := jitterProbe(a, 8), jitterProbe(b, 8)
+	for i := range ja {
+		if ja[i] != jb[i] {
+			t.Fatalf("%s: PRNG streams desynchronized: jitter[%d] = %v vs %v — a hook's draw count depends on its outcome", what, i, ja[i], jb[i])
+		}
+	}
+}
+
+func TestFlashReadAlwaysThreeDraws(t *testing.T) {
+	const seed = 99
+	// never injects a read fault; always injects every read fault.
+	quiet := NewInjector(Profile{Seed: seed})
+	loud := NewInjector(Profile{
+		Seed:          seed,
+		TransientRate: 1,
+		CorruptRate:   1,
+		LatencyRate:   1,
+		LatencySpike:  time.Millisecond,
+	})
+	for i := 0; i < 32; i++ {
+		if f := quiet.FlashRead(); f.Transient || f.Corrupt || f.Extra != 0 {
+			t.Fatalf("zero-rate profile injected a fault: %+v", f)
+		}
+		if f := loud.FlashRead(); !f.Transient {
+			t.Fatalf("rate-1 profile skipped the transient fault: %+v", f)
+		}
+	}
+	assertAligned(t, quiet, loud, "FlashRead")
+}
+
+func TestLinkDownSingleDrawPerCall(t *testing.T) {
+	const seed = 7
+	quiet := NewInjector(Profile{Seed: seed})
+	loud := NewInjector(Profile{Seed: seed, LinkDownRate: 1})
+	for i := 0; i < 32; i++ {
+		if quiet.LinkDown() {
+			t.Fatal("zero-rate profile dropped the link")
+		}
+		if !loud.LinkDown() {
+			t.Fatal("rate-1 profile kept the link up")
+		}
+	}
+	assertAligned(t, quiet, loud, "LinkDown")
+}
+
+func TestStallSingleDrawPerCall(t *testing.T) {
+	const seed = 13
+	quiet := NewInjector(Profile{Seed: seed})
+	loud := NewInjector(Profile{Seed: seed, StallRate: 1, StallFor: time.Millisecond})
+	for i := 0; i < 32; i++ {
+		if quiet.Stall() != 0 {
+			t.Fatal("zero-rate profile stalled")
+		}
+		if loud.Stall() == 0 {
+			t.Fatal("rate-1 profile did not stall")
+		}
+	}
+	assertAligned(t, quiet, loud, "Stall")
+}
+
+func TestCorruptPayloadFixedDraws(t *testing.T) {
+	const seed = 21
+	a := NewInjector(Profile{Seed: seed})
+	b := NewInjector(Profile{Seed: seed})
+	// Different buffer contents, same lengths: the two draws (index,
+	// bit) must consume identically.
+	bufA := make([]byte, 64)
+	bufB := make([]byte, 64)
+	for i := range bufB {
+		bufB[i] = 0xFF
+	}
+	for i := 0; i < 16; i++ {
+		a.CorruptPayload(bufA)
+		b.CorruptPayload(bufB)
+	}
+	assertAligned(t, a, b, "CorruptPayload")
+}
+
+// TestMixedHookSequenceAligned drives the full hook mix through two
+// outcome-flipped schedules and requires stream alignment at the end —
+// the whole-injector form of the fixed-draws contract.
+func TestMixedHookSequenceAligned(t *testing.T) {
+	const seed = 4242
+	quiet := NewInjector(Profile{Seed: seed})
+	loud := NewInjector(Profile{
+		Seed:          seed,
+		TransientRate: 1,
+		CorruptRate:   1,
+		LatencyRate:   1,
+		LatencySpike:  time.Millisecond,
+		LinkDownRate:  1,
+		StallRate:     1,
+		StallFor:      time.Millisecond,
+	})
+	buf := make([]byte, 8)
+	for i := 0; i < 24; i++ {
+		quiet.FlashRead()
+		loud.FlashRead()
+		quiet.LinkDown()
+		loud.LinkDown()
+		quiet.Stall()
+		loud.Stall()
+		quiet.CorruptPayload(buf)
+		loud.CorruptPayload(buf)
+	}
+	assertAligned(t, quiet, loud, "mixed hook sequence")
+}

@@ -35,10 +35,14 @@ type MLP struct {
 	// scratch per-layer activations from the most recent Forward,
 	// reused across calls to avoid reallocation. acts[0] is the input,
 	// acts[i] the post-activation output of layer i-1.
+	//
+	//nessa:arena epoch-scoped forward scratch, overwritten by the next Forward
 	acts []*tensor.Matrix
 	// scratch per-layer input gradients for Backward, reused the same
 	// way. Buffer capacity survives shrinking, so alternating full and
 	// tail batches never reallocates.
+	//
+	//nessa:arena epoch-scoped backward scratch, overwritten by the next Backward
 	deltas []*tensor.Matrix
 }
 
@@ -95,6 +99,7 @@ func (m *MLP) NumParams() int {
 // not reallocate.
 //
 //nessa:hotpath
+//nessa:scratch-ok returned logits are a documented view into the forward arena, valid until the next Forward
 func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if len(m.acts) != len(m.Layers)+1 {
 		m.acts = make([]*tensor.Matrix, len(m.Layers)+1)
@@ -106,6 +111,8 @@ func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
 // pass. Distinct scratches make MLP.ForwardInto safe to call
 // concurrently from multiple goroutines on a shared (read-only) model
 // — the basis of the chunked parallel evaluation path.
+//
+//nessa:arena per-goroutine inference scratch, overwritten by the next ForwardInto
 type FwdScratch struct {
 	acts []*tensor.Matrix
 }
@@ -117,6 +124,7 @@ type FwdScratch struct {
 // The model itself is only read.
 //
 //nessa:hotpath
+//nessa:scratch-ok returned logits are a documented view into s, valid until the next call with the same scratch
 func (m *MLP) ForwardInto(s *FwdScratch, x *tensor.Matrix) *tensor.Matrix {
 	if len(s.acts) != len(m.Layers)+1 {
 		s.acts = make([]*tensor.Matrix, len(m.Layers)+1)

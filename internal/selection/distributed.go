@@ -31,6 +31,7 @@ func GreeDi(emb *tensor.Matrix, cand []int, k, shards int, rng *tensor.RNG, inne
 		shards = len(cand)
 	}
 	if rng == nil {
+		//nessa:seed-ok documented deterministic fallback for a nil RNG; callers wanting replay pass a seeded stream
 		rng = tensor.NewRNG(1)
 	}
 

@@ -296,6 +296,7 @@ func StochasticGreedy(emb *tensor.Matrix, cand []int, k int, eps float64, rng *t
 		eps = 0.1
 	}
 	if rng == nil {
+		//nessa:seed-ok documented deterministic fallback for a nil RNG; callers wanting replay pass a seeded stream
 		rng = tensor.NewRNG(1)
 	}
 	f := newFacility(emb, cand)

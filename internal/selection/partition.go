@@ -29,6 +29,7 @@ func Partitioned(emb *tensor.Matrix, cand []int, k, m int, rng *tensor.RNG, maxi
 		m = k
 	}
 	if rng == nil {
+		//nessa:seed-ok documented deterministic fallback for a nil RNG; callers wanting replay pass a seeded stream
 		rng = tensor.NewRNG(1)
 	}
 

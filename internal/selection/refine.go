@@ -26,6 +26,7 @@ func Refine(emb *tensor.Matrix, cand []int, res Result, maxRounds, sampleSwaps i
 		return Result{}, err
 	}
 	if rng == nil {
+		//nessa:seed-ok documented deterministic fallback for a nil RNG; callers wanting replay pass a seeded stream
 		rng = tensor.NewRNG(1)
 	}
 	if maxRounds <= 0 {

@@ -68,6 +68,7 @@ const gemmParallelFlops = 64 * 1024
 var gemmScratch sync.Pool
 
 //nessa:hotpath
+//nessa:scratch-ok ownership transfer: every caller returns the buffer with gemmScratch.Put before it exits
 func gemmBuf(n int) *[]float32 {
 	if v := gemmScratch.Get(); v != nil {
 		s := v.(*[]float32)

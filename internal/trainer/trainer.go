@@ -57,6 +57,8 @@ type Trainer struct {
 // labels, weights), the logit gradients, and the per-sample losses.
 // Buffers are sized for the full batch and re-sliced for the short
 // tail batch, keeping their capacity across epochs.
+//
+//nessa:arena per-epoch training scratch, overwritten every batch
 type epochScratch struct {
 	perm     []int
 	bx       *tensor.Matrix
@@ -175,6 +177,8 @@ func (t *Trainer) Evaluate(ds *data.Dataset) float64 {
 // pass: a row-view into the dataset, the forward activations, and a
 // softmax scratch. Pooled so repeated evaluations allocate only on
 // first use per goroutine.
+//
+//nessa:arena pooled per-goroutine eval scratch, recycled through evalScratchPool
 type evalScratch struct {
 	view  tensor.Matrix
 	fwd   nn.FwdScratch
@@ -184,6 +188,8 @@ type evalScratch struct {
 var evalScratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
 
 // viewRows points sc.view at rows [lo, hi) of x without copying.
+//
+//nessa:scratch-ok the view aliases the caller-owned dataset and is consumed before the scratch is pooled again
 func (sc *evalScratch) viewRows(x *tensor.Matrix, lo, hi int) *tensor.Matrix {
 	sc.view.Rows = hi - lo
 	sc.view.Cols = x.Cols

@@ -7,11 +7,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
 echo "== go vet =="
 go vet ./...
 
 echo "== go build =="
 go build ./...
+# The repo's own tools are built once and invoked as binaries below —
+# repeated `go run` pays the link step on every invocation.
+go build -o "$tmpdir/nessa-vet" ./cmd/nessa-vet
+go build -o "$tmpdir/nessa-bench" ./cmd/nessa-bench
 
 echo "== gofmt =="
 # gofmt placement is load-bearing for nessa-vet: a mis-formatted
@@ -29,8 +36,16 @@ echo "== nessa-vet =="
 # device code), maporder (no order-sensitive folds over map iteration),
 # hotpath (//nessa:hotpath functions stay allocation-free), fma (no
 # fusable float multiply-adds in the kernel packages), errhygiene
-# (sentinel errors compared with errors.Is, wrapped with %w).
-go run ./cmd/nessa-vet ./...
+# (sentinel errors compared with errors.Is, wrapped with %w),
+# concurrency (loop capture, shared writes, copied locks, lock-state
+# paths), scratchlife (pooled/arena scratch escaping its epoch), and
+# seedflow (RNG seeds must flow from configuration).
+#
+# The baseline diff gates on NEW findings only: accepted historical
+# findings live in scripts/vet-baseline.json (currently empty — the
+# tree is swept clean). To accept a finding deliberately, regenerate
+# with: nessa-vet -baseline scripts/vet-baseline.json -write-baseline ./...
+"$tmpdir/nessa-vet" -baseline scripts/vet-baseline.json ./...
 
 echo "== go test -race =="
 go test -race ./...
@@ -48,9 +63,7 @@ echo "== determinism gate =="
 # bench-faults additionally gates the fault-tolerance machinery: the
 # resilient scan path must match the raw path bit-for-bit, cost under
 # 2% on the clean path, and complete every chaos-profile run.
-tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
-go run ./cmd/nessa-bench -quick -results "$tmpdir" \
+"$tmpdir/nessa-bench" -quick -results "$tmpdir/results" \
 	-only bench-selection,bench-training,bench-faults >/dev/null
 
 echo "OK"
