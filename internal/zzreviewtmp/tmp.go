@@ -1,0 +1,11 @@
+package zzreviewtmp
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 8); return &b }}
+
+func H() byte {
+	v := pool.Get().(*[]byte)
+	defer pool.Put(v)
+	return (*v)[0]
+}
