@@ -20,11 +20,12 @@ import (
 
 	"nessa/internal/bench"
 	"nessa/internal/data"
+	"nessa/internal/tensor"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run training artifacts at reduced scale")
-	only := flag.String("only", "", "comma-separated artifact ids (table1..4, figure1..6, section4.3, section4.4, ablations, seed-variance); empty = all")
+	only := flag.String("only", "", "comma-separated artifact ids (table1..4, figure1..6, section4.3, section4.4, ablations, bench-selection, bench-training, bench-faults, bench-gemmtune, seed-variance); empty = all")
 	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
 	stride := flag.Int("stride", 5, "epoch stride for figure5 rows")
 	seeds := flag.Int("seeds", 3, "seed count for the seed-variance artifact")
@@ -135,7 +136,7 @@ func main() {
 		add(tab)
 	}
 	if selected("bench-training") {
-		fmt.Fprintln(os.Stderr, "measuring the training hot path (workers=1 vs all cores)...")
+		fmt.Fprintln(os.Stderr, "measuring the training hot path (worker sweep 1/2/all cores, both kernel tiers)...")
 		path := filepath.Join(*resultsDir, "BENCH_training.json")
 		res, tab, err := bench.WriteTrainingBench(path, *quick)
 		if err != nil {
@@ -144,7 +145,31 @@ func main() {
 		if !res.IdenticalTrajectories {
 			fatal(fmt.Errorf("parallel training diverged from serial — determinism contract broken"))
 		}
+		if res.FastTierSupported && !res.FastTierDeterministic {
+			fatal(fmt.Errorf("fast-tier training diverged across worker counts — determinism contract broken"))
+		}
+		if res.FastTierSupported && res.FastVsBitExactMaxRel > tensor.FastTierTolerance {
+			fatal(fmt.Errorf("fast tier diverges from bit-exact by %.3g, beyond the documented %.0e tolerance",
+				res.FastVsBitExactMaxRel, tensor.FastTierTolerance))
+		}
+		switch {
+		case res.SpeedupEpoch == nil:
+			fmt.Fprintln(os.Stderr, "nessa-bench:", res.SpeedupWarning)
+		case *res.SpeedupEpoch < bench.TrainingSpeedupGate:
+			fatal(fmt.Errorf("epoch speedup at workers=2 is %.2fx, below the %.1fx gate", *res.SpeedupEpoch, bench.TrainingSpeedupGate))
+		}
 		fmt.Fprintln(os.Stderr, "wrote", path)
+		add(tab)
+	}
+	if selected("bench-gemmtune") {
+		fmt.Fprintln(os.Stderr, "autotuning GEMM block sizes (MC/KC/NR sweep per kernel tier)...")
+		path := filepath.Join(*resultsDir, "GEMM_tuning.json")
+		rec, tab, err := bench.WriteGEMMTune(path, *quick)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (bit-exact mc=%d %.1f GFLOP/s; fast mc=%d kc=%d nr=%d %.1f GFLOP/s)\n",
+			path, rec.BitExact.MC, rec.BitExactGFLOPS, rec.Fast.MC, rec.Fast.KC, rec.Fast.NR, rec.FastGFLOPS)
 		add(tab)
 	}
 	if selected("bench-faults") {

@@ -5,9 +5,15 @@
 // Usage:
 //
 //	nessa-train [-dataset CIFAR-10] [-method nessa|craig|kcenters|random|full]
-//	            [-epochs 60] [-subset 0.4] [-seed 7] [-workers 0] [-no-device]
+//	            [-epochs 60] [-subset 0.4] [-seed 7] [-workers 0]
+//	            [-fastmath] [-tuning results/GEMM_tuning.json] [-no-device]
 //	            [-chaos] [-fault-seed 42] [-fault-corrupt 0] [-fault-transient 0]
 //	            [-fault-latency 0] [-fault-linkdown 0]
+//
+// -fastmath opts into the non-bit-exact AVX2/FMA kernel tier (still
+// deterministic and worker-count invariant; silently a no-op on CPUs
+// without AVX2/FMA). -tuning applies a GEMM block-size record produced
+// by nessa-bench's autotuner for the active tier.
 //
 // The -fault-* flags attach a deterministic fault injector to the
 // simulated device (requires the device, i.e. not -no-device); -chaos
@@ -32,6 +38,8 @@ func main() {
 	subset := flag.Float64("subset", 0, "initial subset fraction (0 = method default)")
 	seed := flag.Uint64("seed", 7, "controller seed")
 	workers := flag.Int("workers", 0, "worker goroutines for selection, training GEMMs, and evaluation (0 = all cores, 1 = serial; results are identical either way)")
+	fastmath := flag.Bool("fastmath", false, "enable the non-bit-exact AVX2/FMA kernel tier (deterministic, but diverges from the bit-exact trajectory within the documented tolerance; no-op without AVX2/FMA)")
+	tuningPath := flag.String("tuning", "", "GEMM tuning record to apply (results/GEMM_tuning.json written by nessa-bench -only bench-gemmtune)")
 	noDevice := flag.Bool("no-device", false, "skip the SmartSSD simulation / movement accounting")
 	chaos := flag.Bool("chaos", false, "inject the standard chaos fault profile (all classes active)")
 	faultSeed := flag.Uint64("fault-seed", 42, "fault injector seed")
@@ -44,6 +52,23 @@ func main() {
 	spec, ok := nessa.LookupDataset(*dataset)
 	if !ok {
 		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+	// Resolve the kernel tier before applying a tuning record, so the
+	// record's entry for the active tier is the one installed.
+	fastActive := nessa.SetFastMath(*fastmath)
+	if *fastmath && !fastActive {
+		fmt.Fprintln(os.Stderr, "nessa-train: -fastmath requested but AVX2/FMA is unavailable; staying on the bit-exact tier")
+	}
+	if *tuningPath != "" {
+		rec, err := nessa.LoadTuningRecord(*tuningPath)
+		if err != nil {
+			fatal(err)
+		}
+		applied, err := nessa.ApplyTuningRecord(rec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tuning: mc=%d kc=%d nr=%d (fast tier %v)\n", applied.MC, applied.KC, applied.NR, fastActive)
 	}
 	train, test := nessa.Generate(spec)
 	cfg := nessa.DefaultTrainConfig()
@@ -62,6 +87,7 @@ func main() {
 	opt := nessa.DefaultOptions()
 	opt.Seed = *seed
 	opt.Workers = *workers
+	opt.BitExact = !*fastmath
 	switch *method {
 	case "nessa":
 	case "craig":

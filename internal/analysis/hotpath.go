@@ -115,7 +115,12 @@ func checkHotPathBody(p *Pass, fn *ast.FuncDecl) {
 				allocFlag(n.Pos(), "append (may grow the backing array)")
 			default:
 				if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok {
-					if obj, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
+					if isSyncPoolMethod(p.Pkg.Info, n, "Get") || isSyncPoolMethod(p.Pkg.Info, n, "Put") {
+						// sync.Pool is wrong on the steady-state path twice
+						// over: Get allocates on a miss, and the GC drains
+						// the pool between epochs so misses recur forever.
+						coldFlag(n.Pos(), "sync.Pool."+sel.Sel.Name+" (the GC drains sync.Pool, so misses — and their allocations — recur; use a parallel.WorkerLocal arena or a persistent free list)")
+					} else if obj, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
 						obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
 						coldFlag(n.Pos(), "call to fmt."+obj.Name())
 					}

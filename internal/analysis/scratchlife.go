@@ -602,8 +602,38 @@ func rootObject(info *types.Info, e ast.Expr) types.Object {
 // Helpers
 // ---------------------------------------------------------------------
 
-func isPoolGet(info *types.Info, call *ast.CallExpr) bool { return isSyncPoolMethod(info, call, "Get") }
+func isPoolGet(info *types.Info, call *ast.CallExpr) bool {
+	return isSyncPoolMethod(info, call, "Get") || isWorkerLocalGet(info, call)
+}
 func isPoolPut(info *types.Info, call *ast.CallExpr) bool { return isSyncPoolMethod(info, call, "Put") }
+
+// isWorkerLocalGet matches (*WorkerLocal[T]).Get — the worker-scoped
+// arena accessor (parallel.WorkerLocal in the real tree). A slot is
+// reused by the next loop that runs on the same worker, so memory
+// reached through Get carries the same epoch-scoped lifetime as a
+// sync.Pool buffer. There is no Put: slots are never released, so only
+// the taint rules (return / store / send) apply. Matching by receiver
+// type name keeps the rule reachable from self-contained fixtures.
+func isWorkerLocalGet(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == "WorkerLocal"
+}
 
 func isSyncPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
 	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)

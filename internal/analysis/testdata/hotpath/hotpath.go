@@ -4,7 +4,10 @@
 // a //nessa:alloc-ok line.
 package fixture
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kernel is annotated hot: every construct below must be flagged.
 //
@@ -49,4 +52,36 @@ func Warm(buf []float32, n int) []float32 {
 func Cold(n int) []float32 {
 	fmt.Println("cold")
 	return make([]float32, n)
+}
+
+var scratchPool = sync.Pool{New: func() any { b := make([]float32, 64); return &b }}
+
+// Pooled reaches for sync.Pool on the hot path: the GC drains the pool
+// between epochs, so the steady state keeps allocating.
+//
+//nessa:hotpath
+func Pooled(x float32) float32 {
+	buf := scratchPool.Get().(*[]float32) // want "sync.Pool.Get"
+	(*buf)[0] = x
+	v := (*buf)[0]
+	scratchPool.Put(buf) // want "sync.Pool.Put"
+	return v
+}
+
+// PooledWaived documents an intended sync.Pool use.
+//
+//nessa:hotpath
+func PooledWaived(x float32) float32 {
+	//nessa:alloc-ok demonstrates the site-level opt-out for pools
+	buf := scratchPool.Get().(*[]float32)
+	(*buf)[0] = x
+	v := (*buf)[0]
+	//nessa:alloc-ok demonstrates the site-level opt-out for pools
+	scratchPool.Put(buf)
+	return v
+}
+
+// ColdPool carries no annotation: no findings.
+func ColdPool() *[]float32 {
+	return scratchPool.Get().(*[]float32)
 }

@@ -103,3 +103,41 @@ func CopyOut(s *scratch) []float32 {
 	copy(out, s.buf)
 	return out
 }
+
+// WorkerLocal mirrors parallel.WorkerLocal: per-worker slots reused by
+// the next loop on the same worker. Get is a pooled-taint source by
+// receiver type name, so the fixture needs no import.
+type WorkerLocal[T any] struct{ slots []*T }
+
+func (l *WorkerLocal[T]) Get(w int) *T { return l.slots[w] }
+
+var evalArena = &WorkerLocal[scratch]{}
+
+// LeakWorkerSlot hands a worker's arena slot to the caller: the next
+// chunk scheduled on worker w overwrites it.
+func LeakWorkerSlot(w int) []float32 {
+	sc := evalArena.Get(w)
+	return sc.buf // want "returns pool/arena-backed scratch memory"
+}
+
+var lastSlot *scratch
+
+// StashWorkerSlot parks a worker slot in a package-level variable.
+func StashWorkerSlot(w int) {
+	lastSlot = evalArena.Get(w) // want "scratch memory stored in package-level variable lastSlot outlives its epoch"
+}
+
+// SlotScalarOut copies a scalar out of a worker slot — never tainted.
+func SlotScalarOut(w int) float32 {
+	sc := evalArena.Get(w)
+	return sc.buf[0]
+}
+
+// SlotGrow grows a slot's buffer in place: a store into a base that is
+// itself scratch stays silent (arena-to-arena).
+func SlotGrow(w int, n int) {
+	sc := evalArena.Get(w)
+	if cap(sc.buf) < n {
+		sc.buf = make([]float32, n)
+	}
+}

@@ -1,0 +1,190 @@
+// GEMM block-size autotuner: searches a small MC/KC/NR candidate grid
+// with timed kernel runs and persists the per-tier winners as a
+// tensor.TuningRecord (results/GEMM_tuning.json). nessa-train applies
+// the record at startup with -tuning; the bit-exact tier's candidates
+// only move banding (results are unaffected by construction), while the
+// fast tier's candidates also choose the k-block depth and panel width
+// its reassociated kernels run at.
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"nessa/internal/tensor"
+)
+
+// gemmTuneShape is the workload the autotuner times: the forward-pass
+// kernel shape of the training benchmark.
+type gemmTuneShape struct{ n, k, m int }
+
+func defaultGemmTuneShape(quick bool) gemmTuneShape {
+	if quick {
+		return gemmTuneShape{n: 256, k: 128, m: 128}
+	}
+	return gemmTuneShape{n: 512, k: 256, m: 256}
+}
+
+// gemmTuneCandidate is one measured grid point.
+type gemmTuneCandidate struct {
+	tier   string // "bit-exact" | "fast"
+	tuning tensor.Tuning
+	gflops float64
+	winner bool
+}
+
+// bitExactCandidates is the bit-exact tier's grid: only MC matters
+// there (KC is ignored, NR unused), so the sweep is one-dimensional.
+// NR is pinned to 8 so a record's bit-exact entry can never veto the
+// fast tier if both tiers end up sharing a tuning.
+func bitExactCandidates(quick bool) []tensor.Tuning {
+	mcs := []int{0, 16, 32, 64}
+	if quick {
+		mcs = []int{0, 32}
+	}
+	out := make([]tensor.Tuning, 0, len(mcs))
+	for _, mc := range mcs {
+		out = append(out, tensor.Tuning{MC: mc, KC: 0, NR: 8})
+	}
+	return out
+}
+
+// fastCandidates is the fast tier's grid: banding × k-block depth ×
+// panel width. NR=4 is the deliberate degrade candidate — it runs the
+// bit-exact 4-wide kernels, and wins only if the AVX2 path loses on
+// this machine.
+func fastCandidates(quick bool) []tensor.Tuning {
+	mcs := []int{0, 16, 32, 64}
+	kcs := []int{0, 64, 128, 256}
+	nrs := []int{8, 4}
+	if quick {
+		mcs, kcs, nrs = []int{0, 32}, []int{0, 256}, []int{8}
+	}
+	out := make([]tensor.Tuning, 0, len(mcs)*len(kcs)*len(nrs))
+	for _, nr := range nrs {
+		for _, kc := range kcs {
+			for _, mc := range mcs {
+				out = append(out, tensor.Tuning{MC: mc, KC: kc, NR: nr})
+			}
+		}
+	}
+	return out
+}
+
+// timeGemm measures MatMulTransB throughput (GFLOP/s) under the
+// currently installed tier and tuning.
+func timeGemm(sh gemmTuneShape, gd, ga, gb *tensor.Matrix, reps int) float64 {
+	tensor.MatMulTransB(gd, ga, gb) // warm panels under this tuning
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		tensor.MatMulTransB(gd, ga, gb)
+	}
+	sec := time.Since(t0).Seconds()
+	flops := 2 * float64(sh.n) * float64(sh.k) * float64(sh.m) * float64(reps)
+	return flops / sec / 1e9
+}
+
+// RunGEMMTune sweeps both tiers' candidate grids and returns the
+// persistable record plus the full measurement table. The process-wide
+// tier and tuning are restored before returning.
+func RunGEMMTune(quick bool) (*tensor.TuningRecord, *Table, error) {
+	sh := defaultGemmTuneShape(quick)
+	reps := 8
+	if quick {
+		reps = 3
+	}
+	ga := tensor.NewMatrix(sh.n, sh.k)
+	gb := tensor.NewMatrix(sh.m, sh.k)
+	gd := tensor.NewMatrix(sh.n, sh.m)
+	r := tensor.NewRNG(98765)
+	ga.FillNormal(r, 1)
+	gb.FillNormal(r, 1)
+
+	prevTuning := tensor.CurrentTuning()
+	prevFast := tensor.FastMathActive()
+	defer func() {
+		tensor.SetFastMath(prevFast)
+		_ = tensor.SetTuning(prevTuning)
+	}()
+
+	rec := &tensor.TuningRecord{
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		CPUs:          runtime.NumCPU(),
+		FastSupported: tensor.FastMathSupported(),
+		// Fall back to the defaults for any tier that is not measured.
+		BitExact: tensor.DefaultTuning(),
+		Fast:     tensor.DefaultTuning(),
+	}
+
+	var cands []gemmTuneCandidate
+	sweep := func(tier string, on bool, grid []tensor.Tuning) (tensor.Tuning, float64, error) {
+		tensor.SetFastMath(on)
+		best, bestG := tensor.Tuning{}, -1.0
+		for _, t := range grid {
+			if err := tensor.SetTuning(t); err != nil {
+				return best, bestG, err
+			}
+			g := timeGemm(sh, gd, ga, gb, reps)
+			cands = append(cands, gemmTuneCandidate{tier: tier, tuning: t, gflops: g})
+			if g > bestG {
+				best, bestG = t, g
+			}
+		}
+		for i := range cands {
+			if cands[i].tier == tier && cands[i].tuning == best {
+				cands[i].winner = true
+			}
+		}
+		return best, bestG, nil
+	}
+
+	best, g, err := sweep("bit-exact", false, bitExactCandidates(quick))
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.BitExact, rec.BitExactGFLOPS = best, g
+
+	if rec.FastSupported {
+		best, g, err = sweep("fast", true, fastCandidates(quick))
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.Fast, rec.FastGFLOPS = best, g
+	}
+
+	t := &Table{
+		ID:    "bench-gemmtune",
+		Title: "GEMM block-size autotuning: MC/KC/NR candidate sweep per kernel tier",
+		Note: fmt.Sprintf("%d×%d·(%d×%d)ᵀ, %d reps per candidate on %d CPUs; fast tier supported: %v; winners persisted to the tuning record",
+			sh.n, sh.k, sh.m, sh.k, reps, rec.CPUs, rec.FastSupported),
+		Header: []string{"Tier", "MC", "KC", "NR", "GFLOP/s", "Winner"},
+	}
+	for _, c := range cands {
+		mark := ""
+		if c.winner {
+			mark = "*"
+		}
+		t.AddRow(c.tier, fmt.Sprintf("%d", c.tuning.MC), fmt.Sprintf("%d", c.tuning.KC),
+			fmt.Sprintf("%d", c.tuning.NR), fmt.Sprintf("%.1f", c.gflops), mark)
+	}
+	return rec, t, nil
+}
+
+// WriteGEMMTune runs the autotuner and persists the record to path
+// (conventionally results/GEMM_tuning.json).
+func WriteGEMMTune(path string, quick bool) (*tensor.TuningRecord, *Table, error) {
+	rec, t, err := RunGEMMTune(quick)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, err
+	}
+	if err := tensor.SaveTuningRecord(path, rec); err != nil {
+		return nil, nil, err
+	}
+	return rec, t, nil
+}

@@ -15,6 +15,14 @@ import (
 	"nessa/internal/trainer"
 )
 
+// TrainingSpeedupGate is the minimum workers=1 → workers=2 epoch
+// speedup the training hot path must deliver on a real multi-core
+// machine. nessa-bench enforces it whenever the speedup is measurable
+// (effective CPUs >= 2); below that the measurement is refused rather
+// than gated, because a 2-worker run pinned to one core measures
+// scheduling overhead, not scaling.
+const TrainingSpeedupGate = 1.5
+
 // TrainingBenchSpec fixes the synthetic workload of the training
 // hot-path benchmark: weighted mini-batch epochs over a CIFAR-10-shaped
 // proxy dataset, the chunked evaluation pass, and the forward GEMM
@@ -49,33 +57,136 @@ func DefaultTrainingBenchSpec(quick bool) TrainingBenchSpec {
 	return s
 }
 
-// TrainingBenchRun is one worker setting's measurement.
+// TrainingBenchRun is one worker setting's measurement. The bit-exact
+// tier's numbers are always present; the fast-tier columns are zero
+// when the host cannot run AVX2/FMA.
 type TrainingBenchRun struct {
 	Workers        int     `json:"workers"`
+	GoMaxProcs     int     `json:"gomaxprocs"` // recorded per run: the OS-thread budget the run actually had
 	NsPerEpoch     int64   `json:"nsPerEpoch"`
 	MSPerEpoch     float64 `json:"msPerEpoch"`
 	AllocsPerEpoch float64 `json:"allocsPerEpoch"` // runtime.MemStats Mallocs delta
 	EvalMS         float64 `json:"evalMS"`         // chunked EvaluateModel pass
-	GemmGFLOPS     float64 `json:"gemmGFLOPS"`     // forward-kernel throughput
+	GemmGFLOPS     float64 `json:"gemmGFLOPS"`     // bit-exact forward-kernel throughput
+
+	FastMSPerEpoch float64 `json:"fastMSPerEpoch,omitempty"` // AVX2/FMA tier epoch time
+	FastGemmGFLOPS float64 `json:"fastGemmGFLOPS,omitempty"` // AVX2/FMA tier kernel throughput
 }
 
 // TrainingBenchResult is the JSON artifact written to
 // results/BENCH_training.json so the speed trajectory of the training
 // hot path is tracked from PR to PR.
 type TrainingBenchResult struct {
-	GeneratedAt           string             `json:"generatedAt"`
-	CPUs                  int                `json:"cpus"`
-	Spec                  TrainingBenchSpec  `json:"spec"`
-	Runs                  []TrainingBenchRun `json:"runs"`
-	SpeedupEpoch          float64            `json:"speedupEpoch"` // workers=1 vs max
-	IdenticalTrajectories bool               `json:"identicalTrajectories"`
+	GeneratedAt   string `json:"generatedAt"`
+	CPUs          int    `json:"cpus"`
+	GoMaxProcs    int    `json:"gomaxprocs"`
+	EffectiveCPUs int    `json:"effectiveCPUs"` // min(cpus, gomaxprocs): the real parallelism budget
+
+	Spec TrainingBenchSpec  `json:"spec"`
+	Runs []TrainingBenchRun `json:"runs"` // worker sweep: 1, 2, NumCPU (deduplicated)
+
+	// SpeedupEpoch is the workers=1 → workers=2 epoch speedup — the
+	// gated scaling number. It is null (and SpeedupWarning set) when
+	// the process has fewer than 2 effective CPUs: a sweep squeezed
+	// onto one core cannot measure scaling, and writing a number would
+	// poison the PR-to-PR trend. SpeedupEpochBest compares workers=1
+	// against the fastest sweep entry.
+	SpeedupEpoch     *float64 `json:"speedupEpoch"`
+	SpeedupEpochBest *float64 `json:"speedupEpochBest"`
+	SpeedupWarning   string   `json:"speedupWarning,omitempty"`
+
+	// IdenticalTrajectories is the bit-exact determinism contract:
+	// every epoch loss, every final parameter bit, and the evaluated
+	// accuracy agree across the whole worker sweep.
+	IdenticalTrajectories bool `json:"identicalTrajectories"`
+
+	// Fast-tier reporting, kept strictly separate from the bit-exact
+	// numbers: whether the host can run it, whether its trajectories
+	// are bit-identical across worker counts (they must be — the tier
+	// is reassociated, not nondeterministic), and the largest relative
+	// epoch-loss divergence from the bit-exact tier actually observed.
+	FastTierSupported     bool    `json:"fastTierSupported"`
+	FastTierDeterministic bool    `json:"fastTierDeterministic"`
+	FastVsBitExactMaxRel  float64 `json:"fastVsBitExactMaxRel,omitempty"`
 }
 
-// RunTrainingBench measures the training hot path at 1 worker and at
-// every available core, verifying along the way that both settings
-// produce bit-identical optimization trajectories — every epoch loss,
-// every final parameter, and the evaluated accuracy (the determinism
-// contract of the blocked GEMM and the chunked evaluation).
+// trainingTrajectory is one tier+worker setting's measured trajectory
+// and timings.
+type trainingTrajectory struct {
+	losses  []float64
+	bits    []uint32
+	acc     float64
+	elapsed time.Duration
+	allocs  float64
+}
+
+// runTrajectory trains a fresh model for spec.Epochs at the current
+// worker/tier setting, returning the trajectory, steady-state timing
+// (one warm-up epoch fills every arena and free list first), and the
+// trained model for the eval-pass measurement.
+func runTrajectory(ds data.Spec, cfg trainer.Config, spec TrainingBenchSpec, train *data.Dataset, weights []float32) (trainingTrajectory, *trainer.Trainer) {
+	tt := trainer.New(ds, cfg)
+	tt.SetEpoch(0)
+	tt.TrainEpoch(train.X, train.Labels, weights)
+
+	losses := make([]float64, spec.Epochs)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for e := 0; e < spec.Epochs; e++ {
+		tt.SetEpoch(e)
+		losses[e] = tt.TrainEpoch(train.X, train.Labels, weights)
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+
+	bits := make([]uint32, 0, tt.Model.NumParams())
+	for _, l := range tt.Model.Layers {
+		for _, v := range l.W.Data {
+			bits = append(bits, math.Float32bits(v))
+		}
+		for _, v := range l.B {
+			bits = append(bits, math.Float32bits(v))
+		}
+	}
+	return trainingTrajectory{
+		losses:  losses,
+		bits:    bits,
+		elapsed: elapsed,
+		allocs:  float64(m1.Mallocs-m0.Mallocs) / float64(spec.Epochs),
+	}, tt
+}
+
+// gemmThroughput times the forward kernel at the current worker/tier
+// setting and reports GFLOP/s.
+func gemmThroughput(spec TrainingBenchSpec, gd, ga, gb *tensor.Matrix) float64 {
+	tensor.MatMulTransB(gd, ga, gb) // warm the panel free list
+	const reps = 20
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		tensor.MatMulTransB(gd, ga, gb)
+	}
+	sec := time.Since(t0).Seconds()
+	flops := 2 * float64(spec.MatN) * float64(spec.MatK) * float64(spec.MatM) * reps
+	return flops / sec / 1e9
+}
+
+// benchWorkerSweep is the measured worker ladder: serial, the gated
+// 2-worker point, and every core. Deduplicated and ordered.
+func benchWorkerSweep() []int {
+	sweep := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		sweep = append(sweep, n)
+	}
+	return sweep
+}
+
+// RunTrainingBench measures the training hot path across the worker
+// sweep on both kernel tiers, verifying along the way that the
+// bit-exact tier's trajectories are bit-identical at every worker
+// count and that the fast tier is deterministic (bit-identical to
+// itself across worker counts) and within tolerance of bit-exact.
 func RunTrainingBench(spec TrainingBenchSpec) (*TrainingBenchResult, error) {
 	ds := data.Spec{
 		Name: "bench", Classes: spec.Classes, Train: spec.Train,
@@ -99,85 +210,99 @@ func RunTrainingBench(spec TrainingBenchSpec) (*TrainingBenchResult, error) {
 	ga.FillNormal(r, 1)
 	gb.FillNormal(r, 1)
 
-	workerSettings := []int{1, runtime.NumCPU()}
-	if runtime.NumCPU() == 1 {
-		// Still exercise the banded code paths for the identity check.
-		workerSettings[1] = 2
+	effective := runtime.NumCPU()
+	if gmp := runtime.GOMAXPROCS(0); gmp < effective {
+		effective = gmp
 	}
 	res := &TrainingBenchResult{
 		GeneratedAt:           time.Now().UTC().Format(time.RFC3339),
 		CPUs:                  runtime.NumCPU(),
+		GoMaxProcs:            runtime.GOMAXPROCS(0),
+		EffectiveCPUs:         effective,
 		Spec:                  spec,
 		IdenticalTrajectories: true,
+		FastTierSupported:     tensor.FastMathSupported(),
+		FastTierDeterministic: true,
 	}
 	defer parallel.SetDefaultWorkers(0)
+	defer tensor.SetFastMath(false)
 
-	var refLosses []float64
-	var refWeights []uint32
-	var refAcc float64
-	for _, w := range workerSettings {
+	var ref, fastRef *trainingTrajectory
+	for _, w := range benchWorkerSweep() {
 		parallel.SetDefaultWorkers(w)
-		tt := trainer.New(ds, cfg)
-		losses := make([]float64, spec.Epochs)
 
-		// One warm-up epoch fills every scratch arena and pool so the
-		// measurement sees the steady state (both settings run it, so
-		// trajectories stay comparable).
-		tt.SetEpoch(0)
-		tt.TrainEpoch(train.X, train.Labels, weights)
-
-		runtime.GC()
-		var m0, m1 runtime.MemStats
-		runtime.ReadMemStats(&m0)
+		tensor.SetFastMath(false)
+		tj, tt := runTrajectory(ds, cfg, spec, train, weights)
+		trainer.EvaluateModel(tt.Model, test) // warm eval arenas
 		t0 := time.Now()
-		for e := 0; e < spec.Epochs; e++ {
-			tt.SetEpoch(e)
-			losses[e] = tt.TrainEpoch(train.X, train.Labels, weights)
-		}
-		elapsed := time.Since(t0)
-		runtime.ReadMemStats(&m1)
-
-		t0 = time.Now()
-		acc := trainer.EvaluateModel(tt.Model, test)
+		tj.acc = trainer.EvaluateModel(tt.Model, test)
 		evalMS := float64(time.Since(t0).Microseconds()) / 1e3
+		gflops := gemmThroughput(spec, gd, ga, gb)
 
-		bits := make([]uint32, 0, tt.Model.NumParams())
-		for _, l := range tt.Model.Layers {
-			for _, v := range l.W.Data {
-				bits = append(bits, math.Float32bits(v))
-			}
-			for _, v := range l.B {
-				bits = append(bits, math.Float32bits(v))
-			}
-		}
-		if refLosses == nil {
-			refLosses, refWeights, refAcc = losses, bits, acc
-		} else if !equalFloat64s(losses, refLosses) || !equalUint32s(bits, refWeights) || acc != refAcc {
+		if ref == nil {
+			tjCopy := tj
+			ref = &tjCopy
+		} else if !equalFloat64s(tj.losses, ref.losses) || !equalUint32s(tj.bits, ref.bits) || tj.acc != ref.acc {
 			res.IdenticalTrajectories = false
 		}
 
-		// Forward-kernel throughput at this worker setting.
-		tensor.MatMulTransB(gd, ga, gb) // warm the panel pool
-		const reps = 20
-		t0 = time.Now()
-		for i := 0; i < reps; i++ {
-			tensor.MatMulTransB(gd, ga, gb)
-		}
-		gemmSec := time.Since(t0).Seconds()
-		flops := 2 * float64(spec.MatN) * float64(spec.MatK) * float64(spec.MatM) * reps
-
-		perEpoch := elapsed.Nanoseconds() / int64(spec.Epochs)
-		res.Runs = append(res.Runs, TrainingBenchRun{
+		run := TrainingBenchRun{
 			Workers:        w,
-			NsPerEpoch:     perEpoch,
-			MSPerEpoch:     float64(perEpoch) / 1e6,
-			AllocsPerEpoch: float64(m1.Mallocs-m0.Mallocs) / float64(spec.Epochs),
+			GoMaxProcs:     runtime.GOMAXPROCS(0),
+			NsPerEpoch:     tj.elapsed.Nanoseconds() / int64(spec.Epochs),
+			MSPerEpoch:     float64(tj.elapsed.Nanoseconds()) / float64(spec.Epochs) / 1e6,
+			AllocsPerEpoch: tj.allocs,
 			EvalMS:         evalMS,
-			GemmGFLOPS:     flops / gemmSec / 1e9,
-		})
+			GemmGFLOPS:     gflops,
+		}
+
+		if res.FastTierSupported {
+			tensor.SetFastMath(true)
+			ftj, _ := runTrajectory(ds, cfg, spec, train, weights)
+			run.FastMSPerEpoch = float64(ftj.elapsed.Nanoseconds()) / float64(spec.Epochs) / 1e6
+			run.FastGemmGFLOPS = gemmThroughput(spec, gd, ga, gb)
+			tensor.SetFastMath(false)
+
+			if fastRef == nil {
+				ftjCopy := ftj
+				fastRef = &ftjCopy
+			} else if !equalFloat64s(ftj.losses, fastRef.losses) || !equalUint32s(ftj.bits, fastRef.bits) {
+				res.FastTierDeterministic = false
+			}
+			for e := range ftj.losses {
+				d := math.Abs(ftj.losses[e] - tj.losses[e])
+				if m := math.Max(math.Abs(tj.losses[e]), 1); m > 0 {
+					d /= m
+				}
+				if d > res.FastVsBitExactMaxRel {
+					res.FastVsBitExactMaxRel = d
+				}
+			}
+		}
+
+		res.Runs = append(res.Runs, run)
 	}
-	first, last := res.Runs[0], res.Runs[len(res.Runs)-1]
-	res.SpeedupEpoch = safeRatio(first.MSPerEpoch, last.MSPerEpoch)
+
+	if effective < 2 {
+		res.SpeedupWarning = fmt.Sprintf(
+			"effective CPUs = %d (< 2): the worker sweep ran time-sliced on one core, so epoch speedup is not measurable; speedupEpoch withheld",
+			effective)
+	} else {
+		for _, run := range res.Runs {
+			if run.Workers == 2 {
+				s := safeRatio(res.Runs[0].MSPerEpoch, run.MSPerEpoch)
+				res.SpeedupEpoch = &s
+			}
+		}
+		best := math.Inf(1)
+		for _, run := range res.Runs {
+			if run.MSPerEpoch < best {
+				best = run.MSPerEpoch
+			}
+		}
+		sb := safeRatio(res.Runs[0].MSPerEpoch, best)
+		res.SpeedupEpochBest = &sb
+	}
 	return res, nil
 }
 
@@ -206,18 +331,33 @@ func TrainingBenchTable(res *TrainingBenchResult) *Table {
 	t := &Table{
 		ID:    "bench-training",
 		Title: "Training hot path: weighted SGD epoch, chunked evaluation, forward GEMM",
-		Note: fmt.Sprintf("%d samples × %d features, batch %d, %d epochs on %d CPUs; bit-identical trajectories across worker counts: %v",
-			res.Spec.Train, res.Spec.FeatureDim, res.Spec.BatchSize, res.Spec.Epochs, res.CPUs, res.IdenticalTrajectories),
-		Header: []string{"Workers", "Epoch (ms)", "Allocs/epoch", "Eval (ms)", "GEMM (GFLOP/s)"},
+		Note: fmt.Sprintf("%d samples × %d features, batch %d, %d epochs on %d CPUs (GOMAXPROCS %d); bit-identical trajectories across worker counts: %v; fast tier: supported=%v deterministic=%v max rel vs bit-exact %.2g",
+			res.Spec.Train, res.Spec.FeatureDim, res.Spec.BatchSize, res.Spec.Epochs, res.CPUs, res.GoMaxProcs,
+			res.IdenticalTrajectories, res.FastTierSupported, res.FastTierDeterministic, res.FastVsBitExactMaxRel),
+		Header: []string{"Workers", "Epoch (ms)", "Allocs/epoch", "Eval (ms)", "GEMM (GFLOP/s)", "FMA epoch (ms)", "FMA GEMM (GFLOP/s)"},
 	}
 	for _, run := range res.Runs {
+		fastEpoch, fastGemm := "-", "-"
+		if res.FastTierSupported {
+			fastEpoch = fmt.Sprintf("%.2f", run.FastMSPerEpoch)
+			fastGemm = fmt.Sprintf("%.1f", run.FastGemmGFLOPS)
+		}
 		t.AddRow(fmt.Sprintf("%d", run.Workers),
 			fmt.Sprintf("%.2f", run.MSPerEpoch),
 			fmt.Sprintf("%.1f", run.AllocsPerEpoch),
 			fmt.Sprintf("%.2f", run.EvalMS),
-			fmt.Sprintf("%.1f", run.GemmGFLOPS))
+			fmt.Sprintf("%.1f", run.GemmGFLOPS),
+			fastEpoch, fastGemm)
 	}
-	t.AddRow("speedup", fmt.Sprintf("%.2fx", res.SpeedupEpoch), "", "", "")
+	switch {
+	case res.SpeedupEpoch != nil:
+		t.AddRow("speedup @2", fmt.Sprintf("%.2fx", *res.SpeedupEpoch), "", "", "", "", "")
+	default:
+		t.AddRow("speedup @2", "null (single-CPU host)", "", "", "", "", "")
+	}
+	if res.SpeedupEpochBest != nil {
+		t.AddRow("speedup best", fmt.Sprintf("%.2fx", *res.SpeedupEpochBest), "", "", "", "", "")
+	}
 	return t
 }
 

@@ -98,6 +98,16 @@ type Options struct {
 	// worker count.
 	Workers int
 
+	// BitExact selects the kernel tier. True (the default) keeps every
+	// result — training trajectories, selections, evaluations — bitwise
+	// identical across worker counts, machines, and PRs: one IEEE-754
+	// multiply and one add per term, never fused. False permits the
+	// AVX2/FMA fast tier in internal/tensor: still deterministic and
+	// worker-count invariant, but its fused roundings diverge from the
+	// bit-exact trajectory within the tolerance documented in DESIGN.md
+	// §4.9. On hardware without AVX2/FMA the flag is a no-op.
+	BitExact bool
+
 	// Optional storage integration: when Device is non-nil every
 	// selection read, subset transfer, and feedback transfer is charged
 	// to the device's clock and accountant. DatasetName must identify a
@@ -145,6 +155,7 @@ func DefaultOptions() Options {
 		Eps:            0.1,
 		Seed:           7,
 		Workers:        runtime.NumCPU(),
+		BitExact:       true,
 	}
 }
 
@@ -199,6 +210,10 @@ func Run(train, test *data.Dataset, tcfg trainer.Config, opt Options) (*Report, 
 	// knob: results are worker-count-independent by construction, so a
 	// concurrent run with a different setting only affects timing.
 	parallel.SetDefaultWorkers(opt.Workers)
+	// Kernel-tier knob, same contract as the worker count: process-wide,
+	// flipped between runs. With BitExact the fast tier is off and the
+	// request below is a no-op that re-asserts the default.
+	tensor.SetFastMath(!opt.BitExact)
 	n := train.Len()
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty training set")

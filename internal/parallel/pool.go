@@ -1,7 +1,8 @@
 // Package parallel is the shared worker-pool execution layer behind
 // every multicore hot path in the repository: facility-location
-// gain/absorb scans, per-class CRAIG fan-out, and the blocked GEMM
-// kernels in internal/tensor.
+// gain/absorb scans, per-class CRAIG fan-out, the blocked GEMM
+// kernels in internal/tensor, and the chunked evaluation passes in
+// internal/trainer.
 //
 // Design goals, in order:
 //
@@ -11,13 +12,33 @@
 //     depends only on the problem size (never on the worker count or
 //     on goroutine scheduling), and partial results are combined in
 //     ascending chunk order.
-//  2. Zero-cost serial mode. With one worker every loop runs inline on
+//  2. Zero steady-state allocation. Loop execution reuses persistent
+//     helper goroutines (parked on per-helper channels), pooled job
+//     descriptors, and a free list of worker IDs, so a dispatch
+//     allocates nothing once warm. Callers that also need allocation-
+//     free bodies pre-bind their closures to pooled state and key
+//     per-worker scratch off the WorkerLocal arena type.
+//  3. Zero-cost serial mode. With one worker every loop runs inline on
 //     the calling goroutine — no channels, no goroutines, no atomics —
 //     so Workers=1 reproduces a purely serial execution.
-//  3. Nestability. PerClass dispatches classes to the pool while each
-//     class's facility kernel also uses the pool; every call spawns its
-//     own bounded set of goroutines, so nesting cannot deadlock (at
-//     worst it briefly oversubscribes, which the Go scheduler absorbs).
+//  4. Nestability. PerClass dispatches classes to the pool while each
+//     class's facility kernel also uses the pool. A dispatcher only
+//     hands work to helpers that are already idle and otherwise runs
+//     the loop itself, so nesting can never deadlock: the inner loop
+//     always makes progress on the calling goroutine.
+//
+// # Worker identity
+//
+// The W-suffixed loop variants (ForChunksW, ForW) pass each body a
+// small dense worker ID that is unique among all *concurrently
+// executing* loop participants — including participants of nested
+// loops — and is recycled through a LIFO free list when a participant
+// finishes. Consecutive loops therefore see the same few IDs over and
+// over, which keeps WorkerLocal scratch arenas warm, while a nested
+// loop's participants always draw IDs disjoint from every enclosing
+// loop's. IDs say nothing about *which* chunk a worker runs (that is
+// scheduling, which must never affect results); they exist solely so
+// bodies can own per-worker scratch without locking.
 //
 // The pool mirrors the paper's FPGA compute units: the selection kernel
 // of §3.1 evaluates candidate distances on parallel lanes and merges
@@ -38,14 +59,15 @@ import (
 const reduceChunk = 512
 
 // Pool executes chunked data-parallel loops on up to Workers
-// goroutines. The zero value is not useful; use New or Default. A Pool
-// is safe for concurrent use; SetWorkers may be called at any time and
-// only affects scheduling, never results.
+// participants (the calling goroutine plus idle persistent helpers).
+// The zero value is not useful; use New or Default. A Pool is safe for
+// concurrent use; SetWorkers may be called at any time and only
+// affects scheduling, never results.
 type Pool struct {
 	workers atomic.Int32
 }
 
-// New returns a pool running at most workers goroutines per loop.
+// New returns a pool running at most workers participants per loop.
 // workers <= 0 selects runtime.NumCPU().
 func New(workers int) *Pool {
 	p := &Pool{}
@@ -94,11 +116,248 @@ func ChunkBounds(c, n int) (lo, hi int) {
 	return lo, hi
 }
 
+// ---------------------------------------------------------------------
+// Worker identity
+// ---------------------------------------------------------------------
+
+// workerIDs hands out the dense per-participant IDs of the W-variant
+// loops. The free list is LIFO so the IDs a finished loop releases are
+// the first ones the next loop acquires — per-worker scratch keyed on
+// the ID stays warm across loops. Only concurrent participants (which
+// includes nesting) push the high-water mark up.
+var workerIDs struct {
+	mu   sync.Mutex
+	free []int
+	next int
+}
+
+func acquireWorkerID() int {
+	ids := &workerIDs
+	ids.mu.Lock()
+	var id int
+	if n := len(ids.free); n > 0 {
+		id = ids.free[n-1]
+		ids.free = ids.free[:n-1]
+	} else {
+		id = ids.next
+		ids.next++
+	}
+	ids.mu.Unlock()
+	return id
+}
+
+func releaseWorkerID(id int) {
+	ids := &workerIDs
+	ids.mu.Lock()
+	ids.free = append(ids.free, id)
+	ids.mu.Unlock()
+}
+
+// MaxWorkerID reports the number of distinct worker IDs ever handed
+// out — an upper bound for pre-sizing per-worker state. IDs are dense:
+// every ID ever seen is < MaxWorkerID().
+func MaxWorkerID() int {
+	workerIDs.mu.Lock()
+	n := workerIDs.next
+	workerIDs.mu.Unlock()
+	return n
+}
+
+// ---------------------------------------------------------------------
+// Job descriptors and persistent helpers
+// ---------------------------------------------------------------------
+
+type jobKind uint8
+
+const (
+	jobChunks jobKind = iota
+	jobChunksW
+	jobBands
+	jobBandsW
+	jobTasks
+)
+
+// loopJob describes one dispatched loop. Jobs are recycled through a
+// free list, so steady-state dispatch allocates nothing; every
+// reference-carrying field is cleared on release.
+type loopJob struct {
+	kind  jobKind
+	n     int // item count: chunks, bands, or tasks
+	total int // original range length for bound computation
+	grain int // band width for jobBands/jobBandsW
+
+	chunk  func(c, lo, hi int)
+	chunkW func(w, c, lo, hi int)
+	band   func(lo, hi int)
+	bandW  func(w, lo, hi int)
+	tasks  []func()
+
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// needsID reports whether bodies of this job receive a worker ID.
+func (j *loopJob) needsID() bool { return j.kind == jobChunksW || j.kind == jobBandsW }
+
+// work drains the job's item counter on the calling goroutine. w is
+// the participant's worker ID (ignored by the ID-less kinds).
+func (j *loopJob) work(w int) {
+	for {
+		i := int(j.next.Add(1)) - 1
+		if i >= j.n {
+			return
+		}
+		switch j.kind {
+		case jobChunks:
+			lo, hi := ChunkBounds(i, j.total)
+			j.chunk(i, lo, hi)
+		case jobChunksW:
+			lo, hi := ChunkBounds(i, j.total)
+			j.chunkW(w, i, lo, hi)
+		case jobBands:
+			lo, hi := bandBounds(i, j.grain, j.total)
+			j.band(lo, hi)
+		case jobBandsW:
+			lo, hi := bandBounds(i, j.grain, j.total)
+			j.bandW(w, lo, hi)
+		case jobTasks:
+			j.tasks[i]()
+		}
+	}
+}
+
+func bandBounds(b, grain, n int) (lo, hi int) {
+	lo = b * grain
+	hi = lo + grain
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+var jobFree struct {
+	mu   sync.Mutex
+	list []*loopJob
+}
+
+func getJob() *loopJob {
+	jf := &jobFree
+	jf.mu.Lock()
+	var j *loopJob
+	if n := len(jf.list); n > 0 {
+		j = jf.list[n-1]
+		jf.list = jf.list[:n-1]
+	}
+	jf.mu.Unlock()
+	if j == nil {
+		j = &loopJob{}
+	}
+	return j
+}
+
+func putJob(j *loopJob) {
+	j.chunk, j.chunkW, j.band, j.bandW, j.tasks = nil, nil, nil, nil, nil
+	j.next.Store(0)
+	jf := &jobFree
+	jf.mu.Lock()
+	jf.list = append(jf.list, j)
+	jf.mu.Unlock()
+}
+
+// helper is one persistent worker goroutine, parked on its own
+// channel. Helpers are shared process-wide across all Pools: a helper
+// is a generic loop executor, and the per-dispatch worker cap comes
+// from the dispatching pool.
+type helper struct {
+	ch chan *loopJob
+}
+
+// maxHelpers bounds the persistent helper goroutines ever spawned — a
+// backstop against pathological nesting depth, far above any real
+// demand (demand is nesting depth × workers). When the cap is hit a
+// dispatch simply proceeds with fewer helpers; the dispatcher itself
+// always runs the loop, so progress never depends on helper supply.
+const maxHelpers = 256
+
+var helperPool struct {
+	mu      sync.Mutex
+	idle    []*helper
+	spawned int
+}
+
+// engageHelpers hands j to up to want idle helpers, lazily spawning
+// new ones while under the cap. Each engaged helper is registered on
+// j.wg before the job is sent, so the dispatcher's Wait observes every
+// participant. Sends never block: only parked helpers are engaged and
+// their channels hold one job.
+func engageHelpers(j *loopJob, want int) {
+	if want <= 0 {
+		return
+	}
+	hp := &helperPool
+	hp.mu.Lock()
+	for e := 0; e < want; e++ {
+		var h *helper
+		if n := len(hp.idle); n > 0 {
+			h = hp.idle[n-1]
+			hp.idle = hp.idle[:n-1]
+		} else if hp.spawned < maxHelpers {
+			h = &helper{ch: make(chan *loopJob, 1)}
+			hp.spawned++
+			go h.loop()
+		} else {
+			break
+		}
+		j.wg.Add(1)
+		h.ch <- j
+	}
+	hp.mu.Unlock()
+}
+
+// loop is a helper's life: receive a job, drain it under a freshly
+// acquired worker ID, sign off, park again.
+func (h *helper) loop() {
+	for j := range h.ch {
+		if j.needsID() {
+			w := acquireWorkerID()
+			j.work(w)
+			releaseWorkerID(w)
+		} else {
+			j.work(-1)
+		}
+		j.wg.Done() // last touch: the dispatcher may recycle j now
+		hp := &helperPool
+		hp.mu.Lock()
+		hp.idle = append(hp.idle, h)
+		hp.mu.Unlock()
+	}
+}
+
+// runJob fans j out to w-1 idle helpers, participates in the loop on
+// the calling goroutine, waits for every engaged helper, and recycles
+// the descriptor.
+func (p *Pool) runJob(j *loopJob, w int) {
+	engageHelpers(j, w-1)
+	if j.needsID() {
+		id := acquireWorkerID()
+		j.work(id)
+		releaseWorkerID(id)
+	} else {
+		j.work(-1)
+	}
+	j.wg.Wait()
+	putJob(j)
+}
+
+// ---------------------------------------------------------------------
+// Loop API
+// ---------------------------------------------------------------------
+
 // ForChunks runs body(c, lo, hi) for every chunk of the fixed grid over
-// [0, n), on up to Workers goroutines. Each chunk executes exactly
-// once; chunks touched by different goroutines are disjoint, so bodies
-// writing to per-index or per-chunk slots need no locking. Bodies must
-// not assume any execution order.
+// [0, n), on up to Workers participants. Each chunk executes exactly
+// once; chunks touched by different participants are disjoint, so
+// bodies writing to per-index or per-chunk slots need no locking.
+// Bodies must not assume any execution order.
 func (p *Pool) ForChunks(n int, body func(c, lo, hi int)) {
 	nchunks := Chunks(n)
 	if nchunks == 0 {
@@ -115,23 +374,37 @@ func (p *Pool) ForChunks(n int, body func(c, lo, hi int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= nchunks {
-					return
-				}
-				lo, hi := ChunkBounds(c, n)
-				body(c, lo, hi)
-			}
-		}()
+	j := getJob()
+	j.kind, j.n, j.total, j.chunk = jobChunks, nchunks, n, body
+	p.runJob(j, w)
+}
+
+// ForChunksW is ForChunks with worker identity: body additionally
+// receives the participant's worker ID (see the package comment),
+// stable for the duration of the loop and safe to key WorkerLocal
+// scratch on. The ID carries no information about which chunks a
+// participant runs — results must never depend on it.
+func (p *Pool) ForChunksW(n int, body func(w, c, lo, hi int)) {
+	nchunks := Chunks(n)
+	if nchunks == 0 {
+		return
 	}
-	wg.Wait()
+	w := p.Workers()
+	if w > nchunks {
+		w = nchunks
+	}
+	if w <= 1 {
+		id := acquireWorkerID()
+		for c := 0; c < nchunks; c++ {
+			lo, hi := ChunkBounds(c, n)
+			body(id, c, lo, hi)
+		}
+		releaseWorkerID(id)
+		return
+	}
+	j := getJob()
+	j.kind, j.n, j.total, j.chunkW = jobChunksW, nchunks, n, body
+	p.runJob(j, w)
 }
 
 // SumChunks evaluates body over every chunk of the fixed grid and
@@ -158,16 +431,52 @@ func (p *Pool) SumChunks(n int, body func(lo, hi int) float64) float64 {
 }
 
 // For runs body over [0, n) split into contiguous grain-sized bands on
-// up to Workers goroutines. Unlike ForChunks the banding MAY depend on
-// the worker count, so For is only for bodies whose results are
+// up to Workers participants. Unlike ForChunks the banding MAY depend
+// on the worker count, so For is only for bodies whose results are
 // independent of how the range is split — e.g. loops writing each
 // index exactly once. grain <= 0 picks a band size automatically.
 // With one worker (or a single band) body(0, n) runs inline.
 func (p *Pool) For(n, grain int, body func(lo, hi int)) {
+	w, bands, grain := p.bandPlan(n, grain)
 	if n <= 0 {
 		return
 	}
-	w := p.Workers()
+	if w <= 1 || bands <= 1 {
+		body(0, n)
+		return
+	}
+	j := getJob()
+	j.kind, j.n, j.total, j.grain, j.band = jobBands, bands, n, grain, body
+	p.runJob(j, w)
+}
+
+// ForW is For with worker identity, mirroring ForChunksW: body
+// receives the participant's worker ID ahead of its band bounds. The
+// single-band inline path still acquires an ID, so bodies can key
+// scratch on it unconditionally.
+func (p *Pool) ForW(n, grain int, body func(w, lo, hi int)) {
+	w, bands, grain := p.bandPlan(n, grain)
+	if n <= 0 {
+		return
+	}
+	if w <= 1 || bands <= 1 {
+		id := acquireWorkerID()
+		body(id, 0, n)
+		releaseWorkerID(id)
+		return
+	}
+	j := getJob()
+	j.kind, j.n, j.total, j.grain, j.bandW = jobBandsW, bands, n, grain, body
+	p.runJob(j, w)
+}
+
+// bandPlan resolves the participant count, band count, and band width
+// of a For/ForW dispatch.
+func (p *Pool) bandPlan(n, grain int) (w, bands, g int) {
+	if n <= 0 {
+		return 0, 0, 1
+	}
+	w = p.Workers()
 	if grain <= 0 {
 		// Aim for a few bands per worker to absorb imbalance.
 		grain = n / (w * 4)
@@ -175,35 +484,11 @@ func (p *Pool) For(n, grain int, body func(lo, hi int)) {
 			grain = 1
 		}
 	}
-	bands := (n + grain - 1) / grain
-	if w <= 1 || bands <= 1 {
-		body(0, n)
-		return
-	}
+	bands = (n + grain - 1) / grain
 	if w > bands {
 		w = bands
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				b := int(next.Add(1)) - 1
-				if b >= bands {
-					return
-				}
-				lo := b * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	return w, bands, grain
 }
 
 // Run executes every task, at most Workers at a time. Task index order
@@ -225,20 +510,7 @@ func (p *Pool) Run(tasks []func()) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				tasks[i]()
-			}
-		}()
-	}
-	wg.Wait()
+	j := getJob()
+	j.kind, j.n, j.total, j.tasks = jobTasks, n, n, tasks
+	p.runJob(j, w)
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package parallel
+
+const raceEnabled = false

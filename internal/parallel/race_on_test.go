@@ -1,0 +1,8 @@
+//go:build race
+
+package parallel
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates on its own, so alloc regressions are only
+// measurable in non-race runs.
+const raceEnabled = true

@@ -4,23 +4,28 @@
 // All three layouts (MatMul, MatMulTransA, MatMulTransB) share one
 // structure:
 //
-//   - The B-side operand is packed once per call into 4-wide,
-//     k-interleaved *panels* (pooled scratch, zero steady-state
+//   - The B-side operand is packed once per call into k-interleaved
+//     *panels* (persistent pooled scratch, zero steady-state
 //     allocation), so the innermost loop reads one sequential stream
-//     instead of four strided ones.
-//   - Destination rows are computed by a 4×4 micro-kernel: sixteen
-//     register accumulators, four A values and four packed B values
-//     loaded per k step. Each dst element owns exactly one accumulator
-//     that adds products in ascending k — the same association order as
-//     the naive serial loop — so outputs are bit-identical for any
-//     worker count and any band split.
-//   - The accumulator chain over k is never split: a strip-wise
-//     partial-sum scheme would re-associate the floating-point sums
-//     and break bitwise reproducibility, so cache locality comes from
-//     the panel layout (sequential streams prefetch well at any k)
-//     rather than k-blocking.
-//   - Row tails (< 4 rows per band) use a 1×4 micro-kernel; column
-//     tails (cols % 4) fall back to scalar loops with the identical
+//     instead of several strided ones. Panels are 4-wide on the
+//     bit-exact tier and 8-wide on the AVX2/FMA fast tier.
+//   - Destination rows are computed by a register micro-kernel (4×4
+//     bit-exact, 4×8 fast tier). Each dst element owns exactly one
+//     accumulator that adds products in ascending k — the same
+//     association order as the naive serial loop — so bit-exact
+//     outputs are identical for any worker count and any band split.
+//   - On the bit-exact tier the accumulator chain over k is never
+//     split: a strip-wise partial-sum scheme would re-associate the
+//     floating-point sums and break bitwise reproducibility, so cache
+//     locality comes from the panel layout (sequential streams
+//     prefetch well at any k) rather than k-blocking. The fast tier is
+//     explicitly allowed to fuse multiply-adds (FMA) and to block over
+//     k (the KC tuning knob) — its results differ from the bit-exact
+//     tier within a documented tolerance but remain deterministic and
+//     worker-count invariant, because the association order is still
+//     fixed by the data layout and tuning record alone.
+//   - Row tails (< 4 rows per band) use a 1-row micro-kernel; column
+//     tails (cols % NR) fall back to scalar loops with the identical
 //     accumulation order.
 //   - MatMul and MatMulTransA additionally carry a *sparsity-adaptive*
 //     path: when the A-side operand has a meaningful fraction of exact
@@ -35,9 +40,16 @@
 //     is finite and sign-of-zero is invisible to ==, so the contract
 //     holds wherever it is observed.)
 //
-// Parallel dispatch bands over destination rows exactly as before: each
-// output row is written by one band, and banding never changes what a
-// band computes, only who computes it.
+// # Zero-allocation dispatch
+//
+// Parallel dispatch bands over destination rows: each output row is
+// written by one band, and banding never changes what a band computes,
+// only who computes it. A dispatch allocates nothing in steady state:
+// the per-call band descriptors (gemmTask) come from a free list and
+// carry closures pre-bound at construction, B panels come from a
+// persistent buffer free list, and the per-band A strips of
+// MatMulTransA live in a parallel.WorkerLocal arena keyed by the
+// worker ID the pool hands each band.
 package tensor
 
 import (
@@ -48,11 +60,15 @@ import (
 )
 
 const (
-	// gemmMR × gemmNR is the register micro-tile. 4×4 needs 16 float32
-	// accumulators — what the amd64/arm64 register files hold without
-	// spilling — and cuts A/B load traffic 4× versus the naive loop.
+	// gemmMR × gemmNR is the bit-exact register micro-tile. 4×4 needs
+	// 16 float32 accumulators — what the amd64/arm64 register files
+	// hold without spilling — and cuts A/B load traffic 4× versus the
+	// naive loop.
 	gemmMR = 4
 	gemmNR = 4
+	// gemmNRFast is the fast-tier panel width: one 8-lane YMM vector
+	// per dst row in the AVX2/FMA micro-kernels.
+	gemmNRFast = 8
 )
 
 // gemmParallelFlops is the approximate multiply-add count below which
@@ -63,23 +79,181 @@ const (
 // loop, so results are bit-identical for any worker count.
 const gemmParallelFlops = 64 * 1024
 
-// gemmScratch pools panel-packing buffers so steady-state GEMM calls
-// allocate nothing.
-var gemmScratch sync.Pool
+// gemmNRActive reports the panel width of the active kernel tier.
+//
+//nessa:hotpath
+func gemmNRActive() int {
+	if fastKernels {
+		return gemmNRFast
+	}
+	return gemmNR
+}
+
+// ---------------------------------------------------------------------
+// Persistent scratch: panel buffers, strip arenas, task descriptors
+// ---------------------------------------------------------------------
+
+// panelFree recycles B-panel packing buffers. Unlike a sync.Pool it is
+// never drained by the garbage collector, so once every holder has
+// grown to the largest panel a workload packs, steady-state GEMM calls
+// allocate nothing at all.
+var panelFree struct {
+	mu   sync.Mutex
+	list []*[]float32
+}
 
 //nessa:hotpath
-//nessa:scratch-ok ownership transfer: every caller returns the buffer with gemmScratch.Put before it exits
-func gemmBuf(n int) *[]float32 {
-	if v := gemmScratch.Get(); v != nil {
-		s := v.(*[]float32)
-		if cap(*s) >= n {
-			*s = (*s)[:n]
-			return s
-		}
+//nessa:scratch-ok ownership transfer: every caller returns the buffer with putPanel before it exits
+func getPanel(n int) *[]float32 {
+	pf := &panelFree
+	pf.mu.Lock()
+	var s *[]float32
+	if ln := len(pf.list); ln > 0 {
+		s = pf.list[ln-1]
+		pf.list = pf.list[:ln-1]
 	}
-	//nessa:alloc-ok pool miss: first call at this size allocates; steady state reuses pooled buffers
-	s := make([]float32, n)
-	return &s
+	pf.mu.Unlock()
+	if s == nil {
+		//nessa:alloc-ok free-list miss: first concurrent holder at this depth allocates; steady state reuses
+		s = new([]float32)
+	}
+	if cap(*s) < n {
+		//nessa:alloc-ok grow-once: a holder that has seen the workload's largest panel never grows again
+		*s = make([]float32, n)
+	}
+	*s = (*s)[:n]
+	return s
+}
+
+//nessa:hotpath
+func putPanel(s *[]float32) {
+	pf := &panelFree
+	pf.mu.Lock()
+	//nessa:alloc-ok amortized: the list caps at the peak concurrent holder count and never grows past it
+	pf.list = append(pf.list, s)
+	pf.mu.Unlock()
+}
+
+// stripArena holds the per-worker A-side packing strips of
+// MatMulTransA: each band packs 4 A columns at a time into its own
+// worker's strip, so concurrent bands never share a buffer and a warm
+// worker never allocates.
+var stripArena = parallel.NewWorkerLocal[[]float32](nil)
+
+//nessa:hotpath
+//nessa:scratch-ok bounded view: the strip is consumed inside the caller's band and never outlives the dispatch
+func workerStrip(w, n int) []float32 {
+	s := stripArena.Get(w)
+	if cap(*s) < n {
+		//nessa:alloc-ok grow-once per worker slot; steady-state bands reuse the strip
+		*s = make([]float32, n)
+	}
+	return (*s)[:n]
+}
+
+// gemmTask is a pooled band-dispatch descriptor: the operands of one
+// GEMM call plus closures pre-bound to the descriptor at construction,
+// so handing the pool a band body never allocates a per-call closure.
+type gemmTask struct {
+	kind   uint8
+	acc    bool
+	dst    *Matrix
+	a      *Matrix
+	b      *Matrix
+	packed []float32
+
+	run     func(w, lo, hi int) // bound once to (*gemmTask).band
+	runPack func(lo, hi int)    // bound once to (*gemmTask).pack
+}
+
+const (
+	tkMatMul uint8 = iota
+	tkMatMulSkip
+	tkTransB
+	tkTransA
+	tkTransASkip
+	tkPackCol
+	tkPackRow
+)
+
+var gemmTaskFree struct {
+	mu   sync.Mutex
+	list []*gemmTask
+}
+
+//nessa:hotpath
+//nessa:scratch-ok ownership transfer: every caller returns the descriptor with putGemmTask before it exits
+func getGemmTask(kind uint8, dst, a, b *Matrix, packed []float32, acc bool) *gemmTask {
+	gf := &gemmTaskFree
+	gf.mu.Lock()
+	var t *gemmTask
+	if ln := len(gf.list); ln > 0 {
+		t = gf.list[ln-1]
+		gf.list = gf.list[:ln-1]
+	}
+	gf.mu.Unlock()
+	if t == nil {
+		//nessa:alloc-ok free-list miss: descriptor and its two bound closures are built once and recycled forever
+		t = &gemmTask{}
+		t.run = t.band
+		t.runPack = t.pack
+	}
+	t.kind, t.dst, t.a, t.b, t.packed, t.acc = kind, dst, a, b, packed, acc
+	return t
+}
+
+//nessa:hotpath
+func putGemmTask(t *gemmTask) {
+	t.dst, t.a, t.b, t.packed = nil, nil, nil, nil
+	gf := &gemmTaskFree
+	gf.mu.Lock()
+	//nessa:alloc-ok amortized: the list caps at the peak concurrent descriptor count and never grows past it
+	gf.list = append(gf.list, t)
+	gf.mu.Unlock()
+}
+
+// band runs one row band of the descriptor's GEMM. w is the worker ID
+// owning this band's scratch strips.
+//
+//nessa:hotpath
+func (t *gemmTask) band(w, lo, hi int) {
+	switch t.kind {
+	case tkMatMul:
+		matMulBand(t.dst, t.a, t.b, t.packed, lo, hi)
+	case tkMatMulSkip:
+		matMulSkipBand(t.dst, t.a, t.b, lo, hi)
+	case tkTransB:
+		matMulTransBBand(t.dst, t.a, t.b, t.packed, lo, hi)
+	case tkTransA:
+		matMulTransABand(t.dst, t.a, t.b, t.packed, t.acc, w, lo, hi)
+	case tkTransASkip:
+		matMulTransASkipBand(t.dst, t.a, t.b, t.acc, lo, hi)
+	}
+}
+
+// pack runs one panel range of the descriptor's packing fan-out.
+//
+//nessa:hotpath
+func (t *gemmTask) pack(lo, hi int) {
+	switch t.kind {
+	case tkPackCol:
+		packColRange(t.packed, t.b, lo, hi)
+	case tkPackRow:
+		packRowRange(t.packed, t.b, lo, hi)
+	}
+}
+
+// gemmGrain resolves the row-band width of a dispatch: the whole range
+// when the product is too small to parallelize (the pool then runs one
+// band inline on the calling goroutine), the tuned MC when set, or 0
+// for the pool's automatic banding.
+//
+//nessa:hotpath
+func gemmGrain(rows, inner, cols int) int {
+	if gemmSerial(rows, inner, cols) {
+		return rows
+	}
+	return tuning.MC
 }
 
 // gemmSerial reports whether a product with the given inner dimension
@@ -125,34 +299,25 @@ func MatMul(dst, a, b *Matrix) {
 		return
 	}
 	if k > 0 && gemmSparseA(a) {
-		if gemmSerial(n, k, m) {
-			matMulSkipBand(dst, a, b, 0, n)
-		} else {
-			//nessa:alloc-ok one dispatch closure per call, amortized over the whole banded product
-			parallel.Default().For(n, 0, func(lo, hi int) {
-				matMulSkipBand(dst, a, b, lo, hi)
-			})
-		}
+		t := getGemmTask(tkMatMulSkip, dst, a, b, nil, false)
+		parallel.Default().ForW(n, gemmGrain(n, k, m), t.run)
+		putGemmTask(t)
 		return
 	}
-	np := m / gemmNR
+	nr := gemmNRActive()
+	np := m / nr
 	var packed []float32
 	var buf *[]float32
 	if np > 0 && k > 0 {
-		buf = gemmBuf(np * gemmNR * k)
+		buf = getPanel(np * nr * k)
 		packed = *buf
 		packColPanels(packed, b, np)
 	}
-	if gemmSerial(n, k, m) {
-		matMulBand(dst, a, b, packed, 0, n)
-	} else {
-		//nessa:alloc-ok one dispatch closure per call, amortized over the whole banded product
-		parallel.Default().For(n, 0, func(lo, hi int) {
-			matMulBand(dst, a, b, packed, lo, hi)
-		})
-	}
+	t := getGemmTask(tkMatMul, dst, a, b, packed, false)
+	parallel.Default().ForW(n, gemmGrain(n, k, m), t.run)
+	putGemmTask(t)
 	if buf != nil {
-		gemmScratch.Put(buf)
+		putPanel(buf)
 	}
 }
 
@@ -170,24 +335,20 @@ func MatMulTransB(dst, a, b *Matrix) {
 	if n == 0 || m == 0 {
 		return
 	}
-	np := m / gemmNR
+	nr := gemmNRActive()
+	np := m / nr
 	var packed []float32
 	var buf *[]float32
 	if np > 0 && k > 0 {
-		buf = gemmBuf(np * gemmNR * k)
+		buf = getPanel(np * nr * k)
 		packed = *buf
 		packRowPanels(packed, b, np)
 	}
-	if gemmSerial(n, k, m) {
-		matMulTransBBand(dst, a, b, packed, 0, n)
-	} else {
-		//nessa:alloc-ok one dispatch closure per call, amortized over the whole banded product
-		parallel.Default().For(n, 0, func(lo, hi int) {
-			matMulTransBBand(dst, a, b, packed, lo, hi)
-		})
-	}
+	t := getGemmTask(tkTransB, dst, a, b, packed, false)
+	parallel.Default().ForW(n, gemmGrain(n, k, m), t.run)
+	putGemmTask(t)
 	if buf != nil {
-		gemmScratch.Put(buf)
+		putPanel(buf)
 	}
 }
 
@@ -227,48 +388,39 @@ func matMulTransAInto(dst, a, b *Matrix, acc bool) {
 		return
 	}
 	if k > 0 && gemmSparseA(a) {
-		if gemmSerial(n, k, m) {
-			matMulTransASkipBand(dst, a, b, acc, 0, n)
-		} else {
-			//nessa:alloc-ok one dispatch closure per call, amortized over the whole banded product
-			parallel.Default().For(n, 0, func(lo, hi int) {
-				matMulTransASkipBand(dst, a, b, acc, lo, hi)
-			})
-		}
+		t := getGemmTask(tkTransASkip, dst, a, b, nil, acc)
+		parallel.Default().ForW(n, gemmGrain(n, k, m), t.run)
+		putGemmTask(t)
 		return
 	}
-	np := m / gemmNR
+	nr := gemmNRActive()
+	np := m / nr
 	var packed []float32
 	var buf *[]float32
 	if np > 0 && k > 0 {
-		buf = gemmBuf(np * gemmNR * k)
+		buf = getPanel(np * nr * k)
 		packed = *buf
 		packColPanels(packed, b, np)
 	}
-	if gemmSerial(n, k, m) {
-		matMulTransABand(dst, a, b, packed, acc, 0, n)
-	} else {
-		//nessa:alloc-ok one dispatch closure per call, amortized over the whole banded product
-		parallel.Default().For(n, 0, func(lo, hi int) {
-			matMulTransABand(dst, a, b, packed, acc, lo, hi)
-		})
-	}
+	t := getGemmTask(tkTransA, dst, a, b, packed, acc)
+	parallel.Default().ForW(n, gemmGrain(n, k, m), t.run)
+	putGemmTask(t)
 	if buf != nil {
-		gemmScratch.Put(buf)
+		putPanel(buf)
 	}
 }
 
-// packColPanels packs b's first np·4 columns into 4-wide k-interleaved
-// panels: out[(jp·k + kk)·4 + c] = b[kk][jp·4+c]. Panels are disjoint,
-// so packing parallelizes trivially for large operands.
+// packColPanels packs b's first np·NR columns into NR-wide
+// k-interleaved panels: out[(jp·k + kk)·NR + c] = b[kk][jp·NR+c].
+// Panels are disjoint, so packing parallelizes trivially for large
+// operands.
 //
 //nessa:hotpath
 func packColPanels(out []float32, b *Matrix, np int) {
-	if np*b.Rows*gemmNR >= gemmParallelFlops && parallel.Default().Workers() > 1 {
-		//nessa:alloc-ok one dispatch closure per call, amortized over the whole packing fan-out
-		parallel.Default().For(np, 1, func(lo, hi int) {
-			packColRange(out, b, lo, hi)
-		})
+	if np*b.Rows*gemmNRActive() >= gemmParallelFlops && parallel.Default().Workers() > 1 {
+		t := getGemmTask(tkPackCol, nil, nil, b, out, false)
+		parallel.Default().For(np, 1, t.runPack)
+		putGemmTask(t)
 		return
 	}
 	packColRange(out, b, 0, np)
@@ -276,6 +428,10 @@ func packColPanels(out []float32, b *Matrix, np int) {
 
 //nessa:hotpath
 func packColRange(out []float32, b *Matrix, lo, hi int) {
+	if fastKernels {
+		packColRange8(out, b, lo, hi)
+		return
+	}
 	k := b.Rows
 	for jp := lo; jp < hi; jp++ {
 		j0 := jp * gemmNR
@@ -291,16 +447,15 @@ func packColRange(out []float32, b *Matrix, lo, hi int) {
 	}
 }
 
-// packRowPanels packs b's first np·4 rows (the columns of bᵀ) into the
-// same panel layout: out[(jp·k + kk)·4 + c] = b[jp·4+c][kk].
+// packRowPanels packs b's first np·NR rows (the columns of bᵀ) into
+// the same panel layout: out[(jp·k + kk)·NR + c] = b[jp·NR+c][kk].
 //
 //nessa:hotpath
 func packRowPanels(out []float32, b *Matrix, np int) {
-	if np*b.Cols*gemmNR >= gemmParallelFlops && parallel.Default().Workers() > 1 {
-		//nessa:alloc-ok one dispatch closure per call, amortized over the whole packing fan-out
-		parallel.Default().For(np, 1, func(lo, hi int) {
-			packRowRange(out, b, lo, hi)
-		})
+	if np*b.Cols*gemmNRActive() >= gemmParallelFlops && parallel.Default().Workers() > 1 {
+		t := getGemmTask(tkPackRow, nil, nil, b, out, false)
+		parallel.Default().For(np, 1, t.runPack)
+		putGemmTask(t)
 		return
 	}
 	packRowRange(out, b, 0, np)
@@ -308,6 +463,10 @@ func packRowPanels(out []float32, b *Matrix, np int) {
 
 //nessa:hotpath
 func packRowRange(out []float32, b *Matrix, lo, hi int) {
+	if fastKernels {
+		packRowRange8(out, b, lo, hi)
+		return
+	}
 	k := b.Cols
 	for jp := lo; jp < hi; jp++ {
 		j0 := jp * gemmNR
@@ -335,7 +494,7 @@ func packAPanel(pa []float32, a *Matrix, i0, k0, k1 int) {
 		pa[o+1] = row[1]
 		pa[o+2] = row[2]
 		pa[o+3] = row[3]
-		o += gemmNR
+		o += gemmMR
 	}
 }
 
@@ -349,12 +508,16 @@ func zeroRows(dst *Matrix, lo, hi int) {
 	}
 }
 
-// gemmPanelCore computes the paneled columns [0, np·4) of dst rows
+// gemmPanelCore computes the paneled columns [0, np·NR) of dst rows
 // [lo,hi) for a dot-product GEMM whose A rows are natural matrix rows.
 // dst rows must be pre-zeroed; the micro-kernels accumulate.
 //
 //nessa:hotpath
 func gemmPanelCore(dst, a *Matrix, packed []float32, np, lo, hi int) {
+	if fastKernels {
+		gemmPanelCoreFast(dst, a, packed, np, lo, hi)
+		return
+	}
 	k := a.Cols
 	for jp := 0; jp < np; jp++ {
 		panel := packed[jp*k*gemmNR : (jp+1)*k*gemmNR]
@@ -375,10 +538,10 @@ func gemmPanelCore(dst, a *Matrix, packed []float32, np, lo, hi int) {
 //nessa:hotpath
 func matMulBand(dst, a, b *Matrix, packed []float32, lo, hi int) {
 	k, m := a.Cols, b.Cols
-	np := m / gemmNR
+	np := m / gemmNRActive()
 	zeroRows(dst, lo, hi)
 	gemmPanelCore(dst, a, packed, np, lo, hi)
-	for j := np * gemmNR; j < m; j++ {
+	for j := np * gemmNRActive(); j < m; j++ {
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
 			var sum float32
@@ -398,10 +561,10 @@ func matMulBand(dst, a, b *Matrix, packed []float32, lo, hi int) {
 //nessa:hotpath
 func matMulTransBBand(dst, a, b *Matrix, packed []float32, lo, hi int) {
 	m := b.Rows
-	np := m / gemmNR
+	np := m / gemmNRActive()
 	zeroRows(dst, lo, hi)
 	gemmPanelCore(dst, a, packed, np, lo, hi)
-	for j := np * gemmNR; j < m; j++ {
+	for j := np * gemmNRActive(); j < m; j++ {
 		brow := b.Row(j)
 		for i := lo; i < hi; i++ {
 			dst.Row(i)[j] = Dot(a.Row(i), brow)
@@ -460,34 +623,50 @@ func matMulTransASkipBand(dst, a, b *Matrix, acc bool, lo, hi int) {
 
 // matMulTransABand computes dst rows [lo,hi) of dst = aᵀ·b (or
 // dst += aᵀ·b when acc). dst rows are columns of a, so the A side is
-// packed per 4-row tile into a pooled strip buffer.
+// packed per 4-row tile into the band worker's strip arena.
 //
 //nessa:hotpath
-func matMulTransABand(dst, a, b *Matrix, packed []float32, acc bool, lo, hi int) {
+func matMulTransABand(dst, a, b *Matrix, packed []float32, acc bool, w, lo, hi int) {
+	nr := gemmNRActive()
 	k, m := a.Rows, b.Cols
-	np := m / gemmNR
+	np := m / nr
 	if !acc {
 		zeroRows(dst, lo, hi)
 	}
 	iTileEnd := lo + (hi-lo)/gemmMR*gemmMR
 
 	if np > 0 && iTileEnd > lo {
-		buf := gemmBuf(gemmMR * k)
-		pa := *buf
-		for i := lo; i < iTileEnd; i += gemmMR {
-			packAPanel(pa, a, i, 0, k)
-			for jp := 0; jp < np; jp++ {
-				panel := packed[jp*k*gemmNR : (jp+1)*k*gemmNR]
-				gemmMicroP4x4(dst.Row(i), dst.Row(i+1), dst.Row(i+2), dst.Row(i+3),
-					jp*gemmNR, pa, panel)
+		pa := workerStrip(w, gemmMR*k)
+		if fastKernels {
+			transACoreFast(dst, a, packed, pa, np, lo, iTileEnd)
+		} else {
+			for i := lo; i < iTileEnd; i += gemmMR {
+				packAPanel(pa, a, i, 0, k)
+				for jp := 0; jp < np; jp++ {
+					panel := packed[jp*k*gemmNR : (jp+1)*k*gemmNR]
+					gemmMicroP4x4(dst.Row(i), dst.Row(i+1), dst.Row(i+2), dst.Row(i+3),
+						jp*gemmNR, pa, panel)
+				}
 			}
 		}
-		gemmScratch.Put(buf)
 	}
-	// Column tail for the tiled rows. += so the acc form composes;
-	// the non-acc form pre-zeroed the band.
-	for j := np * gemmNR; j < m; j++ {
-		for i := lo; i < iTileEnd; i++ {
+	// On the fast tier the band's tail rows run the same per-row
+	// blocked-FMA chain as the tiled rows: the tile/tail split moves
+	// with the band boundaries (hence with the worker count under
+	// automatic MC), so the two paths must agree bit-for-bit.
+	scalarRowEnd := iTileEnd
+	if fastKernels && np > 0 {
+		pa := workerStrip(w, gemmMR*k)
+		for i := iTileEnd; i < hi; i++ {
+			transARowFast(dst.Row(i), a, packed, pa[:k], np, i)
+		}
+		scalarRowEnd = hi
+	}
+	// Column tail for the rows whose paneled columns are already
+	// computed. += so the acc form composes; the non-acc form
+	// pre-zeroed the band.
+	for j := np * nr; j < m; j++ {
+		for i := lo; i < scalarRowEnd; i++ {
 			var sum float32
 			for kk := 0; kk < k; kk++ {
 				// Round each product before the add (no FMA).
@@ -497,8 +676,9 @@ func matMulTransABand(dst, a, b *Matrix, packed []float32, acc bool, lo, hi int)
 			dst.Row(i)[j] += sum
 		}
 	}
-	// Row tail: full width, vectorized axpy per k step.
-	for i := iTileEnd; i < hi; i++ {
+	// Row tail (bit-exact tier, or a panel-less product): full width,
+	// vectorized axpy per k step.
+	for i := scalarRowEnd; i < hi; i++ {
 		drow := dst.Row(i)
 		for kk := 0; kk < k; kk++ {
 			axpyRow(drow, b.Row(kk), a.Data[kk*a.Cols+i])

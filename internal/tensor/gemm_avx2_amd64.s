@@ -1,0 +1,135 @@
+// AVX2/FMA micro-kernels behind the fast-tier wrappers in
+// gemm_fast.go. These are the *non-bit-exact* tier: every term is one
+// VFMADD231PS — multiply and add fused with a single rounding — which
+// is why they live behind the BitExact option instead of replacing the
+// SSE kernels. Determinism still holds: each destination element owns
+// one lane of one YMM accumulator that receives its terms in ascending
+// k within the caller's KC block, an order fixed by data layout and
+// tuning alone.
+//
+// Dispatch requires cpuFastTierOK (AVX2 + FMA3 + OS YMM state), so no
+// instruction here runs on a machine that cannot execute it.
+
+#include "textflag.h"
+
+// func fmaMicro4x8(d0, d1, d2, d3, a0, a1, a2, a3, p *float32, kn int)
+// Y0..Y3 hold one dst row each (columns j0..j0+7). Per k step: load
+// the packed panel octet, broadcast each A value, fuse into the
+// accumulators. Callers guarantee kn >= 1.
+TEXT ·fmaMicro4x8(SB), NOSPLIT, $0-80
+	MOVQ d0+0(FP), R8
+	MOVQ d1+8(FP), R9
+	MOVQ d2+16(FP), R10
+	MOVQ d3+24(FP), R11
+	MOVQ a0+32(FP), DX
+	MOVQ a1+40(FP), SI
+	MOVQ a2+48(FP), DI
+	MOVQ a3+56(FP), R12
+	MOVQ p+64(FP), BX
+	MOVQ kn+72(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	XORQ AX, AX
+
+f48loop:
+	VMOVUPS      (BX), Y4
+	VBROADCASTSS (DX)(AX*4), Y5
+	VFMADD231PS  Y4, Y5, Y0
+	VBROADCASTSS (SI)(AX*4), Y6
+	VFMADD231PS  Y4, Y6, Y1
+	VBROADCASTSS (DI)(AX*4), Y7
+	VFMADD231PS  Y4, Y7, Y2
+	VBROADCASTSS (R12)(AX*4), Y8
+	VFMADD231PS  Y4, Y8, Y3
+	ADDQ         $32, BX
+	INCQ         AX
+	CMPQ         AX, CX
+	JLT          f48loop
+
+	VMOVUPS (R8), Y4
+	VADDPS  Y0, Y4, Y4
+	VMOVUPS Y4, (R8)
+	VMOVUPS (R9), Y5
+	VADDPS  Y1, Y5, Y5
+	VMOVUPS Y5, (R9)
+	VMOVUPS (R10), Y6
+	VADDPS  Y2, Y6, Y6
+	VMOVUPS Y6, (R10)
+	VMOVUPS (R11), Y7
+	VADDPS  Y3, Y7, Y7
+	VMOVUPS Y7, (R11)
+	VZEROUPPER
+	RET
+
+// func fmaMicro1x8(d, a, p *float32, kn int)
+// Row-tail variant: one dst row in Y0.
+TEXT ·fmaMicro1x8(SB), NOSPLIT, $0-32
+	MOVQ d+0(FP), R8
+	MOVQ a+8(FP), DX
+	MOVQ p+16(FP), BX
+	MOVQ kn+24(FP), CX
+	VXORPS Y0, Y0, Y0
+	XORQ AX, AX
+
+f18loop:
+	VMOVUPS      (BX), Y4
+	VBROADCASTSS (DX)(AX*4), Y5
+	VFMADD231PS  Y4, Y5, Y0
+	ADDQ         $32, BX
+	INCQ         AX
+	CMPQ         AX, CX
+	JLT          f18loop
+
+	VMOVUPS (R8), Y4
+	VADDPS  Y0, Y4, Y4
+	VMOVUPS Y4, (R8)
+	VZEROUPPER
+	RET
+
+// func fmaMicroP4x8(d0, d1, d2, d3, pa, p *float32, kn int)
+// Both-sides-packed variant: pa holds four A values per k step
+// (4-interleaved), p holds the 8-wide panel.
+TEXT ·fmaMicroP4x8(SB), NOSPLIT, $0-56
+	MOVQ d0+0(FP), R8
+	MOVQ d1+8(FP), R9
+	MOVQ d2+16(FP), R10
+	MOVQ d3+24(FP), R11
+	MOVQ pa+32(FP), DX
+	MOVQ p+40(FP), BX
+	MOVQ kn+48(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+p48loop:
+	VMOVUPS      (BX), Y4
+	VBROADCASTSS (DX), Y5
+	VFMADD231PS  Y4, Y5, Y0
+	VBROADCASTSS 4(DX), Y6
+	VFMADD231PS  Y4, Y6, Y1
+	VBROADCASTSS 8(DX), Y7
+	VFMADD231PS  Y4, Y7, Y2
+	VBROADCASTSS 12(DX), Y8
+	VFMADD231PS  Y4, Y8, Y3
+	ADDQ         $32, BX
+	ADDQ         $16, DX
+	DECQ         CX
+	JNE          p48loop
+
+	VMOVUPS (R8), Y4
+	VADDPS  Y0, Y4, Y4
+	VMOVUPS Y4, (R8)
+	VMOVUPS (R9), Y5
+	VADDPS  Y1, Y5, Y5
+	VMOVUPS Y5, (R9)
+	VMOVUPS (R10), Y6
+	VADDPS  Y2, Y6, Y6
+	VMOVUPS Y6, (R10)
+	VMOVUPS (R11), Y7
+	VADDPS  Y3, Y7, Y7
+	VMOVUPS Y7, (R11)
+	VZEROUPPER
+	RET

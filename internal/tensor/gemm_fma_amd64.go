@@ -1,0 +1,55 @@
+//go:build amd64
+
+package tensor
+
+// hasFMAAsm marks this build as carrying the AVX2/FMA micro-kernels in
+// gemm_avx2_amd64.s. Unlike the SSE baseline they still need runtime
+// feature detection (cpuFastTierOK below) before dispatch.
+const hasFMAAsm = true
+
+// cpuFastTierOK is resolved once at init: the fast tier needs AVX2 and
+// FMA3 in hardware *and* an OS that context-switches the YMM state
+// (OSXSAVE set and XCR0 enabling both XMM and YMM saves). Without the
+// XCR0 check an AVX2-capable CPU under a non-AVX-aware kernel would
+// fault on the first VEX instruction.
+var cpuFastTierOK = detectFastTier()
+
+func detectFastTier() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		fma3    = 1 << 12
+		osxsave = 1 << 27
+	)
+	if c1&fma3 == 0 || c1&osxsave == 0 {
+		return false
+	}
+	xlo, _ := xgetbv()
+	if xlo&0x6 != 0x6 { // XMM (bit 1) and YMM (bit 2) state enabled
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}
+
+// Implemented in cpu_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// AVX2/FMA micro-kernels in gemm_avx2_amd64.s. Each destination
+// element owns one YMM lane whose products are *fused* into the
+// accumulator (VFMADD231PS: one rounding per term) — deterministic,
+// but not bit-identical to the MULPS/ADDPS tier.
+
+//go:noescape
+func fmaMicro4x8(d0, d1, d2, d3, a0, a1, a2, a3, p *float32, kn int)
+
+//go:noescape
+func fmaMicro1x8(d, a, p *float32, kn int)
+
+//go:noescape
+func fmaMicroP4x8(d0, d1, d2, d3, pa, p *float32, kn int)

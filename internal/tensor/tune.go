@@ -1,0 +1,130 @@
+// GEMM block-size tuning. The kernels read three knobs:
+//
+//   - MC: rows per parallel band. Banding over destination rows never
+//     changes what a band computes, so MC is legal on both tiers and
+//     only moves cache locality and load balance. 0 means the pool's
+//     automatic banding (a few bands per worker).
+//   - KC: the fast tier's k-block depth. A KC block's register sums
+//     are folded into dst once per block, which re-associates the
+//     accumulation chain — allowed only on the non-bit-exact tier (the
+//     bit-exact tier ignores KC and keeps one unbroken chain per
+//     element). 0 means unblocked.
+//   - NR: the fast tier's panel width. 8 selects the AVX2/FMA 8-wide
+//     micro-kernels; 4 degrades the fast tier to the bit-exact 4-wide
+//     kernels (useful as an autotuner candidate and as the forced
+//     fallback where AVX2 is unavailable).
+//
+// The autotuner in internal/bench searches a small candidate grid with
+// the bench harness and persists the winner as a TuningRecord
+// (results/GEMM_tuning.json); processes load it at startup with
+// LoadTuningRecord + ApplyTuningRecord. Tuning never changes bit-exact
+// results — only the fast tier's numeric association — so a record is
+// a pure performance artifact.
+package tensor
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Tuning is one tier's GEMM block-size setting.
+type Tuning struct {
+	MC int `json:"mc"` // rows per parallel band; 0 = automatic
+	KC int `json:"kc"` // fast-tier k-block depth; 0 = unblocked
+	NR int `json:"nr"` // fast-tier panel width: 8 (AVX2/FMA) or 4 (bit-exact kernels)
+}
+
+// DefaultTuning is the untuned configuration: automatic banding, a
+// 256-deep k block (8 KB of panel per block — comfortably L1-resident)
+// and the 8-wide fast kernels.
+func DefaultTuning() Tuning { return Tuning{MC: 0, KC: 256, NR: gemmNRFast} }
+
+// tuning is the active setting. Written only through SetTuning, which
+// must not race with running kernels (flip it between runs, like
+// SetFastMath).
+var tuning = DefaultTuning()
+
+// Validate reports whether t is a usable tuning.
+func (t Tuning) Validate() error {
+	if t.MC < 0 {
+		return fmt.Errorf("tensor: tuning MC %d must be >= 0", t.MC)
+	}
+	if t.KC < 0 {
+		return fmt.Errorf("tensor: tuning KC %d must be >= 0", t.KC)
+	}
+	if t.NR != gemmNR && t.NR != gemmNRFast {
+		return fmt.Errorf("tensor: tuning NR %d must be %d or %d", t.NR, gemmNR, gemmNRFast)
+	}
+	return nil
+}
+
+// SetTuning installs t as the active GEMM tuning. Like SetFastMath it
+// must not be called concurrently with running kernels. Bit-exact
+// results are unaffected by any valid tuning.
+func SetTuning(t Tuning) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	tuning = t
+	recomputeFastKernels()
+	return nil
+}
+
+// CurrentTuning reports the active GEMM tuning.
+func CurrentTuning() Tuning { return tuning }
+
+// TuningRecord is the persisted autotuning artifact: the winning
+// setting per kernel tier plus the environment it was measured on, so
+// a record tuned on one machine is recognizably foreign on another.
+type TuningRecord struct {
+	GeneratedAt    string  `json:"generatedAt"`
+	CPUs           int     `json:"cpus"`
+	FastSupported  bool    `json:"fastSupported"`
+	BitExact       Tuning  `json:"bitExact"`
+	Fast           Tuning  `json:"fast"`
+	BitExactGFLOPS float64 `json:"bitExactGFLOPS"`
+	FastGFLOPS     float64 `json:"fastGFLOPS"`
+}
+
+// SaveTuningRecord writes r as indented JSON.
+func SaveTuningRecord(path string, r *TuningRecord) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// LoadTuningRecord reads a record written by SaveTuningRecord.
+func LoadTuningRecord(path string) (*TuningRecord, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &TuningRecord{}
+	if err := json.Unmarshal(buf, r); err != nil {
+		return nil, fmt.Errorf("tensor: bad tuning record %s: %w", path, err)
+	}
+	if err := r.BitExact.Validate(); err != nil {
+		return nil, err
+	}
+	if err := r.Fast.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ApplyTuningRecord installs the record's setting for the tier that is
+// active right now (fast when SetFastMath(true) took effect, bit-exact
+// otherwise) and reports which tuning was applied.
+func ApplyTuningRecord(r *TuningRecord) (Tuning, error) {
+	t := r.BitExact
+	if fastMathOn && FastMathSupported() {
+		t = r.Fast
+	}
+	if err := SetTuning(t); err != nil {
+		return Tuning{}, err
+	}
+	return t, nil
+}

@@ -1,0 +1,65 @@
+package trainer
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"nessa/internal/data"
+	"nessa/internal/parallel"
+)
+
+// trajectoryFingerprint trains a small fixed-seed model for a few
+// epochs and folds every epoch loss and every final parameter bit
+// pattern into one FNV-1a hash — a compact stand-in for the full
+// optimization trajectory.
+func trajectoryFingerprint(workers int) uint64 {
+	defer parallel.SetDefaultWorkers(0)
+	parallel.SetDefaultWorkers(workers)
+	tr, _ := data.Generate(tinySpec())
+	cfg := tinyCfg()
+	cfg.Epochs = 6
+	tt := New(tr.Spec, cfg)
+	weights := make([]float32, tr.Len())
+	for i := range weights {
+		weights[i] = 1 + float32(i%3)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		tt.SetEpoch(e)
+		put64(math.Float64bits(tt.TrainEpoch(tr.X, tr.Labels, weights)))
+	}
+	for _, l := range tt.Model.Layers {
+		for _, v := range l.W.Data {
+			put64(uint64(math.Float32bits(v)))
+		}
+		for _, v := range l.B {
+			put64(uint64(math.Float32bits(v)))
+		}
+	}
+	return h.Sum64()
+}
+
+// goldenTrajectory pins the bit-exact training trajectory across PRs:
+// the constant was recorded before the worker-arena / fast-tier work
+// landed, so any change to kernel association order, RNG consumption,
+// or batch assembly shows up as a hash mismatch. Recorded on the
+// portable+SSE kernel pair (both produce identical bits by contract).
+const goldenTrajectory = 0x47fd41f2bcc98f80
+
+func TestGoldenTrajectoryPinned(t *testing.T) {
+	for _, w := range []int{1, 3} {
+		got := trajectoryFingerprint(w)
+		t.Logf("trajectory fingerprint workers=%d: %#x", w, got)
+		if got != goldenTrajectory {
+			t.Fatalf("workers=%d trajectory fingerprint %#x != golden %#x — the bit-exact training trajectory changed", w, got, goldenTrajectory)
+		}
+	}
+}

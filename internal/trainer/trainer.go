@@ -8,6 +8,7 @@ package trainer
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nessa/internal/data"
 	"nessa/internal/nn"
@@ -173,23 +174,25 @@ func (t *Trainer) Evaluate(ds *data.Dataset) float64 {
 	return EvaluateModel(t.Model, ds)
 }
 
-// evalScratch bundles the per-goroutine buffers of a chunked inference
+// evalScratch bundles the per-worker buffers of a chunked inference
 // pass: a row-view into the dataset, the forward activations, and a
-// softmax scratch. Pooled so repeated evaluations allocate only on
-// first use per goroutine.
+// softmax scratch. The buffers live in a parallel.WorkerLocal arena
+// keyed by the pool's worker IDs — unlike the sync.Pool they replaced,
+// the slots are never drained by the garbage collector, so a warm
+// worker evaluates with zero allocations forever.
 //
-//nessa:arena pooled per-goroutine eval scratch, recycled through evalScratchPool
+//nessa:arena per-worker eval scratch slot, owned by one worker ID for the duration of a chunk
 type evalScratch struct {
 	view  tensor.Matrix
 	fwd   nn.FwdScratch
 	probs []float32
 }
 
-var evalScratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+var evalArena = parallel.NewWorkerLocal[evalScratch](nil)
 
 // viewRows points sc.view at rows [lo, hi) of x without copying.
 //
-//nessa:scratch-ok the view aliases the caller-owned dataset and is consumed before the scratch is pooled again
+//nessa:scratch-ok the view aliases the caller-owned dataset and is consumed before the chunk returns
 func (sc *evalScratch) viewRows(x *tensor.Matrix, lo, hi int) *tensor.Matrix {
 	sc.view.Rows = hi - lo
 	sc.view.Cols = x.Cols
@@ -197,58 +200,119 @@ func (sc *evalScratch) viewRows(x *tensor.Matrix, lo, hi int) *tensor.Matrix {
 	return &sc.view
 }
 
+// evalJob is a pooled dispatch descriptor for the chunked inference
+// passes, mirroring the tensor layer's gemmTask: the operands of one
+// pass plus chunk bodies pre-bound at construction, so neither
+// EvaluateModel nor PerSampleLosses allocates a closure per call.
+type evalJob struct {
+	m      *nn.MLP
+	x      *tensor.Matrix
+	labels []int
+	out    []float32
+	hits   atomic.Int64
+
+	run     func(w, c, lo, hi int) // bound once to (*evalJob).accuracyChunk
+	runLoss func(w, c, lo, hi int) // bound once to (*evalJob).lossChunk
+}
+
+var evalJobFree struct {
+	mu   sync.Mutex
+	list []*evalJob
+}
+
+//nessa:scratch-ok ownership transfer: every caller returns the descriptor with putEvalJob before it exits
+func getEvalJob(m *nn.MLP, x *tensor.Matrix, labels []int, out []float32) *evalJob {
+	ef := &evalJobFree
+	ef.mu.Lock()
+	var j *evalJob
+	if ln := len(ef.list); ln > 0 {
+		j = ef.list[ln-1]
+		ef.list = ef.list[:ln-1]
+	}
+	ef.mu.Unlock()
+	if j == nil {
+		//nessa:alloc-ok free-list miss: descriptor and its bound closures are built once and recycled forever
+		j = &evalJob{}
+		j.run = j.accuracyChunk
+		j.runLoss = j.lossChunk
+	}
+	j.m, j.x, j.labels, j.out = m, x, labels, out
+	j.hits.Store(0)
+	return j
+}
+
+func putEvalJob(j *evalJob) {
+	j.m, j.x, j.labels, j.out = nil, nil, nil, nil
+	ef := &evalJobFree
+	ef.mu.Lock()
+	ef.list = append(ef.list, j)
+	ef.mu.Unlock()
+}
+
+// accuracyChunk counts correct predictions over rows [lo,hi) through
+// worker w's scratch slot. The count is folded with an atomic integer
+// add — exact, so the total is independent of chunk completion order.
+//
+//nessa:hotpath
+func (j *evalJob) accuracyChunk(w, c, lo, hi int) {
+	sc := evalArena.Get(w)
+	logits := j.m.ForwardInto(&sc.fwd, sc.viewRows(j.x, lo, hi))
+	cnt := 0
+	for i := lo; i < hi; i++ {
+		if tensor.Argmax(logits.Row(i-lo)) == j.labels[i] {
+			cnt++
+		}
+	}
+	j.hits.Add(int64(cnt))
+}
+
+// lossChunk writes per-sample losses for rows [lo,hi) into the job's
+// output slice through worker w's scratch slot.
+//
+//nessa:hotpath
+func (j *evalJob) lossChunk(w, c, lo, hi int) {
+	sc := evalArena.Get(w)
+	if cap(sc.probs) < j.m.Classes {
+		//nessa:alloc-ok grow-once per worker slot; steady-state chunks reuse the buffer
+		sc.probs = make([]float32, j.m.Classes)
+	}
+	logits := j.m.ForwardInto(&sc.fwd, sc.viewRows(j.x, lo, hi))
+	nn.SoftmaxCEInto(j.out[lo:hi], sc.probs, logits, j.labels[lo:hi], nil, nil)
+}
+
 // EvaluateModel reports the accuracy of any model on ds. The dataset is
 // processed in fixed-size chunks on the shared worker pool — each chunk
-// is an independent forward pass through a pooled scratch, so memory
-// stays bounded by workers × chunk size rather than the dataset size,
-// and every logit row equals the full-pass value bit for bit (each row
-// depends only on its own input row).
+// is an independent forward pass through its worker's arena slot, so
+// memory stays bounded by workers × chunk size rather than the dataset
+// size, and every logit row equals the full-pass value bit for bit
+// (each row depends only on its own input row). Steady-state calls
+// allocate nothing.
 func EvaluateModel(m *nn.MLP, ds *data.Dataset) float64 {
 	n := ds.Len()
 	if n == 0 {
 		return 0
 	}
-	pool := parallel.Default()
-	correct := make([]int, parallel.Chunks(n))
-	pool.ForChunks(n, func(c, lo, hi int) {
-		sc := evalScratchPool.Get().(*evalScratch)
-		logits := m.ForwardInto(&sc.fwd, sc.viewRows(ds.X, lo, hi))
-		cnt := 0
-		for i := lo; i < hi; i++ {
-			if tensor.Argmax(logits.Row(i-lo)) == ds.Labels[i] {
-				cnt++
-			}
-		}
-		correct[c] = cnt
-		evalScratchPool.Put(sc)
-	})
-	total := 0
-	for _, c := range correct {
-		total += c
-	}
-	return float64(total) / float64(n)
+	j := getEvalJob(m, ds.X, ds.Labels, nil)
+	parallel.Default().ForChunksW(n, j.run)
+	correct := j.hits.Load()
+	putEvalJob(j)
+	return float64(correct) / float64(n)
 }
 
 // PerSampleLosses runs a forward pass of model m over ds and returns
 // each sample's cross-entropy loss — the feedback signal of §3.2.2.
 // Chunked over the shared pool like EvaluateModel; each loss is
-// bit-identical to the full-pass value.
+// bit-identical to the full-pass value. The returned slice is the only
+// allocation.
 func PerSampleLosses(m *nn.MLP, ds *data.Dataset) []float32 {
 	n := ds.Len()
 	out := make([]float32, n)
 	if n == 0 {
 		return out
 	}
-	pool := parallel.Default()
-	pool.ForChunks(n, func(c, lo, hi int) {
-		sc := evalScratchPool.Get().(*evalScratch)
-		if cap(sc.probs) < m.Classes {
-			sc.probs = make([]float32, m.Classes)
-		}
-		logits := m.ForwardInto(&sc.fwd, sc.viewRows(ds.X, lo, hi))
-		nn.SoftmaxCEInto(out[lo:hi], sc.probs, logits, ds.Labels[lo:hi], nil, nil)
-		evalScratchPool.Put(sc)
-	})
+	j := getEvalJob(m, ds.X, ds.Labels, out)
+	parallel.Default().ForChunksW(n, j.runLoss)
+	putEvalJob(j)
 	return out
 }
 
