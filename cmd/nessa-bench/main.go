@@ -25,7 +25,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run training artifacts at reduced scale")
-	only := flag.String("only", "", "comma-separated artifact ids (table1..4, figure1..6, section4.3, section4.4, ablations, bench-selection, bench-training, bench-faults, bench-gemmtune, seed-variance); empty = all")
+	only := flag.String("only", "", "comma-separated artifact ids (table1..4, figure1..6, section4.3, section4.4, ablations, bench-selection, bench-training, bench-streaming, bench-faults, bench-gemmtune, seed-variance); empty = all")
 	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
 	stride := flag.Int("stride", 5, "epoch stride for figure5 rows")
 	seeds := flag.Int("seeds", 3, "seed count for the seed-variance artifact")
@@ -132,6 +132,9 @@ func main() {
 		if !res.IdenticalSubsets {
 			fatal(fmt.Errorf("parallel selection diverged from serial — determinism contract broken"))
 		}
+		if res.SpeedupPerClass == nil {
+			fmt.Fprintln(os.Stderr, "nessa-bench:", res.SpeedupWarning)
+		}
 		fmt.Fprintln(os.Stderr, "wrote", path)
 		add(tab)
 	}
@@ -157,6 +160,31 @@ func main() {
 			fmt.Fprintln(os.Stderr, "nessa-bench:", res.SpeedupWarning)
 		case *res.SpeedupEpoch < bench.TrainingSpeedupGate:
 			fatal(fmt.Errorf("epoch speedup at workers=2 is %.2fx, below the %.1fx gate", *res.SpeedupEpoch, bench.TrainingSpeedupGate))
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+		add(tab)
+	}
+	if selected("bench-streaming") {
+		fmt.Fprintln(os.Stderr, "measuring single-pass streaming selection (sequential NAND scan, on-chip state)...")
+		path := filepath.Join(*resultsDir, "BENCH_streaming.json")
+		res, tab, err := bench.WriteStreamingBench(path, *quick)
+		if err != nil {
+			fatal(err)
+		}
+		if !res.IdenticalSubsets {
+			fatal(fmt.Errorf("streaming selection diverged across worker counts — determinism contract broken"))
+		}
+		if res.Scan.FracOfBound < bench.StreamingBandwidthGate {
+			fatal(fmt.Errorf("streaming scan achieved %.3f of the sequential-read bound, below the %.2f gate",
+				res.Scan.FracOfBound, bench.StreamingBandwidthGate))
+		}
+		if res.Stats.StateBytes > res.Stats.BudgetBytes {
+			fatal(fmt.Errorf("streaming selection state %d bytes exceeds the %d-byte on-chip budget",
+				res.Stats.StateBytes, res.Stats.BudgetBytes))
+		}
+		if res.QualityRatio < bench.StreamingQualityGate {
+			fatal(fmt.Errorf("streaming objective is %.3f of exact LazyGreedy, below the %.2f gate",
+				res.QualityRatio, bench.StreamingQualityGate))
 		}
 		fmt.Fprintln(os.Stderr, "wrote", path)
 		add(tab)

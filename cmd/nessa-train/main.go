@@ -6,9 +6,16 @@
 //
 //	nessa-train [-dataset CIFAR-10] [-method nessa|craig|kcenters|random|full]
 //	            [-epochs 60] [-subset 0.4] [-seed 7] [-workers 0]
+//	            [-streaming] [-streamchunk 8192]
 //	            [-fastmath] [-tuning results/GEMM_tuning.json] [-no-device]
 //	            [-chaos] [-fault-seed 42] [-fault-corrupt 0] [-fault-transient 0]
 //	            [-fault-latency 0] [-fault-linkdown 0]
+//
+// -streaming selects each subset with the single-pass sieve/sketch
+// pipeline (one sequential scan of the candidates in fixed on-chip
+// memory, DESIGN.md §4.10) instead of the materialized per-class
+// CRAIG solve; it requires the facility selector, i.e. -method nessa
+// or craig. -streamchunk sets the records per scan chunk.
 //
 // -fastmath opts into the non-bit-exact AVX2/FMA kernel tier (still
 // deterministic and worker-count invariant; silently a no-op on CPUs
@@ -38,6 +45,8 @@ func main() {
 	subset := flag.Float64("subset", 0, "initial subset fraction (0 = method default)")
 	seed := flag.Uint64("seed", 7, "controller seed")
 	workers := flag.Int("workers", 0, "worker goroutines for selection, training GEMMs, and evaluation (0 = all cores, 1 = serial; results are identical either way)")
+	streaming := flag.Bool("streaming", false, "select with the single-pass streaming sieve: one sequential candidate scan in fixed on-chip memory (facility selector only)")
+	streamChunk := flag.Int("streamchunk", 0, "records per streaming scan chunk (0 = default 8192)")
 	fastmath := flag.Bool("fastmath", false, "enable the non-bit-exact AVX2/FMA kernel tier (deterministic, but diverges from the bit-exact trajectory within the documented tolerance; no-op without AVX2/FMA)")
 	tuningPath := flag.String("tuning", "", "GEMM tuning record to apply (results/GEMM_tuning.json written by nessa-bench -only bench-gemmtune)")
 	noDevice := flag.Bool("no-device", false, "skip the SmartSSD simulation / movement accounting")
@@ -115,6 +124,8 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}
+	opt.Streaming = *streaming
+	opt.StreamChunk = *streamChunk
 	if *subset > 0 {
 		opt.SubsetFrac = *subset
 		if opt.MinSubsetFrac > opt.SubsetFrac {

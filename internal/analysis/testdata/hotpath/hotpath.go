@@ -85,3 +85,54 @@ func PooledWaived(x float32) float32 {
 func ColdPool() *[]float32 {
 	return scratchPool.Get().(*[]float32)
 }
+
+// SketchUpdate mirrors the streaming sketch's per-record kernel
+// (streaming.Sketch.Update): append a row into a preallocated buffer
+// by cursor, accumulate a scalar, and hand off to an unannotated
+// helper when the buffer fills. No findings — the eigendecomposition
+// inside the helper is amortized over 2ℓ records and not on the
+// per-record path.
+//
+//nessa:hotpath
+func SketchUpdate(buf []float32, rows *int, row []float32) {
+	copy(buf[*rows*len(row):(*rows+1)*len(row)], row)
+	*rows++
+	if *rows == cap(buf)/len(row) {
+		shrinkHelper(buf, rows)
+	}
+}
+
+// shrinkHelper is the amortized slow path: unannotated, so its
+// allocations are out of the hot-path contract's scope.
+func shrinkHelper(buf []float32, rows *int) {
+	tmp := make([]float64, len(buf))
+	_ = tmp
+	*rows /= 2
+}
+
+// SievePushAlloc stages each record's candidate through fresh memory —
+// one allocation and one growth per record, both violations of the
+// zero-alloc streaming contract.
+//
+//nessa:hotpath
+func SievePushAlloc(dst [][]float32, row []float32) [][]float32 {
+	tmp := make([]float32, len(row)) // want "make in"
+	copy(tmp, row)
+	return append(dst, tmp) // want "append"
+}
+
+// SievePush is the sanctioned shape (streaming.classSieve.push): level
+// buffers are preallocated at plan time, so the per-record write is a
+// copy into owned memory behind an amortized growth guard.
+//
+//nessa:hotpath
+func SievePush(ids []int, emb []float32, id int, row []float32, count *int) []int {
+	if cap(ids) < *count+1 {
+		ids = make([]int, *count+1, 2*(*count+1))
+	}
+	ids = ids[:*count+1]
+	ids[*count] = id
+	copy(emb[*count*len(row):], row)
+	*count++
+	return ids
+}

@@ -141,3 +141,43 @@ func SlotGrow(w int, n int) {
 		sc.buf = make([]float32, n)
 	}
 }
+
+// sketchState mirrors the streaming sketch's persistent buffer set:
+// arena-owned for the whole pass, every row overwritten as the stream
+// advances past the next shrink.
+//
+//nessa:arena sketch rows are rewritten in place by the next shrink
+type sketchState struct {
+	rows []float32
+}
+
+// LeakSketchRows hands the live sketch buffer to the caller with no
+// contract; the next Update rewrites it under the caller's feet.
+func LeakSketchRows(s *sketchState) []float32 {
+	return s.rows // want "returns pool/arena-backed scratch memory"
+}
+
+// SketchRowsView is the documented read-only view idiom the real
+// Sketch.Rows accessor uses.
+//
+//nessa:scratch-ok callers copy the rows out before pushing more records
+func SketchRowsView(s *sketchState) []float32 {
+	return s.rows
+}
+
+var lastRows []float32
+
+// StashSketchRows parks the sketch buffer in a package-level variable
+// across batches.
+func StashSketchRows(s *sketchState) {
+	lastRows = s.rows // want "scratch memory stored in package-level variable lastRows outlives its epoch"
+}
+
+// SketchEnergy folds the buffer to a scalar — never tainted.
+func SketchEnergy(s *sketchState) float32 {
+	var e float32
+	for _, v := range s.rows {
+		e += v * v
+	}
+	return e
+}

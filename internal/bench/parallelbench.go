@@ -55,14 +55,24 @@ type SelectionBenchRun struct {
 // results/BENCH_selection.json so the speed trajectory of the
 // selection engine is tracked from PR to PR.
 type SelectionBenchResult struct {
-	GeneratedAt      string              `json:"generatedAt"`
-	CPUs             int                 `json:"cpus"`
-	Spec             SelectionBenchSpec  `json:"spec"`
-	Runs             []SelectionBenchRun `json:"runs"`
-	SpeedupPerClass  float64             `json:"speedupPerClass"` // workers=max vs workers=1
-	SpeedupGainScan  float64             `json:"speedupGainScan"`
-	SpeedupMatMul    float64             `json:"speedupMatMul"`
-	IdenticalSubsets bool                `json:"identicalSubsets"` // workers=1 vs max select the same set
+	GeneratedAt   string `json:"generatedAt"`
+	CPUs          int    `json:"cpus"`
+	GoMaxProcs    int    `json:"gomaxprocs"`
+	EffectiveCPUs int    `json:"effectiveCPUs"` // min(cpus, gomaxprocs): the real parallelism budget
+
+	Spec SelectionBenchSpec  `json:"spec"`
+	Runs []SelectionBenchRun `json:"runs"`
+
+	// Speedups compare workers=1 against workers=max. They are null
+	// (and SpeedupWarning set) when the process has fewer than 2
+	// effective CPUs: a sweep time-sliced onto one core cannot measure
+	// scaling, and writing a fabricated 1.0 would poison the PR-to-PR
+	// trend (same convention as BENCH_training.json).
+	SpeedupPerClass  *float64 `json:"speedupPerClass"`
+	SpeedupGainScan  *float64 `json:"speedupGainScan"`
+	SpeedupMatMul    *float64 `json:"speedupMatMul"`
+	SpeedupWarning   string   `json:"speedupWarning,omitempty"`
+	IdenticalSubsets bool     `json:"identicalSubsets"` // workers=1 vs max select the same set
 }
 
 // RunSelectionBench measures the parallel selection engine at 1 worker
@@ -98,6 +108,10 @@ func RunSelectionBench(spec SelectionBenchSpec) (*SelectionBenchResult, error) {
 		})
 	}
 
+	effective := runtime.NumCPU()
+	if gmp := runtime.GOMAXPROCS(0); gmp < effective {
+		effective = gmp
+	}
 	workerSettings := []int{1, runtime.NumCPU()}
 	if runtime.NumCPU() == 1 {
 		workerSettings = workerSettings[:1]
@@ -105,6 +119,8 @@ func RunSelectionBench(spec SelectionBenchSpec) (*SelectionBenchResult, error) {
 	res := &SelectionBenchResult{
 		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
 		CPUs:             runtime.NumCPU(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		EffectiveCPUs:    effective,
 		Spec:             spec,
 		IdenticalSubsets: true,
 	}
@@ -149,10 +165,19 @@ func RunSelectionBench(spec SelectionBenchSpec) (*SelectionBenchResult, error) {
 		})
 	}
 
-	first, last := res.Runs[0], res.Runs[len(res.Runs)-1]
-	res.SpeedupPerClass = safeRatio(first.PerClassMS, last.PerClassMS)
-	res.SpeedupGainScan = safeRatio(first.GainScanMS, last.GainScanMS)
-	res.SpeedupMatMul = safeRatio(first.MatMulMS, last.MatMulMS)
+	if effective < 2 {
+		res.SpeedupWarning = fmt.Sprintf(
+			"effective CPUs = %d (< 2): the worker sweep ran time-sliced on one core, so selection speedup is not measurable; speedups withheld",
+			effective)
+	} else {
+		first, last := res.Runs[0], res.Runs[len(res.Runs)-1]
+		pc := safeRatio(first.PerClassMS, last.PerClassMS)
+		gs := safeRatio(first.GainScanMS, last.GainScanMS)
+		mm := safeRatio(first.MatMulMS, last.MatMulMS)
+		res.SpeedupPerClass = &pc
+		res.SpeedupGainScan = &gs
+		res.SpeedupMatMul = &mm
+	}
 	return res, nil
 }
 
@@ -192,10 +217,18 @@ func SelectionBenchTable(res *SelectionBenchResult) *Table {
 			fmt.Sprintf("%.1f", run.MatMulMS))
 	}
 	t.AddRow("speedup",
-		fmt.Sprintf("%.2fx", res.SpeedupPerClass),
-		fmt.Sprintf("%.2fx", res.SpeedupGainScan),
-		fmt.Sprintf("%.2fx", res.SpeedupMatMul))
+		fmtSpeedup(res.SpeedupPerClass),
+		fmtSpeedup(res.SpeedupGainScan),
+		fmtSpeedup(res.SpeedupMatMul))
 	return t
+}
+
+// fmtSpeedup renders a possibly-withheld speedup measurement.
+func fmtSpeedup(s *float64) string {
+	if s == nil {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", *s)
 }
 
 func equalInts(a, b []int) bool {

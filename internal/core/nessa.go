@@ -29,6 +29,7 @@ import (
 	"nessa/internal/parallel"
 	"nessa/internal/quant"
 	"nessa/internal/selection"
+	"nessa/internal/selection/streaming"
 	"nessa/internal/smartssd"
 	"nessa/internal/tensor"
 	"nessa/internal/trainer"
@@ -131,6 +132,16 @@ type Options struct {
 	// pipeline did. Benchmark-only: it exists so bench-faults can
 	// price the clean-path overhead of the recovery machinery.
 	RawScan bool
+
+	// Streaming switches the facility selector to the single-pass
+	// sketch/sieve pipeline (internal/selection/streaming): the
+	// candidate scan is consumed chunk by chunk and the full embedding
+	// matrix is never materialized, so selection state stays within
+	// the FPGA's on-chip budget regardless of dataset size. Requires
+	// SelectorFacility. StreamChunk is the records per scan chunk
+	// (0 = 8192).
+	Streaming   bool
+	StreamChunk int
 }
 
 // DefaultOptions returns the full NeSSA configuration (the "SB+PA"
@@ -259,7 +270,20 @@ func Run(train, test *data.Dataset, tcfg trainer.Config, opt Options) (*Report, 
 				}
 			}
 			degraded := false
-			if opt.Device != nil {
+			var res selection.Result
+			var losses []float32
+			if opt.Streaming {
+				// Single-pass selection: the chunked scan charges its own
+				// I/O, so there is no monolithic candidate read.
+				var err error
+				res, losses, err = selectSubsetStreaming(selModel, train, cands, frac, opt, rng, recBytes, &rep.Faults)
+				if err != nil {
+					if opt.Device == nil || !faults.IsDegradable(err) {
+						return nil, fmt.Errorf("core: streaming selection: %w", err)
+					}
+					degraded = true
+				}
+			} else if opt.Device != nil {
 				// Near-storage scan of the remaining candidates.
 				length := int64(len(cands)) * recBytes
 				if opt.RawScan {
@@ -291,9 +315,12 @@ func Run(train, test *data.Dataset, tcfg trainer.Config, opt Options) (*Report, 
 				// No selection pass ran, so there are no fresh losses to
 				// feed the subset-biasing history this epoch.
 			} else {
-				res, losses, err := selectSubset(selModel, train, cands, frac, opt, rng)
-				if err != nil {
-					return nil, err
+				if !opt.Streaming {
+					var err error
+					res, losses, err = selectSubset(selModel, train, cands, frac, opt, rng)
+					if err != nil {
+						return nil, err
+					}
 				}
 				current = res
 				hist.record(cands, losses)
@@ -485,6 +512,97 @@ func selectSubset(selModel *nn.MLP, train *data.Dataset, cands []int, frac float
 	return res, losses, nil
 }
 
+// selectSubsetStreaming runs one single-pass selection epoch: the
+// candidate records stream through the selection model in chunks
+// (double-buffered against NAND reads when a device is attached), each
+// chunk's gradient embeddings feed the sieve, and the full embedding
+// matrix never exists. Losses for the §3.2.2 feedback signal are
+// captured per chunk into one O(n)-float slice — the only per-
+// candidate state the pass keeps.
+func selectSubsetStreaming(selModel *nn.MLP, train *data.Dataset, cands []int, frac float64, opt Options, rng *tensor.RNG, recBytes int64, fr *FaultReport) (selection.Result, []float32, error) {
+	k := subsetK(frac, train.Len(), len(cands))
+	classes := train.Spec.Classes
+	counts := make([]int, classes)
+	for _, c := range cands {
+		counts[train.Labels[c]]++
+	}
+	sel, err := streaming.NewSelector(streaming.Config{
+		Classes:     classes,
+		Dim:         classes,
+		K:           k,
+		ClassCounts: counts,
+		SketchEvery: -1, // the sketch is a bench/diagnostic artifact, not a selection input
+		Seed:        rng.Uint64(),
+	})
+	if err != nil {
+		return selection.Result{}, nil, err
+	}
+	chunk := opt.StreamChunk
+	if chunk <= 0 {
+		chunk = 8192
+	}
+	if chunk > len(cands) {
+		chunk = len(cands)
+	}
+	losses := make([]float32, len(cands))
+	feats := tensor.NewMatrix(chunk, train.X.Cols)
+	emb := tensor.NewMatrix(chunk, classes)
+	labels := make([]int, chunk)
+	var scratch nn.FwdScratch
+	probs := make([]float32, classes)
+	process := func(lo, hi int) error {
+		m := hi - lo
+		fview := tensor.Matrix{Rows: m, Cols: feats.Cols, Data: feats.Data[:m*feats.Cols]}
+		tensor.GatherRows(&fview, train.X, cands[lo:hi])
+		for i := lo; i < hi; i++ {
+			labels[i-lo] = train.Labels[cands[i]]
+		}
+		logits := selModel.ForwardInto(&scratch, &fview)
+		nn.SoftmaxCEInto(losses[lo:hi], probs, logits, labels[:m], nil, nil)
+		eview := tensor.Matrix{Rows: m, Cols: classes, Data: emb.Data[:m*classes]}
+		nn.GradEmbeddingsInto(&eview, logits, labels[:m])
+		return sel.Push(&eview, nil, labels[:m])
+	}
+	if opt.Device != nil {
+		scan := streaming.ScanConfig{
+			Object:       opt.DatasetName,
+			RecordBytes:  recBytes,
+			Candidates:   cands,
+			ChunkRecords: chunk,
+			Retry:        opt.Retry,
+		}
+		if !opt.RawScan {
+			scan.Verify = verifyRecords(recBytes)
+		}
+		st, err := streaming.ScanRecords(opt.Device, scan, func(_, lo, hi int, _ int64, _ []byte) error {
+			return process(lo, hi)
+		})
+		fr.absorb(st.Read)
+		if err != nil {
+			return selection.Result{}, nil, err
+		}
+	} else {
+		for lo := 0; lo < len(cands); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cands) {
+				hi = len(cands)
+			}
+			if err := process(lo, hi); err != nil {
+				return selection.Result{}, nil, err
+			}
+		}
+	}
+	res, _, err := sel.Finish()
+	if err != nil {
+		return selection.Result{}, nil, err
+	}
+	// Stream position p was candidate-list index p.
+	for i, p := range res.Selected {
+		res.Selected[i] = cands[p]
+	}
+	return res, losses, nil
+}
+
 func validateOptions(opt *Options) error {
 	if opt.SubsetFrac <= 0 || opt.SubsetFrac > 1 {
 		return fmt.Errorf("core: subset fraction %v out of (0,1]", opt.SubsetFrac)
@@ -512,6 +630,12 @@ func validateOptions(opt *Options) error {
 		if opt.ShrinkPatience <= 0 {
 			opt.ShrinkPatience = 1
 		}
+	}
+	if opt.Streaming && opt.Selector != SelectorFacility {
+		return fmt.Errorf("core: streaming selection requires the facility selector, got %q", opt.Selector)
+	}
+	if opt.StreamChunk < 0 {
+		return fmt.Errorf("core: stream chunk must be >= 0, got %d", opt.StreamChunk)
 	}
 	if opt.Workers < 0 {
 		return fmt.Errorf("core: workers must be >= 0, got %d", opt.Workers)

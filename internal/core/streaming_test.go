@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"nessa/internal/data"
+	"nessa/internal/smartssd"
+)
+
+// TestStreamingSelectionTrains: the single-pass selector plugs into the
+// full training loop and lands close to the batch selector's accuracy.
+func TestStreamingSelectionTrains(t *testing.T) {
+	tr, te := data.Generate(tinySpec())
+	cfg := tinyCfg()
+
+	batch := tinyOptions()
+	batch.DynamicSizing = false
+	batch.SubsetBias = false
+	batch.SubsetFrac = 0.25
+
+	stream := batch
+	stream.Streaming = true
+	stream.StreamChunk = 128
+
+	repB, err := Run(tr, te, cfg, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repS, err := Run(tr, te, cfg, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repS.Metrics.BestAcc() < repB.Metrics.BestAcc()-0.05 {
+		t.Fatalf("streaming selection accuracy %.3f too far below batch %.3f",
+			repS.Metrics.BestAcc(), repB.Metrics.BestAcc())
+	}
+}
+
+// TestStreamingDeviceScan: with a device attached, the streaming path
+// charges chunked P2P reads covering the full candidate scan per
+// reselection epoch.
+func TestStreamingDeviceScan(t *testing.T) {
+	spec := tinySpec()
+	tr, te := data.Generate(spec)
+	cfg := tinyCfg()
+	cfg.Epochs = 4
+
+	dev, err := smartssd.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := data.Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.StoreDataset("tiny", img); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := tinyOptions()
+	opt.DynamicSizing = false
+	opt.SubsetBias = false
+	opt.SubsetFrac = 0.25
+	opt.Streaming = true
+	opt.StreamChunk = 100
+	opt.Device = dev
+	opt.DatasetName = "tiny"
+
+	if _, err := Run(tr, te, cfg, opt); err != nil {
+		t.Fatal(err)
+	}
+	p2p := dev.Acct.Bytes("p2p.read")
+	want := int64(cfg.Epochs) * int64(tr.Len()) * spec.BytesPerImage
+	if p2p != want {
+		t.Fatalf("p2p.read = %d bytes, want %d (chunked full scan per epoch)", p2p, want)
+	}
+	if sent := dev.Acct.Bytes("gpu.send"); sent == 0 {
+		t.Fatal("no subset bytes sent to the GPU")
+	}
+}
+
+// TestStreamingMatchesAcrossWorkers: the full training trajectory under
+// streaming selection is identical at 1 and 4 workers.
+func TestStreamingMatchesAcrossWorkers(t *testing.T) {
+	tr, te := data.Generate(tinySpec())
+	cfg := tinyCfg()
+	cfg.Epochs = 8
+
+	run := func(workers int) *Report {
+		opt := tinyOptions()
+		opt.DynamicSizing = false
+		opt.SubsetBias = false
+		opt.SubsetFrac = 0.2
+		opt.Streaming = true
+		opt.Workers = workers
+		rep, err := Run(tr, te, cfg, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1, r4 := run(1), run(4)
+	for e := range r1.Metrics.EpochLoss {
+		if r1.Metrics.EpochLoss[e] != r4.Metrics.EpochLoss[e] {
+			t.Fatalf("epoch %d loss diverges across workers: %v vs %v",
+				e, r1.Metrics.EpochLoss[e], r4.Metrics.EpochLoss[e])
+		}
+	}
+}
+
+// TestStreamingRequiresFacility: the streaming pipeline only implements
+// the facility selector.
+func TestStreamingRequiresFacility(t *testing.T) {
+	tr, te := data.Generate(tinySpec())
+	opt := tinyOptions()
+	opt.Streaming = true
+	opt.Selector = SelectorRandom
+	if _, err := Run(tr, te, tinyCfg(), opt); err == nil {
+		t.Fatal("streaming with a non-facility selector accepted")
+	}
+}

@@ -116,17 +116,35 @@ func DecodeSample(buf []byte) (label int, features []float32, err error) {
 	if err := VerifyRecord(buf); err != nil {
 		return 0, nil, err
 	}
-	label = int(binary.LittleEndian.Uint16(buf[0:2]))
+	features = make([]float32, binary.LittleEndian.Uint32(buf[2:6]))
+	label, err = DecodeRecordInto(buf, features)
+	if err != nil {
+		return 0, nil, err
+	}
+	return label, features, nil
+}
+
+// DecodeRecordInto parses a record's label and features into the given
+// slice without allocating: features must have exactly the record's
+// feature count. The CRC is not checked — pair with VerifyRecord or
+// VerifyImage when integrity matters; streaming scans verify a whole
+// chunk at once and then decode records from it with this.
+func DecodeRecordInto(buf []byte, features []float32) (int, error) {
+	if len(buf) < recordHeader {
+		return 0, fmt.Errorf("data: record too short (%d bytes)", len(buf))
+	}
 	n := int(binary.LittleEndian.Uint32(buf[2:6]))
+	if n != len(features) {
+		return 0, fmt.Errorf("data: record holds %d features, caller expects %d", n, len(features))
+	}
 	if len(buf) < recordHeader+4*n {
-		return 0, nil, fmt.Errorf("data: record truncated: %d features need %d bytes, have %d",
+		return 0, fmt.Errorf("data: record truncated: %d features need %d bytes, have %d",
 			n, recordHeader+4*n, len(buf))
 	}
-	features = make([]float32, n)
 	for j := range features {
 		features[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[recordHeader+4*j:]))
 	}
-	return label, features, nil
+	return int(binary.LittleEndian.Uint16(buf[0:2])), nil
 }
 
 // Encode serializes the whole dataset into one contiguous byte image

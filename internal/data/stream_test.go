@@ -1,0 +1,106 @@
+package data
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"nessa/internal/parallel"
+)
+
+func streamSpec() Spec {
+	return Spec{
+		Name: "stream-test", Classes: 5, BytesPerImage: 128,
+		FeatureDim: 16, Spread: 0.1, HardFrac: 0.2, NoiseFrac: 0.05, Seed: 71,
+		Modes: 3, ModeSpread: 1.0, ModeDecay: 0.6,
+	}
+}
+
+// TestRecordStreamFillDeterministic: Fill is a pure function of the
+// range — re-reads, unaligned reads, and whole-object reads all agree.
+func TestRecordStreamFillDeterministic(t *testing.T) {
+	rs, err := NewRecordStream(streamSpec(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := make([]byte, rs.Size())
+	rs.Fill(0, whole)
+	again := make([]byte, rs.Size())
+	rs.Fill(0, again)
+	for i := range whole {
+		if whole[i] != again[i] {
+			t.Fatalf("fill not deterministic at byte %d", i)
+		}
+	}
+	// Unaligned span: must match the corresponding slice of the whole.
+	span := make([]byte, 300)
+	off := int64(37)
+	rs.Fill(off, span)
+	for i := range span {
+		if span[i] != whole[off+int64(i)] {
+			t.Fatalf("unaligned fill diverges at byte %d", i)
+		}
+	}
+}
+
+// TestRecordStreamRecordsValid: every synthesized record passes the
+// codec's CRC and carries the label that Label(i) predicts.
+func TestRecordStreamRecordsValid(t *testing.T) {
+	rs, err := NewRecordStream(streamSpec(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, rs.RecordBytes())
+	feats := make([]float32, rs.Spec.FeatureDim)
+	for i := 0; i < rs.Len(); i++ {
+		rs.EncodeRecord(i, rec)
+		if err := VerifyRecord(rec); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		label := int(binary.LittleEndian.Uint16(rec[0:2]))
+		if want := rs.Label(i); label != want {
+			t.Fatalf("record %d encodes label %d, Label says %d", i, label, want)
+		}
+		if got := rs.Sample(i, feats); got != label {
+			t.Fatalf("record %d: Sample label %d, encoded %d", i, got, label)
+		}
+	}
+}
+
+// TestRecordStreamCountLabels: the parallel tally matches a serial
+// count and is worker-count invariant.
+func TestRecordStreamCountLabels(t *testing.T) {
+	rs, err := NewRecordStream(streamSpec(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := make([]int, rs.Spec.Classes)
+	for i := 0; i < rs.Len(); i++ {
+		serial[rs.Label(i)]++
+	}
+	for _, w := range []int{1, 4} {
+		parallel.SetDefaultWorkers(w)
+		counts := rs.CountLabels()
+		parallel.SetDefaultWorkers(0)
+		total := 0
+		for y, c := range counts {
+			if c != serial[y] {
+				t.Fatalf("workers=%d: class %d count %d, want %d", w, y, c, serial[y])
+			}
+			total += c
+		}
+		if total != rs.Len() {
+			t.Fatalf("workers=%d: counts sum %d, want %d", w, total, rs.Len())
+		}
+	}
+}
+
+func TestRecordStreamValidation(t *testing.T) {
+	if _, err := NewRecordStream(streamSpec(), 0); err == nil {
+		t.Fatal("zero-length stream accepted")
+	}
+	spec := streamSpec()
+	spec.FeatureDim = 0
+	if _, err := NewRecordStream(spec, 10); err == nil {
+		t.Fatal("spec without simulation scale accepted")
+	}
+}

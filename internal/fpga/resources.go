@@ -130,6 +130,20 @@ func bramCount(bytes int64) int {
 	return int((bytes + bramBytesEach - 1) / bramBytesEach)
 }
 
+// AvailableBufferBytes reports how many bytes of on-chip buffering the
+// budget b still has to give after the kernel c is placed: the free
+// BRAM blocks times the usable bytes per block. This is the memory
+// pool the streaming selection state (gradient sketch, sieve ladder,
+// reservoirs) must fit into — the DRAM-resident embedding matrix of
+// the batch path is exactly what streaming selection exists to avoid.
+func (c KernelConfig) AvailableBufferBytes(b Budget) int64 {
+	free := b.BRAM - c.Estimate().BRAM
+	if free <= 0 {
+		return 0
+	}
+	return int64(free) * bramBytesEach
+}
+
 // Validate checks the kernel against a budget.
 func (c KernelConfig) Validate(b Budget) error {
 	if c.PEs <= 0 || c.DistUnits <= 0 || c.ClockMHz <= 0 {

@@ -164,6 +164,25 @@ func TestUtilizationZeroBudget(t *testing.T) {
 	}
 }
 
+func TestAvailableBufferBytes(t *testing.T) {
+	b := PaperKU15P()
+	free := DefaultKernel().AvailableBufferBytes(b)
+	if free <= 0 {
+		t.Fatal("default kernel should leave BRAM headroom for streaming state")
+	}
+	// Consistency: free bytes = (budget − estimate) BRAMs × 4 KB.
+	want := int64(b.BRAM-DefaultKernel().Estimate().BRAM) * bramBytesEach
+	if free != want {
+		t.Fatalf("AvailableBufferBytes = %d, want %d", free, want)
+	}
+	// A kernel that already exhausts BRAM has nothing left.
+	big := DefaultKernel()
+	big.DistUnits = 10_000
+	if got := big.AvailableBufferBytes(b); got != 0 {
+		t.Fatalf("over-budget kernel reports %d free bytes, want 0", got)
+	}
+}
+
 func TestBramCount(t *testing.T) {
 	cases := []struct {
 		bytes int64

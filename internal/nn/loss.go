@@ -91,16 +91,30 @@ func SoftmaxCEInto(losses, probs []float32, logits *tensor.Matrix, labels []int,
 // output-layer pre-activations and is the gradient proxy CRAIG and
 // NeSSA cluster on (paper §3.1, Eq. 4–5).
 func GradEmbeddings(logits *tensor.Matrix, labels []int) *tensor.Matrix {
+	emb := tensor.NewMatrix(logits.Rows, logits.Cols)
+	GradEmbeddingsInto(emb, logits, labels)
+	return emb
+}
+
+// GradEmbeddingsInto is the allocation-free form of GradEmbeddings:
+// emb must be shaped logits.Rows × logits.Cols, and each of its rows
+// doubles as the softmax buffer. Streaming selection reuses one such
+// matrix per chunk.
+//
+//nessa:hotpath
+func GradEmbeddingsInto(emb, logits *tensor.Matrix, labels []int) {
 	n := logits.Rows
-	emb := tensor.NewMatrix(n, logits.Cols)
-	probs := make([]float32, logits.Cols)
+	if emb.Rows != n || emb.Cols != logits.Cols {
+		panic("nn: GradEmbeddingsInto shape mismatch")
+	}
+	if len(labels) != n {
+		panic("nn: GradEmbeddingsInto labels length mismatch")
+	}
 	for i := 0; i < n; i++ {
-		tensor.Softmax(probs, logits.Row(i))
 		row := emb.Row(i)
-		copy(row, probs)
+		tensor.Softmax(row, logits.Row(i))
 		row[labels[i]] -= 1
 	}
-	return emb
 }
 
 // Accuracy reports the fraction of rows whose argmax logit equals the

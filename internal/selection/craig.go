@@ -118,18 +118,30 @@ func perClass(emb *tensor.Matrix, classes [][]int, k int, forClass ClassMaximize
 // non-empty class at least one pick when k allows it and that budgets
 // sum to exactly min(k, total).
 func splitBudget(classes [][]int, k, total int) []int {
+	counts := make([]int, len(classes))
+	for ci, c := range classes {
+		counts[ci] = len(c)
+	}
+	return SplitBudgetCounts(counts, k, total)
+}
+
+// SplitBudgetCounts is splitBudget over class sizes instead of class
+// member lists: counts[ci] is the number of candidates in class ci and
+// total is their sum. The streaming selector reuses it so that batch
+// and single-pass selection agree on per-class budgets exactly.
+func SplitBudgetCounts(counts []int, k, total int) []int {
 	type share struct {
 		ci   int
 		frac float64
 		size int
 	}
-	budgets := make([]int, len(classes))
-	shares := make([]share, 0, len(classes))
-	for ci, c := range classes {
-		if len(c) == 0 {
+	budgets := make([]int, len(counts))
+	shares := make([]share, 0, len(counts))
+	for ci, n := range counts {
+		if n == 0 {
 			continue
 		}
-		shares = append(shares, share{ci: ci, size: len(c)})
+		shares = append(shares, share{ci: ci, size: n})
 	}
 	if len(shares) == 0 {
 		return budgets

@@ -1,0 +1,260 @@
+// Package streaming implements NeSSA selection as a single sequential
+// pass over the stored dataset, for datasets that do not fit in the
+// SmartSSD's 4 GB device DRAM — let alone host memory.
+//
+// The batch path (internal/selection) materializes every candidate's
+// gradient embedding and runs lazy greedy over the full similarity
+// structure: O(n·dim) resident state plus O(n·k) gain scans. This
+// package replaces it with three fixed-memory components that consume
+// the stream record by record:
+//
+//   - a frequent-directions sketch of the gradient stream (Sketch),
+//     following the SAGE streaming-gradient-sketch idea: a 2ℓ×d row
+//     buffer that is periodically shrunk through an eigendecomposition
+//     of its Gram matrix, retaining the top ℓ directions;
+//   - a sieve-streaming facility-location maximizer per class
+//     (classSieve): a geometric threshold ladder with per-threshold
+//     candidate buffers, fed by a fixed-size uniform reservoir that
+//     stands in for the full pairwise similarity structure;
+//   - a chunked sequential-scan driver (ScanRecords) that double-
+//     buffers NAND reads against sketch/sieve compute.
+//
+// Everything is sized against internal/fpga's on-chip memory model:
+// the persistent selection state must fit the BRAM left over after the
+// selection kernel is placed (KernelConfig.AvailableBufferBytes), and
+// NewSelector fails if it cannot.
+package streaming
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nessa/internal/tensor"
+)
+
+// Sketch is a frequent-directions sketch (Liberty 2013, Ghashami et
+// al. 2016) of a vector stream: a 2ℓ×d buffer B such that, for any
+// unit direction x, ‖Ax‖² − ‖Bx‖² ∈ [0, ‖A‖²F/ℓ] where A is the full
+// stream matrix. Rows are inserted until the buffer fills; a shrink
+// then eigendecomposes the 2ℓ×2ℓ Gram matrix BBᵀ (deterministic
+// cyclic Jacobi), subtracts the (ℓ+1)-th eigenvalue from the spectrum,
+// and rewrites the buffer as the top ℓ reweighted right singular
+// directions. All state is preallocated: the steady-state insert path
+// allocates nothing.
+type Sketch struct {
+	dim  int
+	ell  int
+	rows int            // occupied rows of buf
+	buf  *tensor.Matrix // 2ℓ × dim row buffer
+	g32  *tensor.Matrix // 2ℓ × 2ℓ Gram staging (float32 GEMM output)
+
+	gram []float64      // 2ℓ × 2ℓ Jacobi workspace
+	vecs []float64      // 2ℓ × 2ℓ eigenvectors (column j = eigenvector j)
+	vals []float64      // 2ℓ eigenvalues
+	ord  []int          // eigenvalue ranking scratch
+	coef []float64      // 2ℓ rebuild coefficients
+	tmp  *tensor.Matrix // 2ℓ × dim rebuild scratch
+
+	total   float64 // Σ‖row‖² over the whole stream
+	shrinks int
+}
+
+// NewSketch builds a frequent-directions sketch retaining ell
+// directions of a dim-dimensional stream.
+func NewSketch(ell, dim int) (*Sketch, error) {
+	if ell < 1 || dim < 1 {
+		return nil, fmt.Errorf("streaming: sketch needs ell ≥ 1 and dim ≥ 1, got ℓ=%d d=%d", ell, dim)
+	}
+	n := 2 * ell
+	return &Sketch{
+		dim:  dim,
+		ell:  ell,
+		buf:  tensor.NewMatrix(n, dim),
+		g32:  tensor.NewMatrix(n, n),
+		gram: make([]float64, n*n),
+		vecs: make([]float64, n*n),
+		vals: make([]float64, n),
+		ord:  make([]int, n),
+		coef: make([]float64, n),
+		tmp:  tensor.NewMatrix(ell, dim),
+	}, nil
+}
+
+// Dim reports the sketched dimension; Ell the retained direction count.
+func (s *Sketch) Dim() int { return s.dim }
+
+// Ell reports the number of retained directions.
+func (s *Sketch) Ell() int { return s.ell }
+
+// Shrinks reports how many buffer shrinks have run.
+func (s *Sketch) Shrinks() int { return s.shrinks }
+
+// Update folds one stream row into the sketch. The row is copied, so
+// the caller may reuse its buffer.
+//
+//nessa:hotpath
+func (s *Sketch) Update(row []float32) {
+	if len(row) != s.dim {
+		panic(fmt.Sprintf("streaming: sketch row has %d elements, want %d", len(row), s.dim))
+	}
+	dst := s.buf.Row(s.rows)
+	var e float64
+	for j, v := range row {
+		dst[j] = v
+		fv := float64(v)
+		e += fv * fv
+	}
+	s.total += e
+	s.rows++
+	if s.rows == s.buf.Rows {
+		s.shrink()
+	}
+}
+
+// shrink halves the occupied buffer: B ← sqrt(max(Σ²−δI,0))·Vᵀ keeping
+// the top ℓ directions, with δ the (ℓ+1)-th squared singular value.
+// Eigenpairs come from the row-space Gram matrix G = BBᵀ (2ℓ×2ℓ):
+// if G·u = λ·u then the corresponding right singular direction is
+// uᵀB/√λ, so the new row i is sqrt((λᵢ−δ)/λᵢ)·uᵢᵀB. Deterministic:
+// the Gram GEMM is bit-exact on the shared pool and the Jacobi sweep
+// order is fixed.
+func (s *Sketch) shrink() {
+	n := s.buf.Rows // 2ℓ
+	tensor.MatMulTransB(s.g32, s.buf, s.buf)
+	for i := range s.gram {
+		s.gram[i] = float64(s.g32.Data[i])
+	}
+	jacobiSym(s.gram, s.vecs, n)
+	for i := 0; i < n; i++ {
+		s.vals[i] = s.gram[i*n+i]
+		s.ord[i] = i
+	}
+	sort.SliceStable(s.ord, func(a, b int) bool { return s.vals[s.ord[a]] > s.vals[s.ord[b]] })
+	delta := s.vals[s.ord[s.ell]]
+	if delta < 0 {
+		delta = 0
+	}
+	for r := 0; r < s.ell; r++ {
+		lam := s.vals[s.ord[r]]
+		w := 0.0
+		if lam > delta && lam > 0 {
+			w = math.Sqrt((lam - delta) / lam)
+		}
+		col := s.ord[r]
+		for i := 0; i < n; i++ {
+			s.coef[i] = w * s.vecs[i*n+col]
+		}
+		out := s.tmp.Row(r)
+		for j := 0; j < s.dim; j++ {
+			acc := 0.0
+			for i := 0; i < n; i++ {
+				acc += s.coef[i] * float64(s.buf.Data[i*s.dim+j])
+			}
+			out[j] = float32(acc)
+		}
+	}
+	copy(s.buf.Data[:s.ell*s.dim], s.tmp.Data)
+	s.rows = s.ell
+	s.shrinks++
+}
+
+// Energy reports the squared Frobenius norm currently held by the
+// sketch rows.
+func (s *Sketch) Energy() float64 {
+	var e float64
+	for _, v := range s.buf.Data[:s.rows*s.dim] {
+		fv := float64(v)
+		e += fv * fv
+	}
+	return e
+}
+
+// CaptureFraction reports Energy / total streamed energy — the
+// fraction of gradient mass the fixed-budget sketch retains. 1.0 until
+// the first shrink; bounded below by 1 − (rank beyond ℓ)/ℓ thereafter.
+func (s *Sketch) CaptureFraction() float64 {
+	if s.total == 0 {
+		return 1
+	}
+	return s.Energy() / s.total
+}
+
+// Rows returns a read-only view of the occupied sketch rows. The view
+// is invalidated by the next Update.
+func (s *Sketch) Rows() *tensor.Matrix {
+	return &tensor.Matrix{Rows: s.rows, Cols: s.dim, Data: s.buf.Data[:s.rows*s.dim]}
+}
+
+// MemoryBytes reports the resident bytes of all sketch buffers — part
+// of the on-chip selection state budget.
+func (s *Sketch) MemoryBytes() int64 {
+	b := int64(cap(s.buf.Data)+cap(s.g32.Data)+cap(s.tmp.Data)) * 4
+	b += int64(cap(s.gram)+cap(s.vecs)+cap(s.vals)+cap(s.coef)) * 8
+	b += int64(cap(s.ord)) * 8
+	return b
+}
+
+// jacobiSym eigendecomposes the symmetric n×n matrix a in place with
+// cyclic Jacobi rotations: on return a's diagonal holds eigenvalues
+// and v (n×n, row-major) holds eigenvectors as columns. The sweep
+// order and convergence test are fixed, so results are deterministic.
+func jacobiSym(a, v []float64, n int) {
+	for i := range v {
+		v[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	var diag float64
+	for i := 0; i < n; i++ {
+		diag += math.Abs(a[i*n+i])
+	}
+	tol := 1e-14 * (diag + 1e-300)
+	for sweep := 0; sweep < 40; sweep++ {
+		var off float64
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				off += math.Abs(a[p*n+q])
+			}
+		}
+		if off <= tol {
+			return
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a[p*n+q]
+				if math.Abs(apq) <= tol/float64(n*n) {
+					continue
+				}
+				theta := (a[q*n+q] - a[p*n+p]) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				sn := t * c
+				// Rotate rows/columns p and q of a.
+				for i := 0; i < n; i++ {
+					aip := a[i*n+p]
+					aiq := a[i*n+q]
+					a[i*n+p] = c*aip - sn*aiq
+					a[i*n+q] = sn*aip + c*aiq
+				}
+				for i := 0; i < n; i++ {
+					api := a[p*n+i]
+					aqi := a[q*n+i]
+					a[p*n+i] = c*api - sn*aqi
+					a[q*n+i] = sn*api + c*aqi
+				}
+				// Accumulate the rotation into v's columns.
+				for i := 0; i < n; i++ {
+					vip := v[i*n+p]
+					viq := v[i*n+q]
+					v[i*n+p] = c*vip - sn*viq
+					v[i*n+q] = sn*vip + c*viq
+				}
+			}
+		}
+	}
+}

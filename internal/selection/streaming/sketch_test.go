@@ -1,0 +1,133 @@
+package streaming
+
+import (
+	"math"
+	"testing"
+
+	"nessa/internal/tensor"
+)
+
+// randRows fills an n × d matrix from a seeded RNG.
+func randRows(seed uint64, n, d int) *tensor.Matrix {
+	rng := tensor.NewRNG(seed)
+	m := tensor.NewMatrix(n, d)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat32()
+	}
+	return m
+}
+
+// TestSketchCovarianceBound checks the frequent-directions guarantee:
+// for any direction x, 0 ≤ ‖Ax‖² − ‖Bx‖² ≤ ‖A‖²F / ℓ.
+func TestSketchCovarianceBound(t *testing.T) {
+	const n, d, ell = 600, 16, 8
+	a := randRows(11, n, d)
+	sk, err := NewSketch(ell, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frob float64
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		sk.Update(row)
+		for _, v := range row {
+			frob += float64(v) * float64(v)
+		}
+	}
+	if sk.Shrinks() == 0 {
+		t.Fatalf("no shrinks over %d rows with ℓ=%d", n, ell)
+	}
+	bound := frob / ell
+
+	b := sk.Rows()
+	quad := func(m *tensor.Matrix, rows int, x []float64) float64 {
+		var q float64
+		for i := 0; i < rows; i++ {
+			row := m.Row(i)
+			var dot float64
+			for j, xv := range x {
+				dot += float64(row[j]) * xv
+			}
+			q += dot * dot
+		}
+		return q
+	}
+	dirs := make([][]float64, 0, d+16)
+	for j := 0; j < d; j++ {
+		x := make([]float64, d)
+		x[j] = 1
+		dirs = append(dirs, x)
+	}
+	rng := tensor.NewRNG(12)
+	for trial := 0; trial < 16; trial++ {
+		x := make([]float64, d)
+		var norm float64
+		for j := range x {
+			x[j] = float64(rng.NormFloat32())
+			norm += x[j] * x[j]
+		}
+		norm = math.Sqrt(norm)
+		for j := range x {
+			x[j] /= norm
+		}
+		dirs = append(dirs, x)
+	}
+	for di, x := range dirs {
+		diff := quad(a, n, x) - quad(b, b.Rows, x)
+		if diff < -1e-3*frob || diff > bound*(1+1e-6)+1e-3*frob {
+			t.Fatalf("direction %d: ‖Ax‖²−‖Bx‖² = %g outside [0, %g]", di, diff, bound)
+		}
+	}
+	cf := sk.CaptureFraction()
+	if cf <= 0 || cf > 1 {
+		t.Fatalf("capture fraction %g outside (0,1]", cf)
+	}
+}
+
+// TestSketchDeterministic: identical input streams produce bit-identical
+// sketch buffers.
+func TestSketchDeterministic(t *testing.T) {
+	const n, d, ell = 300, 12, 6
+	a := randRows(21, n, d)
+	run := func() *Sketch {
+		sk, err := NewSketch(ell, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			sk.Update(a.Row(i))
+		}
+		return sk
+	}
+	s1, s2 := run(), run()
+	if s1.Rows().Rows != s2.Rows().Rows {
+		t.Fatalf("row counts differ: %d vs %d", s1.Rows().Rows, s2.Rows().Rows)
+	}
+	r1, r2 := s1.Rows(), s2.Rows()
+	for i, v := range r1.Data {
+		if v != r2.Data[i] {
+			t.Fatalf("sketch buffers diverge at %d: %g vs %g", i, v, r2.Data[i])
+		}
+	}
+}
+
+func TestSketchMemoryAccounting(t *testing.T) {
+	sk, err := NewSketch(8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2ℓ×d buf+tmp-ish float32 plus 2ℓ×2ℓ workspaces: just check the
+	// accounting is positive and consistent with a recount.
+	want := int64(cap(sk.buf.Data)+cap(sk.g32.Data)+cap(sk.tmp.Data))*4 +
+		int64(cap(sk.gram)+cap(sk.vecs)+cap(sk.vals)+cap(sk.coef))*8 +
+		int64(cap(sk.ord))*8
+	if got := sk.MemoryBytes(); got != want {
+		t.Fatalf("MemoryBytes = %d, want %d", got, want)
+	}
+	if _, err := NewSketch(0, 4); err == nil {
+		t.Fatal("NewSketch(0, 4) should fail")
+	}
+	if _, err := NewSketch(4, 0); err == nil {
+		t.Fatal("NewSketch(4, 0) should fail")
+	}
+}

@@ -83,6 +83,16 @@ func (d *Device) StoreDataset(name string, img []byte) error {
 	return nil
 }
 
+// StoreVirtualDataset lays out a virtual dataset object of size bytes
+// under name: reads synthesize content through fill (see
+// storage.FillFunc) so streaming-scale datasets — far beyond host or
+// device DRAM — exist on the drive without being materialized
+// anywhere. No clock time is charged; the object models data ingested
+// before the experiment begins.
+func (d *Device) StoreVirtualDataset(name string, size int64, fill storage.FillFunc) error {
+	return d.SSD.PutVirtual(name, size, fill)
+}
+
 // ReadToFPGA reads [off, off+length) of object name into FPGA DRAM over
 // the P2P link, issuing commands transfer commands (one per image when
 // streaming a batch). Flash access and link streaming are pipelined, so

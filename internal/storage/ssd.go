@@ -44,11 +44,24 @@ func DefaultConfig() Config {
 // InternalBW reports the aggregate array bandwidth in bytes/second.
 func (c Config) InternalBW() float64 { return float64(c.Channels) * c.ChannelBW }
 
-// extent is a named contiguous region of the drive.
+// FillFunc synthesizes the bytes of a virtual object: it must write
+// exactly len(buf) bytes representing the object's content at [off,
+// off+len(buf)), deterministically — two calls over the same range
+// must produce the same bytes. Calls are serialized under the device
+// mutex, so implementations may use internal scratch without locking.
+type FillFunc func(off int64, buf []byte)
+
+// extent is a named contiguous region of the drive. A materialized
+// extent holds its payload in data; a virtual extent (fill != nil)
+// synthesizes bytes on demand, so an arbitrarily large object costs no
+// host memory — the substrate for streaming-scale datasets that exist
+// on the simulated drive but never fit in RAM.
 type extent struct {
 	name string
 	off  int64
+	size int64
 	data []byte
+	fill FillFunc
 }
 
 // SSD is the flash device plus a flat object namespace. Objects are
@@ -103,18 +116,43 @@ func (s *SSD) alignUp(n int64) int64 {
 func (s *SSD) Write(name string, data []byte) (time.Duration, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if e, ok := s.objects[name]; ok && int64(len(data)) <= s.alignUp(int64(len(e.data))) {
+	if e, ok := s.objects[name]; ok && int64(len(data)) <= s.alignUp(e.size) {
 		e.data = append(e.data[:0], data...)
+		e.fill = nil
+		e.size = int64(len(data))
 		return s.transferTime(int64(len(data)), true), nil
 	}
 	size := s.alignUp(int64(len(data)))
 	if s.nextOff+size > s.cfg.Capacity {
 		return 0, fmt.Errorf("storage: device full: need %d bytes, %d free", size, s.cfg.Capacity-s.nextOff)
 	}
-	e := &extent{name: name, off: s.nextOff, data: append([]byte(nil), data...)}
+	e := &extent{name: name, off: s.nextOff, size: int64(len(data)), data: append([]byte(nil), data...)}
 	s.objects[name] = e
 	s.nextOff += size
 	return s.transferTime(int64(len(data)), true), nil
+}
+
+// PutVirtual allocates a virtual object of the given size whose bytes
+// are synthesized by fill on every read. The object occupies drive
+// address space (capacity is checked) but no host memory, modeling a
+// dataset already laid out on the flash array by an earlier ingest.
+// No write time is charged: nothing crosses the simulated channels.
+func (s *SSD) PutVirtual(name string, size int64, fill FillFunc) error {
+	if size < 0 || fill == nil {
+		return fmt.Errorf("storage: virtual object %q needs a non-negative size and a fill function", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[name]; ok {
+		return fmt.Errorf("storage: object %q already exists", name)
+	}
+	aligned := s.alignUp(size)
+	if s.nextOff+aligned > s.cfg.Capacity {
+		return fmt.Errorf("storage: device full: need %d bytes, %d free", aligned, s.cfg.Capacity-s.nextOff)
+	}
+	s.objects[name] = &extent{name: name, off: s.nextOff, size: size, fill: fill}
+	s.nextOff += aligned
+	return nil
 }
 
 // ReadAt reads length bytes of object name starting at off, returning
@@ -131,9 +169,9 @@ func (s *SSD) ReadAt(name string, off, length int64) ([]byte, time.Duration, err
 	}
 	// Bounds are checked overflow-safely: off+length is never formed
 	// before both operands are known non-negative and in range.
-	if off < 0 || length < 0 || off > int64(len(e.data)) || length > int64(len(e.data))-off {
+	if off < 0 || length < 0 || off > e.size || length > e.size-off {
 		return nil, 0, fmt.Errorf("storage: read [%d,+%d) of %q (%d bytes): %w",
-			off, length, name, len(e.data), faults.ErrOutOfRange)
+			off, length, name, e.size, faults.ErrOutOfRange)
 	}
 	f := s.inj.FlashRead()
 	if f.Transient {
@@ -142,7 +180,12 @@ func (s *SSD) ReadAt(name string, off, length int64) ([]byte, time.Duration, err
 		return nil, s.cfg.CommandLatency + f.Extra,
 			fmt.Errorf("storage: read %q: %w", name, faults.ErrTransientIO)
 	}
-	out := append([]byte(nil), e.data[off:off+length]...)
+	out := make([]byte, length)
+	if e.fill != nil {
+		e.fill(off, out)
+	} else {
+		copy(out, e.data[off:off+length])
+	}
 	if f.Corrupt {
 		s.inj.CorruptPayload(out) // silent: detection is the codec's CRC
 	}
@@ -157,7 +200,7 @@ func (s *SSD) Size(name string) (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("storage: object %q: %w", name, faults.ErrNotFound)
 	}
-	return int64(len(e.data)), nil
+	return e.size, nil
 }
 
 // Objects lists stored object names in allocation order.

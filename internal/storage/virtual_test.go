@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+// counterFill writes a deterministic byte pattern derived from the
+// absolute offset, so partial reads can be checked for correct
+// addressing.
+func counterFill(off int64, buf []byte) {
+	for i := range buf {
+		buf[i] = byte((off + int64(i)) % 251)
+	}
+}
+
+func TestPutVirtualReadAt(t *testing.T) {
+	ssd, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = int64(100_000)
+	if err := ssd.PutVirtual("v", size, counterFill); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ssd.Size("v"); err != nil || got != size {
+		t.Fatalf("Size = %d, %v; want %d", got, err, size)
+	}
+	buf, _, err := ssd.ReadAt("v", 777, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if want := byte((777 + int64(i)) % 251); b != want {
+			t.Fatalf("byte %d = %d, want %d", i, b, want)
+		}
+	}
+	// Bounds are enforced against the virtual size.
+	if _, _, err := ssd.ReadAt("v", size-10, 20); err == nil {
+		t.Fatal("read past the virtual object's end accepted")
+	}
+}
+
+// TestPutVirtualNoHostMemory: a virtual object consumes drive address
+// space (capacity accounting) but stores no payload bytes.
+func TestPutVirtualNoHostMemory(t *testing.T) {
+	ssd, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 TB object: materializing this would OOM the test runner.
+	const size = int64(1) << 40
+	if err := ssd.PutVirtual("huge", size, counterFill); err != nil {
+		t.Fatal(err)
+	}
+	if used := ssd.Used(); used < size {
+		t.Fatalf("Used = %d, want ≥ %d (address space must be reserved)", used, size)
+	}
+	buf, _, err := ssd.ReadAt("huge", size-4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 4096 {
+		t.Fatalf("read %d bytes at the far end, want 4096", len(buf))
+	}
+}
+
+func TestPutVirtualValidation(t *testing.T) {
+	ssd, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssd.PutVirtual("x", -1, counterFill); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if err := ssd.PutVirtual("x", 10, nil); err == nil {
+		t.Fatal("nil fill accepted")
+	}
+	if err := ssd.PutVirtual("x", 10, counterFill); err != nil {
+		t.Fatal(err)
+	}
+	if err := ssd.PutVirtual("x", 10, counterFill); err == nil || !strings.Contains(err.Error(), "exists") {
+		t.Fatalf("duplicate virtual object accepted (err = %v)", err)
+	}
+	cfg := DefaultConfig()
+	full, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.PutVirtual("big", cfg.Capacity+1, counterFill); err == nil {
+		t.Fatal("over-capacity virtual object accepted")
+	}
+}
+
+// TestWriteReplacesVirtual: writing real data under a virtual object's
+// name materializes it in place.
+func TestWriteReplacesVirtual(t *testing.T) {
+	ssd, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssd.PutVirtual("v", 4096, counterFill); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("materialized")
+	if _, err := ssd.Write("v", payload); err != nil {
+		t.Fatal(err)
+	}
+	buf, _, err := ssd.ReadAt("v", 0, int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(payload) {
+		t.Fatalf("read %q after materializing write, want %q", buf, payload)
+	}
+}

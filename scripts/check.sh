@@ -75,7 +75,13 @@ echo "== determinism gate =="
 # 2% on the clean path, and complete every chaos-profile run.
 # bench-gemmtune exercises the GEMM autotuner end to end (candidate
 # sweep + record write) without installing the result.
+# bench-streaming runs the single-pass sieve/sketch pipeline over a
+# reduced stream under the full-scale gates: identical subsets at
+# workers 1 vs all (serial-vs-parallel divergence fails like
+# bench-selection), ≥ 80 % of the modeled sequential-read bound,
+# selection state within the on-chip budget, and ≥ 90 % of exact
+# LazyGreedy's objective on the reference instance.
 "$tmpdir/nessa-bench" -quick -results "$tmpdir/results" \
-	-only bench-selection,bench-training,bench-faults,bench-gemmtune >/dev/null
+	-only bench-selection,bench-training,bench-streaming,bench-faults,bench-gemmtune >/dev/null
 
 echo "OK"
