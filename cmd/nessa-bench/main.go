@@ -25,7 +25,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run training artifacts at reduced scale")
-	only := flag.String("only", "", "comma-separated artifact ids (table1..4, figure1..6, section4.3, section4.4, ablations, bench-selection, bench-training, bench-streaming, bench-faults, bench-gemmtune, seed-variance); empty = all")
+	only := flag.String("only", "", "comma-separated artifact ids (table1..4, figure1..6, section4.3, section4.4, ablations, bench-selection, bench-training, bench-streaming, bench-faults, bench-recovery, bench-gemmtune, seed-variance); empty = all")
 	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
 	stride := flag.Int("stride", 5, "epoch stride for figure5 rows")
 	seeds := flag.Int("seeds", 3, "seed count for the seed-variance artifact")
@@ -218,6 +218,29 @@ func main() {
 		}
 		if res.CleanFallback != 0 {
 			fatal(fmt.Errorf("clean-path run engaged degraded mode (%d fallback epochs)", res.CleanFallback))
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+		add(tab)
+	}
+	if selected("bench-recovery") {
+		fmt.Fprintln(os.Stderr, "measuring device-loss recovery (parity overhead, degraded scans, checkpointed resume)...")
+		path := filepath.Join(*resultsDir, "BENCH_recovery.json")
+		res, tab, err := bench.WriteRecoveryBench(path, *quick)
+		if err != nil {
+			fatal(err)
+		}
+		if !res.IdenticalTrajectories {
+			fatal(fmt.Errorf("kill-one-device run diverged from the clean trajectory — recovery contract broken"))
+		}
+		if !res.ResumeExact {
+			fatal(fmt.Errorf("checkpointed session did not resume bit-identically"))
+		}
+		if !res.DegradedWithinBound {
+			fatal(fmt.Errorf("degraded scan overhead %.1f µs exceeds the modeled reconstruction bound %.1f µs",
+				res.DegradedWallUS-res.CleanWallUS, res.BoundUS))
+		}
+		if res.OverheadPct > 2 {
+			fatal(fmt.Errorf("parity clean-path overhead %.2f%% exceeds the 2%% budget", res.OverheadPct))
 		}
 		fmt.Fprintln(os.Stderr, "wrote", path)
 		add(tab)

@@ -10,6 +10,8 @@
 //	            [-fastmath] [-tuning results/GEMM_tuning.json] [-no-device]
 //	            [-chaos] [-fault-seed 42] [-fault-corrupt 0] [-fault-transient 0]
 //	            [-fault-latency 0] [-fault-linkdown 0]
+//	            [-parity 3+1] [-kill 1@3] [-spare]
+//	            [-checkpoint ckpt.bin] [-checkpoint-every 0] [-resume ckpt.bin]
 //
 // -streaming selects each subset with the single-pass sieve/sketch
 // pipeline (one sequential scan of the candidates in fixed on-chip
@@ -27,6 +29,17 @@
 // is shorthand for the standard profile with every class active. The
 // run completes through retries, host-path fallback, and degraded-mode
 // selection, and prints what the recovery machinery absorbed.
+//
+// -parity k+m replaces the single device with a k+m-drive cluster:
+// the dataset is striped over k drives with m Reed–Solomon parity
+// stripes, and every candidate scan survives up to m whole-device
+// losses by reconstructing lost stripes from the survivors (DESIGN.md
+// §4.11). -kill d@n scripts a permanent kill of device d after its
+// n-th completed scan; -spare attaches a hot spare and auto-rebuilds
+// onto it after the first degraded scan. -checkpoint writes the full
+// session state to a file every -checkpoint-every epochs (0 = every
+// epoch); -resume restores such a file and reproduces the remaining
+// epochs bit-identically.
 package main
 
 import (
@@ -56,6 +69,12 @@ func main() {
 	faultTransient := flag.Float64("fault-transient", 0, "transient I/O error probability per flash command")
 	faultLatency := flag.Float64("fault-latency", 0, "latency spike probability per flash command")
 	faultLinkdown := flag.Float64("fault-linkdown", 0, "P2P link drop probability per transfer")
+	parity := flag.String("parity", "", "erasure-coded cluster placement \"k+m\": stripe over k drives with m parity drives (replaces the single device)")
+	kill := flag.String("kill", "", "scripted whole-device kill \"d@n\": device d dies permanently after its n-th completed scan (requires -parity)")
+	spareFlag := flag.Bool("spare", false, "attach a hot spare and auto-rebuild onto it after a degraded scan (requires -parity)")
+	checkpointPath := flag.String("checkpoint", "", "write session checkpoints to this file")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "epochs between checkpoints (0 = every epoch; needs -checkpoint)")
+	resumePath := flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
 	flag.Parse()
 
 	spec, ok := nessa.LookupDataset(*dataset)
@@ -134,7 +153,39 @@ func main() {
 	}
 
 	var dev *nessa.SmartSSD
-	if !*noDevice {
+	var cluster *nessa.Cluster
+	if *parity != "" {
+		if *noDevice {
+			fatal(fmt.Errorf("-parity needs the simulated devices (drop -no-device)"))
+		}
+		var k, m int
+		if _, err := fmt.Sscanf(*parity, "%d+%d", &k, &m); err != nil {
+			fatal(fmt.Errorf("-parity wants \"k+m\" (e.g. 3+1), got %q", *parity))
+		}
+		var err error
+		cluster, err = nessa.NewCluster(k + m)
+		if err != nil {
+			fatal(err)
+		}
+		img, err := nessa.EncodeDataset(train)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := cluster.StripeDataset(spec.Name, img, spec.BytesPerImage,
+			nessa.Placement{DataShards: k, ParityShards: m}); err != nil {
+			fatal(err)
+		}
+		if *spareFlag {
+			spare, err := nessa.NewSmartSSD()
+			if err != nil {
+				fatal(err)
+			}
+			cluster.AttachSpare(spare)
+			opt.AutoRebuild = true
+		}
+		opt.Cluster = cluster
+		opt.DatasetName = spec.Name
+	} else if !*noDevice {
 		var err error
 		dev, err = nessa.NewSmartSSD()
 		if err != nil {
@@ -151,9 +202,22 @@ func main() {
 		opt.DatasetName = spec.Name
 	}
 
+	var kills []nessa.DeviceKill
+	if *kill != "" {
+		if cluster == nil {
+			fatal(fmt.Errorf("-kill needs an erasure-coded cluster (set -parity)"))
+		}
+		var d int
+		var n int64
+		if _, err := fmt.Sscanf(*kill, "%d@%d", &d, &n); err != nil {
+			fatal(fmt.Errorf("-kill wants \"device@afterScans\" (e.g. 1@3), got %q", *kill))
+		}
+		kills = append(kills, nessa.DeviceKill{Device: d, AfterScans: n})
+	}
+
 	wantFaults := *chaos || *faultCorrupt > 0 || *faultTransient > 0 || *faultLatency > 0 || *faultLinkdown > 0
-	if wantFaults {
-		if dev == nil {
+	if wantFaults || kills != nil {
+		if dev == nil && cluster == nil {
 			fatal(fmt.Errorf("fault injection needs the simulated device (drop -no-device)"))
 		}
 		profile := nessa.DefaultChaosProfile()
@@ -167,12 +231,32 @@ func main() {
 			}
 		}
 		profile.Seed = *faultSeed
+		profile.Kills = kills
 		opt.Injector = nessa.NewFaultInjector(profile)
+	}
+
+	if *checkpointPath != "" {
+		opt.CheckpointEvery = *checkpointEvery
+		opt.CheckpointSink = func(epoch int, blob []byte) error {
+			return os.WriteFile(*checkpointPath, blob, 0o644)
+		}
+	} else if *checkpointEvery > 0 {
+		fatal(fmt.Errorf("-checkpoint-every needs -checkpoint"))
+	}
+	if *resumePath != "" {
+		blob, err := os.ReadFile(*resumePath)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Resume = blob
 	}
 
 	rep, err := nessa.Train(train, test, cfg, opt)
 	if err != nil {
 		fatal(err)
+	}
+	if rep.Recovery.ResumedFromEpoch >= 0 {
+		fmt.Printf("resumed from epoch %d\n", rep.Recovery.ResumedFromEpoch)
 	}
 	fmt.Printf("dataset=%s method=%s epochs=%d\n", spec.Name, *method, cfg.Epochs)
 	fmt.Printf("final accuracy: %.2f%%  best: %.2f%%\n", rep.Metrics.FinalAcc*100, rep.Metrics.BestAcc()*100)
@@ -195,6 +279,27 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+
+	if cluster != nil {
+		r := rep.Recovery
+		fmt.Println("\ndevice-loss recovery:")
+		fmt.Printf("  devices lost %d  degraded reads %d  reconstructed %.2f MB  rebuild wall %v\n",
+			r.DevicesLost, r.DegradedReads, float64(r.ReconstructedBytes)/1e6, r.RebuildTime)
+		for i := range cluster.Devices {
+			fmt.Printf("  device %d: %s\n", i, cluster.DeviceHealth(i))
+		}
+		fmt.Println("simulated cluster movement:")
+		for _, b := range cluster.Acct.ByteBuckets() {
+			fmt.Printf("  %-20s %10.2f MB\n", b.Name, float64(b.Bytes)/1e6)
+		}
+		for _, d := range cluster.Devices {
+			for _, b := range d.Acct.ByteBuckets() {
+				fmt.Printf("  dev/%-16s %10.2f MB\n", b.Name, float64(b.Bytes)/1e6)
+			}
+			break // per-device buckets are symmetric; show one drive
+		}
+		fmt.Printf("cluster wall clock: %v\n", cluster.MaxClock())
 	}
 
 	if dev != nil {

@@ -33,7 +33,7 @@ func main() {
 	fmt.Printf("sharded %s across %d SmartSSDs: %v records per drive\n", spec.Name, drives, counts)
 
 	// Every FPGA scans its local shard in parallel over its P2P link.
-	_, wall, err := cluster.ParallelScan(spec.Name, spec.BytesPerImage)
+	_, _, wall, err := cluster.ParallelScan(spec.Name, spec.BytesPerImage)
 	if err != nil {
 		log.Fatal(err)
 	}

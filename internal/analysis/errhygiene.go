@@ -10,8 +10,10 @@ import (
 
 // ErrHygieneAnalyzer keeps the sentinel-error taxonomy load-bearing in
 // the packages that define and wrap it (internal/faults and its
-// consumers internal/storage, internal/smartssd, internal/core). It
-// flags:
+// consumers internal/storage, internal/smartssd, internal/erasure,
+// internal/core — the recovery paths classify whole-device loss with
+// errors.Is(faults.ErrDeviceLost), which only works while every layer
+// wraps with %w). It flags:
 //
 //   - err == ErrX / err != ErrX identity comparisons (nil comparisons
 //     are fine) — wrapping with %w makes identity false while
@@ -39,6 +41,7 @@ func errHygieneScoped(module, importPath string) bool {
 		module+"/internal/faults",
 		module+"/internal/storage",
 		module+"/internal/smartssd",
+		module+"/internal/erasure",
 		module+"/internal/core",
 	)
 }

@@ -49,3 +49,23 @@ func Waived(err error) bool {
 	//nessa:err-ok fixture demonstrates the opt-out
 	return err == ErrGone
 }
+
+// ErrDeviceGone mirrors faults.ErrDeviceLost: the permanent whole-
+// device sentinel the recovery paths classify on.
+var ErrDeviceGone = errors.New("device lost")
+
+// LostIdentity classifies a device loss by identity. The recovery
+// stack wraps the sentinel at every layer (scan → shard → stripe), so
+// identity silently stops matching.
+func LostIdentity(err error) bool {
+	return err == ErrDeviceGone // want "compared by identity"
+}
+
+// LostIs is the sanctioned classification on the recovery paths.
+func LostIs(err error) bool { return errors.Is(err, ErrDeviceGone) }
+
+// LostWaived carries the opt-out where identity is deliberate.
+func LostWaived(err error) bool {
+	//nessa:err-ok recovery fixture demonstrates the opt-out
+	return err == ErrDeviceGone
+}

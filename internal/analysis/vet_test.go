@@ -140,6 +140,9 @@ func TestFMAFixture(t *testing.T) {
 func TestErrHygieneFixture(t *testing.T) {
 	// errhygiene scopes to the sentinel-error packages.
 	runFixture(t, "errhygiene", "errhygiene", "nessa/internal/storage/fixture")
+	// The erasure package joined the scope with the device-loss
+	// recovery work: the same fixture must fire there too.
+	runFixture(t, "errhygiene", "errhygiene", "nessa/internal/erasure/fixture")
 }
 
 // TestRepoVetClean is the clean-tree gate: every analyzer over every

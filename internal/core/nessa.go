@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"nessa/internal/data"
 	"nessa/internal/faults"
@@ -142,6 +143,32 @@ type Options struct {
 	// (0 = 8192).
 	Streaming   bool
 	StreamChunk int
+
+	// Device-loss recovery (§4.11). Cluster attaches a multi-device
+	// group in place of Device: every reselection scan runs as one
+	// ParallelScan of DatasetName, and when the dataset was placed
+	// with parity (smartssd.StripeDataset) the scan survives whole-
+	// device loss by reconstructing lost stripes from the survivors.
+	// Mutually exclusive with Device; requires DatasetName. The
+	// streaming selector and RawScan are single-device paths and are
+	// rejected with a cluster. AutoRebuild, after a scan that reports
+	// degraded reads while a spare is attached, rebuilds the lost
+	// shard onto the spare before the next epoch and charges the wall
+	// time to Report.Recovery.RebuildTime.
+	Cluster     *smartssd.Cluster
+	AutoRebuild bool
+
+	// Checkpointed sessions (§4.11). When CheckpointSink is non-nil
+	// the full session state — candidate pool, current subset and
+	// weights, model and optimizer tensors, both RNG cursors, loss
+	// history, metrics, and the epoch counter — is captured every
+	// CheckpointEvery epochs (0 means every epoch) and handed to the
+	// sink. Resume, when non-nil, restores a blob produced under the
+	// same configuration and continues the run bit-identically from
+	// its epoch.
+	CheckpointEvery int
+	CheckpointSink  func(epoch int, blob []byte) error
+	Resume          []byte
 }
 
 // DefaultOptions returns the full NeSSA configuration (the "SB+PA"
@@ -180,7 +207,8 @@ type Report struct {
 	CandidatesLeft  int // candidate-pool size after biasing
 	Dropped         int // samples pruned by subset biasing
 
-	Faults FaultReport // what the recovery machinery did (§4.6)
+	Faults   FaultReport    // what the recovery machinery did (§4.6)
+	Recovery RecoveryReport // device-loss recovery activity (§4.11)
 }
 
 // FaultReport aggregates the fault-recovery activity of a run: what the
@@ -198,6 +226,18 @@ type FaultReport struct {
 	// by class — ground truth to compare the detection counters against.
 	// Nil when no injector was attached.
 	Injected map[faults.Class]int64
+}
+
+// RecoveryReport aggregates the device-loss recovery activity of a
+// run (§4.11): what the erasure-coded placement reconstructed, what
+// the background rebuild restored, and where a resumed session picked
+// up. ResumedFromEpoch is -1 for a fresh run.
+type RecoveryReport struct {
+	DevicesLost        int           // devices confirmed lost during the run
+	DegradedReads      int           // stripes served via parity reconstruction
+	ReconstructedBytes int64         // payload bytes rebuilt from survivors
+	RebuildTime        time.Duration // wall time spent rebuilding onto spares
+	ResumedFromEpoch   int           // checkpoint epoch the run resumed from
 }
 
 // absorb folds one resilient read's stats into the report.
@@ -225,48 +265,110 @@ func Run(train, test *data.Dataset, tcfg trainer.Config, opt Options) (*Report, 
 	// flipped between runs. With BitExact the fast tier is off and the
 	// request below is a no-op that re-asserts the default.
 	tensor.SetFastMath(!opt.BitExact)
+	s, err := newSession(train, test, tcfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+// session is the complete mutable state of a run. Everything the
+// epoch loop reads or writes lives here, so a checkpoint is one
+// struct walk (checkpoint.go) and resuming is a field-for-field
+// restore — the basis of the bit-identical-resume guarantee.
+type session struct {
+	train, test *data.Dataset
+	tcfg        trainer.Config
+	opt         Options
+
+	n        int
+	recBytes int64
+	rng      *tensor.RNG // controller RNG: selection seeds and fallbacks
+	tr       *trainer.Trainer
+
+	epoch      int // next epoch to execute
+	cands      []int
+	hist       *lossHistory
+	frac       float64
+	slowEpochs int
+	prevLoss   float64
+	dropped    int
+	current    selection.Result
+
+	rep       *Report
+	lostStart int // cluster losses that predate this run
+}
+
+func newSession(train, test *data.Dataset, tcfg trainer.Config, opt Options) (*session, error) {
 	n := train.Len()
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
-	rng := tensor.NewRNG(opt.Seed)
-	tr := trainer.New(train.Spec, tcfg)
-
-	cands := make([]int, n)
-	for i := range cands {
-		cands[i] = i
+	s := &session{
+		train: train, test: test, tcfg: tcfg, opt: opt,
+		n:        n,
+		rng:      tensor.NewRNG(opt.Seed),
+		hist:     newLossHistory(n, opt.BiasWindow),
+		frac:     opt.SubsetFrac,
+		prevLoss: -1,
+		rep:      &Report{},
 	}
-	hist := newLossHistory(n, opt.BiasWindow)
-	frac := opt.SubsetFrac
-	slowEpochs := 0
-	prevLoss := -1.0
-	dropped := 0
-
-	rep := &Report{}
-	var current selection.Result
-	recBytes := int64(0)
-	if opt.Device != nil {
+	s.rep.Recovery.ResumedFromEpoch = -1
+	if opt.Device != nil || opt.Cluster != nil {
 		var err error
-		recBytes, err = data.RecordSize(train.Spec)
+		s.recBytes, err = data.RecordSize(train.Spec)
 		if err != nil {
 			return nil, err
 		}
 	}
 	if opt.Injector != nil {
-		opt.Device.SetInjector(opt.Injector)
+		if opt.Cluster != nil {
+			opt.Cluster.SetInjector(opt.Injector)
+		} else {
+			opt.Device.SetInjector(opt.Injector)
+		}
 	}
+	if opt.Cluster != nil {
+		// Per-record CRC verification on every scanned (and
+		// reconstructed) stripe, same contract as the single-device
+		// resilient read path.
+		opt.Cluster.Verify = verifyRecords(s.recBytes)
+		s.lostStart = opt.Cluster.LostCount()
+	}
+	if opt.Resume != nil {
+		if err := s.restore(opt.Resume); err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+		s.rep.Recovery.ResumedFromEpoch = s.epoch
+	} else {
+		s.tr = trainer.New(train.Spec, tcfg)
+		s.cands = make([]int, n)
+		for i := range s.cands {
+			s.cands[i] = i
+		}
+	}
+	return s, nil
+}
 
-	for e := 0; e < tcfg.Epochs; e++ {
-		tr.SetEpoch(e)
+func (s *session) run() (*Report, error) {
+	opt, rep := s.opt, s.rep
+	for e := s.epoch; e < s.tcfg.Epochs; e++ {
+		s.tr.SetEpoch(e)
 
-		reselect := e%opt.SelectEvery == 0 || current.Selected == nil
+		reselect := e%opt.SelectEvery == 0 || s.current.Selected == nil
 		if reselect {
-			selModel := tr.Model
+			selModel := s.tr.Model
 			if opt.QuantFeedback {
-				qm := quant.QuantizeModel(tr.Model)
+				qm := quant.QuantizeModel(s.tr.Model)
 				selModel = qm.Dequantized()
 				if opt.Device != nil {
 					opt.Device.ReceiveFeedback(qm.SizeBytes())
+				} else if opt.Cluster != nil {
+					// The quantized selection model is broadcast to
+					// every drive in the group.
+					for _, d := range opt.Cluster.Devices {
+						d.ReceiveFeedback(qm.SizeBytes())
+					}
 				}
 			}
 			degraded := false
@@ -276,7 +378,7 @@ func Run(train, test *data.Dataset, tcfg trainer.Config, opt Options) (*Report, 
 				// Single-pass selection: the chunked scan charges its own
 				// I/O, so there is no monolithic candidate read.
 				var err error
-				res, losses, err = selectSubsetStreaming(selModel, train, cands, frac, opt, rng, recBytes, &rep.Faults)
+				res, losses, err = selectSubsetStreaming(selModel, s.train, s.cands, s.frac, opt, s.rng, s.recBytes, &rep.Faults)
 				if err != nil {
 					if opt.Device == nil || !faults.IsDegradable(err) {
 						return nil, fmt.Errorf("core: streaming selection: %w", err)
@@ -285,14 +387,14 @@ func Run(train, test *data.Dataset, tcfg trainer.Config, opt Options) (*Report, 
 				}
 			} else if opt.Device != nil {
 				// Near-storage scan of the remaining candidates.
-				length := int64(len(cands)) * recBytes
+				length := int64(len(s.cands)) * s.recBytes
 				if opt.RawScan {
-					if _, err := opt.Device.ReadToFPGA(opt.DatasetName, 0, length, len(cands)); err != nil {
+					if _, err := opt.Device.ReadToFPGA(opt.DatasetName, 0, length, len(s.cands)); err != nil {
 						return nil, fmt.Errorf("core: candidate scan: %w", err)
 					}
 				} else {
-					_, st, err := opt.Device.ReadResilient(opt.DatasetName, 0, length, len(cands),
-						verifyRecords(recBytes), opt.Retry)
+					_, st, err := opt.Device.ReadResilient(opt.DatasetName, 0, length, len(s.cands),
+						verifyRecords(s.recBytes), opt.Retry)
 					rep.Faults.absorb(st)
 					if err != nil {
 						if !faults.IsDegradable(err) {
@@ -304,83 +406,122 @@ func Run(train, test *data.Dataset, tcfg trainer.Config, opt Options) (*Report, 
 						degraded = true
 					}
 				}
+			} else if opt.Cluster != nil {
+				// Striped scan across the group. Per-shard retry and
+				// parity reconstruction have already absorbed every fault
+				// the placement can mask, so a residual error is fatal:
+				// more devices are gone than the parity budget covers.
+				_, st, _, err := opt.Cluster.ParallelScan(opt.DatasetName, s.recBytes)
+				rep.Faults.absorb(st.Read)
+				rep.Faults.Retries += st.Reissues
+				rep.Recovery.DegradedReads += st.DegradedReads
+				rep.Recovery.ReconstructedBytes += st.ReconstructedBytes
+				if err != nil {
+					return nil, fmt.Errorf("core: cluster candidate scan: %w", err)
+				}
+				if st.DegradedReads > 0 && opt.AutoRebuild && opt.Cluster.Spares() > 0 {
+					dur, err := opt.Cluster.Rebuild(opt.DatasetName)
+					if err != nil {
+						return nil, fmt.Errorf("core: rebuild after degraded scan: %w", err)
+					}
+					rep.Recovery.RebuildTime += dur
+				}
 			}
 			if degraded {
-				res, err := fallbackSubset(train, cands, frac, opt, rng, recBytes, &rep.Faults)
+				res, err := fallbackSubset(s.train, s.cands, s.frac, opt, s.rng, s.recBytes, &rep.Faults)
 				if err != nil {
 					return nil, err
 				}
-				current = res
+				s.current = res
 				rep.Faults.FallbackEpochs++
 				// No selection pass ran, so there are no fresh losses to
 				// feed the subset-biasing history this epoch.
 			} else {
 				if !opt.Streaming {
 					var err error
-					res, losses, err = selectSubset(selModel, train, cands, frac, opt, rng)
+					res, losses, err = selectSubset(selModel, s.train, s.cands, s.frac, opt, s.rng)
 					if err != nil {
 						return nil, err
 					}
 				}
-				current = res
-				hist.record(cands, losses)
+				s.current = res
+				s.hist.record(s.cands, losses)
+				shipped := int64(len(s.current.Selected)) * s.recBytes
 				if opt.Device != nil {
-					opt.Device.SendToGPU(int64(len(current.Selected))*recBytes, len(current.Selected))
+					opt.Device.SendToGPU(shipped, len(s.current.Selected))
+				} else if opt.Cluster != nil {
+					// The subset ships to the GPU from the group's
+					// aggregation point.
+					opt.Cluster.Devices[0].SendToGPU(shipped, len(s.current.Selected))
 				}
 			}
 		}
 
-		subset := train.Subset(current.Selected)
-		loss := tr.TrainEpoch(subset.X, subset.Labels, current.Weights)
+		subset := s.train.Subset(s.current.Selected)
+		loss := s.tr.TrainEpoch(subset.X, subset.Labels, s.current.Weights)
 
 		rep.Metrics.EpochLoss = append(rep.Metrics.EpochLoss, loss)
-		rep.Metrics.EpochAcc = append(rep.Metrics.EpochAcc, tr.Evaluate(test))
+		rep.Metrics.EpochAcc = append(rep.Metrics.EpochAcc, s.tr.Evaluate(s.test))
 		rep.Metrics.SubsetSizes = append(rep.Metrics.SubsetSizes, subset.Len())
-		rep.EpochSubsetFrac = append(rep.EpochSubsetFrac, float64(subset.Len())/float64(n))
+		rep.EpochSubsetFrac = append(rep.EpochSubsetFrac, float64(subset.Len())/float64(s.n))
 
 		// Subset biasing (§3.2.2): every BiasEvery epochs drop samples
 		// whose recent losses mark them as learned.
 		if opt.SubsetBias && (e+1)%opt.BiasEvery == 0 {
-			kept := cands[:0]
-			for _, c := range cands {
-				if hist.learned(c, opt.BiasThreshold) {
-					dropped++
+			kept := s.cands[:0]
+			for _, c := range s.cands {
+				if s.hist.learned(c, opt.BiasThreshold) {
+					s.dropped++
 					continue
 				}
 				kept = append(kept, c)
 			}
 			// Never bias below the current subset budget.
-			minPool := int(frac*float64(n)) + 1
+			minPool := int(s.frac*float64(s.n)) + 1
 			if len(kept) >= minPool {
-				cands = kept
-				current.Selected = nil // force reselection from the pruned pool
+				s.cands = kept
+				s.current.Selected = nil // force reselection from the pruned pool
 			} else {
-				dropped -= len(cands) - len(kept)
+				s.dropped -= len(s.cands) - len(kept)
 			}
 		}
 
 		// Dynamic subset sizing: shrink when the loss stops improving.
 		if opt.DynamicSizing {
-			if prevLoss > 0 {
-				rate := (prevLoss - loss) / prevLoss
+			if s.prevLoss > 0 {
+				rate := (s.prevLoss - loss) / s.prevLoss
 				if rate < opt.LossDecayRate {
-					slowEpochs++
+					s.slowEpochs++
 				} else {
-					slowEpochs = 0
+					s.slowEpochs = 0
 				}
-				if slowEpochs >= opt.ShrinkPatience {
-					next := frac * opt.ShrinkFactor
+				if s.slowEpochs >= opt.ShrinkPatience {
+					next := s.frac * opt.ShrinkFactor
 					if next < opt.MinSubsetFrac {
 						next = opt.MinSubsetFrac
 					}
-					if next < frac {
-						frac = next
-						current.Selected = nil // reselect at the new size
+					if next < s.frac {
+						s.frac = next
+						s.current.Selected = nil // reselect at the new size
 					}
-					slowEpochs = 0
+					s.slowEpochs = 0
 				}
 			}
-			prevLoss = loss
+			s.prevLoss = loss
+		}
+
+		// Checkpoint after ALL per-epoch bookkeeping, so a resumed
+		// session re-enters the loop exactly where this one left it.
+		if opt.CheckpointSink != nil {
+			every := opt.CheckpointEvery
+			if every <= 0 {
+				every = 1
+			}
+			if (e+1)%every == 0 {
+				if err := opt.CheckpointSink(e+1, s.checkpoint(e+1)); err != nil {
+					return nil, fmt.Errorf("core: checkpoint sink: %w", err)
+				}
+			}
 		}
 	}
 
@@ -391,10 +532,13 @@ func Run(train, test *data.Dataset, tcfg trainer.Config, opt Options) (*Report, 
 		sum += f
 	}
 	rep.AvgSubsetFrac = sum / float64(len(rep.EpochSubsetFrac))
-	rep.CandidatesLeft = len(cands)
-	rep.Dropped = dropped
+	rep.CandidatesLeft = len(s.cands)
+	rep.Dropped = s.dropped
 	if opt.Injector != nil {
 		rep.Faults.Injected = opt.Injector.Counts()
+	}
+	if opt.Cluster != nil {
+		rep.Recovery.DevicesLost += opt.Cluster.LostCount() - s.lostStart
 	}
 	return rep, nil
 }
@@ -646,8 +790,28 @@ func validateOptions(opt *Options) error {
 	if opt.Device != nil && opt.DatasetName == "" {
 		return fmt.Errorf("core: device attached without a dataset name")
 	}
-	if opt.Injector != nil && opt.Device == nil {
-		return fmt.Errorf("core: fault injector attached without a device")
+	if opt.Cluster != nil {
+		if opt.Device != nil {
+			return fmt.Errorf("core: Device and Cluster are mutually exclusive")
+		}
+		if opt.DatasetName == "" {
+			return fmt.Errorf("core: cluster attached without a dataset name")
+		}
+		if opt.Streaming {
+			return fmt.Errorf("core: streaming selection is a single-device path; not supported with a cluster")
+		}
+		if opt.RawScan {
+			return fmt.Errorf("core: raw scan is a single-device path; not supported with a cluster")
+		}
+	}
+	if opt.Injector != nil && opt.Device == nil && opt.Cluster == nil {
+		return fmt.Errorf("core: fault injector attached without a device or cluster")
+	}
+	if opt.CheckpointEvery < 0 {
+		return fmt.Errorf("core: checkpoint interval must be >= 0, got %d", opt.CheckpointEvery)
+	}
+	if opt.CheckpointEvery > 0 && opt.CheckpointSink == nil {
+		return fmt.Errorf("core: checkpoint interval set without a sink")
 	}
 	return nil
 }

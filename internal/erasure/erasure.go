@@ -1,0 +1,295 @@
+// Package erasure implements a small, deterministic Reed–Solomon
+// erasure code over GF(2^8) for the SmartSSD cluster's redundant
+// shard placement (DESIGN.md §4.11).
+//
+// The code is systematic: the first DataShards shards hold the
+// original bytes untouched and the last ParityShards shards hold
+// parity, so the clean read path never pays a decode. Any
+// ParityShards shards — data or parity, in any combination — can be
+// lost and reconstructed exactly from the survivors.
+//
+// Everything here is pure Go over the standard library: GF(256)
+// arithmetic uses log/exp tables generated from the AES/QR polynomial
+// x^8+x^4+x^3+x^2+1 (0x11d), and the coding matrix is the classic
+// systematic Vandermonde construction (V · V_top⁻¹), whose every
+// DataShards×DataShards submatrix is invertible. The construction is
+// a pure function of (DataShards, ParityShards): two clusters with
+// the same placement always agree on parity bytes, which is what
+// makes degraded scans bit-identical across runs.
+package erasure
+
+import "fmt"
+
+// gfPoly is the irreducible polynomial generating GF(2^8).
+const gfPoly = 0x11d
+
+// expTable[i] = g^i for the generator g=2; doubled so products of two
+// logs index without a mod. logTable inverts it (logTable[0] unused).
+var (
+	expTable [510]byte
+	logTable [256]byte
+	mulTable [256][256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		expTable[i+255] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for a := 1; a < 256; a++ {
+		la := int(logTable[a])
+		for b := 1; b < 256; b++ {
+			mulTable[a][b] = expTable[la+int(logTable[b])]
+		}
+	}
+}
+
+func gfMul(a, b byte) byte { return mulTable[a][b] }
+
+// gfInv returns the multiplicative inverse of a (a must be non-zero).
+func gfInv(a byte) byte { return expTable[255-int(logTable[a])] }
+
+// Code is an immutable (DataShards, ParityShards) Reed–Solomon code.
+type Code struct {
+	data   int
+	parity int
+	// matrix is the full systematic coding matrix: (data+parity) rows
+	// × data columns. The top data rows are the identity; row data+r
+	// holds the coefficients producing parity shard r.
+	matrix [][]byte
+}
+
+// New builds the systematic code for the given shard counts.
+func New(dataShards, parityShards int) (*Code, error) {
+	if dataShards < 1 || parityShards < 1 {
+		return nil, fmt.Errorf("erasure: need at least 1 data and 1 parity shard, got %d+%d", dataShards, parityShards)
+	}
+	if dataShards+parityShards > 255 {
+		return nil, fmt.Errorf("erasure: %d total shards exceeds the GF(256) limit of 255", dataShards+parityShards)
+	}
+	total := dataShards + parityShards
+	// Vandermonde matrix over distinct evaluation points 0..total-1:
+	// v[r][c] = r^c. Any dataShards of its rows are linearly
+	// independent, which the right-multiplication by V_top⁻¹ preserves.
+	v := make([][]byte, total)
+	for r := range v {
+		v[r] = make([]byte, dataShards)
+		p := byte(1)
+		for c := 0; c < dataShards; c++ {
+			v[r][c] = p
+			p = gfMul(p, byte(r))
+		}
+	}
+	top := make([][]byte, dataShards)
+	for r := range top {
+		top[r] = append([]byte(nil), v[r]...)
+	}
+	topInv, err := invertMatrix(top)
+	if err != nil {
+		return nil, fmt.Errorf("erasure: building systematic matrix: %w", err)
+	}
+	m := matMul(v, topInv)
+	return &Code{data: dataShards, parity: parityShards, matrix: m}, nil
+}
+
+// DataShards returns the data shard count k.
+func (c *Code) DataShards() int { return c.data }
+
+// ParityShards returns the parity shard count m.
+func (c *Code) ParityShards() int { return c.parity }
+
+// Encode fills shards[data:] with parity computed from shards[:data].
+// All data+parity shards must be present and the same length.
+func (c *Code) Encode(shards [][]byte) error {
+	if err := c.checkShape(shards, true); err != nil {
+		return err
+	}
+	for r := 0; r < c.parity; r++ {
+		row := c.matrix[c.data+r]
+		out := shards[c.data+r]
+		for i := range out {
+			out[i] = 0
+		}
+		for j := 0; j < c.data; j++ {
+			mulAddSlice(row[j], shards[j], out)
+		}
+	}
+	return nil
+}
+
+// Reconstruct rebuilds every missing shard (nil entries) in place,
+// allocating the replacements. It needs at least DataShards surviving
+// shards; with fewer it reports how many were lost versus tolerable.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	if err := c.checkShape(shards, false); err != nil {
+		return err
+	}
+	present := make([]int, 0, c.data)
+	missing := 0
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			missing++
+			continue
+		}
+		size = len(s)
+		if len(present) < c.data {
+			present = append(present, i)
+		}
+	}
+	if missing == 0 {
+		return nil
+	}
+	if len(present) < c.data {
+		return fmt.Errorf("erasure: %d shards lost but only %d parity shards configured", missing, c.parity)
+	}
+	// Invert the submatrix of coding rows for the shards we hold:
+	// inv maps the surviving shard vector back to the data vector.
+	sub := make([][]byte, c.data)
+	for r, idx := range present {
+		sub[r] = append([]byte(nil), c.matrix[idx]...)
+	}
+	inv, err := invertMatrix(sub)
+	if err != nil {
+		return fmt.Errorf("erasure: decode matrix is singular: %w", err)
+	}
+	for j := 0; j < c.data; j++ {
+		if shards[j] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for k, idx := range present {
+			mulAddSlice(inv[j][k], shards[idx], out)
+		}
+		shards[j] = out
+	}
+	// With all data shards in hand, missing parity is a re-encode.
+	for r := 0; r < c.parity; r++ {
+		if shards[c.data+r] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.matrix[c.data+r]
+		for j := 0; j < c.data; j++ {
+			mulAddSlice(row[j], shards[j], out)
+		}
+		shards[c.data+r] = out
+	}
+	return nil
+}
+
+func (c *Code) checkShape(shards [][]byte, full bool) error {
+	if len(shards) != c.data+c.parity {
+		return fmt.Errorf("erasure: got %d shards, placement is %d+%d", len(shards), c.data, c.parity)
+	}
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			if full {
+				return fmt.Errorf("erasure: shard %d is nil", i)
+			}
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("erasure: shard %d is %d bytes, want %d (shards must be equal length)", i, len(s), size)
+		}
+	}
+	if size == -1 {
+		return fmt.Errorf("erasure: every shard is nil")
+	}
+	return nil
+}
+
+// mulAddSlice does out[i] ^= coef*in[i] over GF(256).
+func mulAddSlice(coef byte, in, out []byte) {
+	if coef == 0 {
+		return
+	}
+	if coef == 1 {
+		for i, v := range in {
+			out[i] ^= v
+		}
+		return
+	}
+	mt := &mulTable[coef]
+	for i, v := range in {
+		out[i] ^= mt[v]
+	}
+}
+
+// matMul multiplies a (n×k) by b (k×k).
+func matMul(a, b [][]byte) [][]byte {
+	n, k := len(a), len(b)
+	out := make([][]byte, n)
+	for r := 0; r < n; r++ {
+		out[r] = make([]byte, k)
+		for c := 0; c < k; c++ {
+			var acc byte
+			for i := 0; i < k; i++ {
+				acc ^= gfMul(a[r][i], b[i][c])
+			}
+			out[r][c] = acc
+		}
+	}
+	return out
+}
+
+// invertMatrix Gauss–Jordan-inverts a square matrix over GF(256),
+// leaving the input untouched beyond its own working copy.
+func invertMatrix(m [][]byte) ([][]byte, error) {
+	n := len(m)
+	work := make([][]byte, n)
+	inv := make([][]byte, n)
+	for r := 0; r < n; r++ {
+		work[r] = append([]byte(nil), m[r]...)
+		inv[r] = make([]byte, n)
+		inv[r][r] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, fmt.Errorf("singular at column %d", col)
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		scale := gfInv(work[col][col])
+		scaleRow(work[col], scale)
+		scaleRow(inv[col], scale)
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			f := work[r][col]
+			mulAddRow(work[r], work[col], f)
+			mulAddRow(inv[r], inv[col], f)
+		}
+	}
+	return inv, nil
+}
+
+func scaleRow(row []byte, f byte) {
+	for i := range row {
+		row[i] = gfMul(row[i], f)
+	}
+}
+
+// mulAddRow does dst ^= f*src element-wise.
+func mulAddRow(dst, src []byte, f byte) {
+	for i := range dst {
+		dst[i] ^= gfMul(f, src[i])
+	}
+}

@@ -1,0 +1,192 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+
+	"nessa/internal/tensor"
+)
+
+func TestGFFieldLaws(t *testing.T) {
+	// Spot-check the table-driven arithmetic against the field axioms.
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a*inv(a) = %d for a=%d, want 1", got, a)
+		}
+		if got := gfMul(byte(a), 1); got != byte(a) {
+			t.Fatalf("a*1 = %d for a=%d", got, a)
+		}
+		if got := gfMul(byte(a), 0); got != 0 {
+			t.Fatalf("a*0 = %d for a=%d", got, a)
+		}
+	}
+	// Associativity + distributivity on a deterministic sample.
+	rng := tensor.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(rng.Uint64()), byte(rng.Uint64()), byte(rng.Uint64())
+		if gfMul(gfMul(a, b), c) != gfMul(a, gfMul(b, c)) {
+			t.Fatalf("associativity broken for %d,%d,%d", a, b, c)
+		}
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity broken for %d,%d,%d", a, b, c)
+		}
+	}
+}
+
+func TestSystematicMatrix(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		for j := 0; j < 4; j++ {
+			want := byte(0)
+			if r == j {
+				want = 1
+			}
+			if c.matrix[r][j] != want {
+				t.Fatalf("top of coding matrix is not the identity at (%d,%d): %d", r, j, c.matrix[r][j])
+			}
+		}
+	}
+}
+
+func randShards(rng *tensor.RNG, n, size int) [][]byte {
+	shards := make([][]byte, n)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		for j := range shards[i] {
+			shards[i][j] = byte(rng.Uint64())
+		}
+	}
+	return shards
+}
+
+// TestReconstructAllErasures kills every combination of up to m shards
+// for several placements and demands exact recovery.
+func TestReconstructAllErasures(t *testing.T) {
+	placements := []struct{ k, m int }{{1, 1}, {2, 1}, {3, 1}, {3, 2}, {4, 2}, {5, 3}}
+	rng := tensor.NewRNG(7)
+	for _, p := range placements {
+		c, err := New(p.k, p.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := p.k + p.m
+		shards := randShards(rng, total, 257) // odd size: no alignment luck
+		for i := p.k; i < total; i++ {
+			for j := range shards[i] {
+				shards[i][j] = 0
+			}
+		}
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		want := make([][]byte, total)
+		for i := range shards {
+			want[i] = append([]byte(nil), shards[i]...)
+		}
+		for _, lost := range loseCombos(total, p.m) {
+			got := make([][]byte, total)
+			for i := range shards {
+				got[i] = append([]byte(nil), shards[i]...)
+			}
+			for _, i := range lost {
+				got[i] = nil
+			}
+			if err := c.Reconstruct(got); err != nil {
+				t.Fatalf("placement %d+%d lost %v: %v", p.k, p.m, lost, err)
+			}
+			for i := range got {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("placement %d+%d lost %v: shard %d differs after reconstruction", p.k, p.m, lost, i)
+				}
+			}
+		}
+	}
+}
+
+// loseCombos enumerates every non-empty subset of [0,n) with at most
+// max elements.
+func loseCombos(n, max int) [][]int {
+	var out [][]int
+	for mask := 1; mask < 1<<n; mask++ {
+		var s []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, i)
+			}
+		}
+		if len(s) <= max {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestReconstructTooManyLost(t *testing.T) {
+	c, err := New(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := randShards(tensor.NewRNG(9), 4, 64)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[2] = nil, nil
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("reconstructing 2 lost shards with 1 parity should fail")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := randShards(tensor.NewRNG(11), 6, 128)
+	s2 := make([][]byte, 6)
+	for i := range s1 {
+		s2[i] = append([]byte(nil), s1[i]...)
+	}
+	if err := a.Encode(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Encode(s2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if !bytes.Equal(s1[i], s2[i]) {
+			t.Fatalf("two identically configured codes disagree on shard %d", i)
+		}
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Fatal("New(0,1) should fail")
+	}
+	if _, err := New(3, 0); err == nil {
+		t.Fatal("New(3,0) should fail")
+	}
+	if _, err := New(200, 100); err == nil {
+		t.Fatal("over-255 total shards should fail")
+	}
+	c, err := New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Encode([][]byte{make([]byte, 4), make([]byte, 4)}); err == nil {
+		t.Fatal("wrong shard count should fail")
+	}
+	if err := c.Encode([][]byte{make([]byte, 4), make([]byte, 8), make([]byte, 4)}); err == nil {
+		t.Fatal("unequal shard lengths should fail")
+	}
+	if err := c.Reconstruct([][]byte{nil, nil, nil}); err == nil {
+		t.Fatal("all-nil reconstruct should fail")
+	}
+}

@@ -47,11 +47,16 @@ const (
 	// but only after an extra Profile.StallFor of simulated time,
 	// tripping the per-shard deadline.
 	ClassStall Class = "stall"
+	// ClassDeviceLost is a whole-device failure: the SmartSSD stops
+	// answering on every path (flash, P2P, host) and never comes back.
+	// Unlike every other class it is permanent and sticky — recovery
+	// means reconstruction from redundancy, not retry.
+	ClassDeviceLost Class = "devicelost"
 )
 
 // AllClasses lists every fault class in stable reporting order.
 func AllClasses() []Class {
-	return []Class{ClassCorrupt, ClassTransient, ClassLatency, ClassLinkDown, ClassStall}
+	return []Class{ClassCorrupt, ClassTransient, ClassLatency, ClassLinkDown, ClassStall, ClassDeviceLost}
 }
 
 // Typed sentinel errors of the pipeline. Device and controller code
@@ -67,6 +72,12 @@ var (
 	// ErrShardTimeout marks a cluster shard that missed its scan
 	// deadline even after straggler re-issue.
 	ErrShardTimeout = errors.New("shard deadline exceeded")
+	// ErrDeviceLost marks a whole-device failure. It is permanent: the
+	// device fails every subsequent operation on every path, so it is
+	// deliberately NOT degradable — retry and host fallback cannot help.
+	// Cluster-level code classifies it with errors.Is and recovers by
+	// reconstructing the lost stripe from parity instead.
+	ErrDeviceLost = errors.New("device lost")
 	// ErrOutOfRange marks a read with a negative or overflowing
 	// offset/length, or one past the end of the stored object.
 	ErrOutOfRange = errors.New("read out of range")
@@ -98,12 +109,32 @@ type Profile struct {
 	LinkDownRate  float64       // per P2P transfer: fail with ErrLinkDown
 	StallRate     float64       // per shard scan: add StallFor
 	StallFor      time.Duration // size of an injected shard stall
+
+	// DeviceLossRate is the per-operation probability that a device
+	// fails permanently (whole-device loss). Loss is sticky: once a
+	// device is lost, every later operation on it fails too.
+	DeviceLossRate float64
+	// Kills schedules deterministic whole-device losses for e2e tests
+	// and benchmarks. Scheduled kills consume no PRNG draws, so arming
+	// a schedule never shifts the other classes' fault schedule.
+	Kills []DeviceKill
+}
+
+// DeviceKill is one scripted whole-device loss: device Device dies
+// once it has completed AfterScans cluster scans, or once its
+// simulated clock reaches At — whichever trigger is configured
+// (a zero trigger never fires; with both set, either suffices).
+type DeviceKill struct {
+	Device     int           // device ID to kill
+	AfterScans int64         // fire when the device's completed-scan count reaches this (0 = disabled)
+	At         time.Duration // fire when the device's simulated clock reaches this (0 = disabled)
 }
 
 // Zero reports whether the profile injects nothing.
 func (p Profile) Zero() bool {
 	return p.CorruptRate == 0 && p.TransientRate == 0 && p.LatencyRate == 0 &&
-		p.LinkDownRate == 0 && p.StallRate == 0
+		p.LinkDownRate == 0 && p.StallRate == 0 &&
+		p.DeviceLossRate == 0 && len(p.Kills) == 0
 }
 
 // DefaultChaosProfile is the standard mixed fault schedule used by the
@@ -139,6 +170,7 @@ type Injector struct {
 	prof   Profile
 	rng    *tensor.RNG
 	counts map[Class]int64
+	lost   map[int]bool // device ID → permanently lost
 }
 
 // NewInjector builds an injector for the profile, seeded from
@@ -148,6 +180,7 @@ func NewInjector(prof Profile) *Injector {
 		prof:   prof,
 		rng:    tensor.NewRNG(prof.Seed),
 		counts: make(map[Class]int64),
+		lost:   make(map[int]bool),
 	}
 }
 
@@ -226,6 +259,56 @@ func (in *Injector) Stall() time.Duration {
 		return in.prof.StallFor
 	}
 	return 0
+}
+
+// DeviceLoss decides whether the identified device is (or just
+// became) permanently lost, given its completed cluster-scan count and
+// its simulated clock. Loss is sticky: once this returns true for a
+// device ID it returns true forever after.
+//
+// Draw contract: the hook consumes exactly one PRNG draw per call when
+// DeviceLossRate > 0 — even for devices already lost — and exactly
+// zero draws otherwise. Scripted Kills are evaluated draw-free, so a
+// kill schedule perturbs nothing but the device it names.
+func (in *Injector) DeviceLoss(device int, scans int64, now time.Duration) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	dead := in.lost[device]
+	if in.prof.DeviceLossRate > 0 {
+		if in.rng.Float64() < in.prof.DeviceLossRate && !dead {
+			dead = true
+		}
+	}
+	if !dead {
+		for _, k := range in.prof.Kills {
+			if k.Device != device {
+				continue
+			}
+			if (k.AfterScans > 0 && scans >= k.AfterScans) || (k.At > 0 && now >= k.At) {
+				dead = true
+				break
+			}
+		}
+	}
+	if dead && !in.lost[device] {
+		in.lost[device] = true
+		in.counts[ClassDeviceLost]++
+	}
+	return dead
+}
+
+// LostDevices reports how many distinct devices the injector has
+// declared lost so far.
+func (in *Injector) LostDevices() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.lost)
 }
 
 // BackoffJitter maps a nominal backoff to a jittered one in

@@ -24,6 +24,128 @@ const (
 	modelVersion = 1
 )
 
+// Optimizer-state serialization companion to the model format, used by
+// core's session checkpoints: resuming mid-run is only bit-identical
+// if the Nesterov velocity buffers (and the scheduled learning rate)
+// come back exactly. Layout:
+//
+//	magic   uint32  'NSGD'
+//	version uint32  1
+//	lr      float32
+//	layers  uint32
+//	per layer: rows uint32, cols uint32, rows*cols float32 vW,
+//	           rows float32 vB
+const (
+	sgdMagic   = 0x4e534744 // "NSGD"
+	sgdVersion = 1
+)
+
+// MarshalSGD serializes the optimizer's mutable state (current LR and
+// per-layer velocity buffers).
+func MarshalSGD(s *SGD) []byte {
+	size := 16
+	for i := range s.vW {
+		size += 8 + 4*len(s.vW[i].Data) + 4*len(s.vB[i])
+	}
+	buf := make([]byte, size)
+	off := 0
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[off:], v)
+		off += 4
+	}
+	put(sgdMagic)
+	put(sgdVersion)
+	put(math.Float32bits(s.lr))
+	put(uint32(len(s.vW)))
+	for i, v := range s.vW {
+		put(uint32(v.Rows))
+		put(uint32(v.Cols))
+		for _, x := range v.Data {
+			put(math.Float32bits(x))
+		}
+		for _, x := range s.vB[i] {
+			put(math.Float32bits(x))
+		}
+	}
+	return buf
+}
+
+// UnmarshalSGDInto restores state captured by MarshalSGD into s, which
+// must have been built for a model of the identical architecture.
+func UnmarshalSGDInto(s *SGD, buf []byte) error {
+	off := 0
+	get := func() (uint32, error) {
+		if off+4 > len(buf) {
+			return 0, fmt.Errorf("nn: optimizer buffer truncated at offset %d", off)
+		}
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return v, nil
+	}
+	magic, err := get()
+	if err != nil {
+		return err
+	}
+	if magic != sgdMagic {
+		return fmt.Errorf("nn: bad optimizer magic %#x", magic)
+	}
+	version, err := get()
+	if err != nil {
+		return err
+	}
+	if version != sgdVersion {
+		return fmt.Errorf("nn: unsupported optimizer version %d", version)
+	}
+	lrBits, err := get()
+	if err != nil {
+		return err
+	}
+	layers, err := get()
+	if err != nil {
+		return err
+	}
+	if int(layers) != len(s.vW) {
+		return fmt.Errorf("nn: optimizer has %d layers, checkpoint has %d", len(s.vW), layers)
+	}
+	lr := math.Float32frombits(lrBits)
+	if !(lr > 0) {
+		return fmt.Errorf("nn: non-positive checkpointed learning rate %v", lr)
+	}
+	for i := range s.vW {
+		rows, err := get()
+		if err != nil {
+			return err
+		}
+		cols, err := get()
+		if err != nil {
+			return err
+		}
+		if int(rows) != s.vW[i].Rows || int(cols) != s.vW[i].Cols {
+			return fmt.Errorf("nn: layer %d velocity is %dx%d, checkpoint has %dx%d",
+				i, s.vW[i].Rows, s.vW[i].Cols, rows, cols)
+		}
+		for k := range s.vW[i].Data {
+			v, err := get()
+			if err != nil {
+				return err
+			}
+			s.vW[i].Data[k] = math.Float32frombits(v)
+		}
+		for k := range s.vB[i] {
+			v, err := get()
+			if err != nil {
+				return err
+			}
+			s.vB[i][k] = math.Float32frombits(v)
+		}
+	}
+	if off != len(buf) {
+		return fmt.Errorf("nn: %d trailing bytes after optimizer state", len(buf)-off)
+	}
+	s.lr = lr
+	return nil
+}
+
 // MarshalModel serializes m.
 func MarshalModel(m *MLP) []byte {
 	size := 20

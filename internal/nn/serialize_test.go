@@ -80,6 +80,89 @@ func TestUnmarshalRejectsCorruption(t *testing.T) {
 	}
 }
 
+// trainStep drives one synthetic SGD step so the optimizer's velocity
+// buffers are non-trivial before snapshotting.
+func trainStep(r *tensor.RNG, m *MLP, opt *SGD) {
+	g := NewGrads(m)
+	x := tensor.NewMatrix(8, m.In)
+	x.FillNormal(r, 1)
+	labels := make([]int, 8)
+	for i := range labels {
+		labels[i] = r.Intn(m.Classes)
+	}
+	logits := m.Forward(x)
+	d := tensor.NewMatrix(8, m.Classes)
+	SoftmaxCEInto(make([]float32, 8), nil, logits, labels, nil, d)
+	g.Zero()
+	m.Backward(g, d)
+	opt.Step(m, g)
+}
+
+func TestSGDRoundTripResumesIdentically(t *testing.T) {
+	r := tensor.NewRNG(5)
+	m := NewMLP(r, 6, []int{10}, 4)
+	opt := NewSGD(m, PaperSGD())
+	for i := 0; i < 3; i++ {
+		trainStep(r, m, opt)
+	}
+	opt.SetLR(0.02)
+
+	modelBuf, optBuf := MarshalModel(m), MarshalSGD(opt)
+	back, err := UnmarshalModel(modelBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt2 := NewSGD(back, PaperSGD())
+	if err := UnmarshalSGDInto(opt2, optBuf); err != nil {
+		t.Fatal(err)
+	}
+	if opt2.LR() != opt.LR() {
+		t.Fatalf("restored LR %v, want %v", opt2.LR(), opt.LR())
+	}
+	// The real contract: another identical step from both pairs lands
+	// on bit-identical weights — velocities came back exactly.
+	ra, rb := tensor.NewRNG(77), tensor.NewRNG(77)
+	trainStep(ra, m, opt)
+	trainStep(rb, back, opt2)
+	for li := range m.Layers {
+		for i := range m.Layers[li].W.Data {
+			if m.Layers[li].W.Data[i] != back.Layers[li].W.Data[i] {
+				t.Fatalf("post-restore step diverged at layer %d weight %d", li, i)
+			}
+		}
+	}
+}
+
+func TestUnmarshalSGDRejectsCorruption(t *testing.T) {
+	r := tensor.NewRNG(6)
+	m := NewMLP(r, 4, []int{6}, 3)
+	opt := NewSGD(m, PaperSGD())
+	buf := MarshalSGD(opt)
+	fresh := func() *SGD { return NewSGD(m, PaperSGD()) }
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { c := append([]byte(nil), b...); c[0] ^= 0xff; return c }},
+		{"bad version", func(b []byte) []byte { c := append([]byte(nil), b...); c[4] = 99; return c }},
+		{"zero lr", func(b []byte) []byte { c := append([]byte(nil), b...); c[8], c[9], c[10], c[11] = 0, 0, 0, 0; return c }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"trailing bytes", func(b []byte) []byte { return append(append([]byte(nil), b...), 0) }},
+		{"empty", func([]byte) []byte { return nil }},
+	}
+	for _, c := range cases {
+		if err := UnmarshalSGDInto(fresh(), c.mutate(buf)); err == nil {
+			t.Errorf("%s: corruption accepted", c.name)
+		}
+	}
+	// Architecture mismatch: optimizer built for a different model.
+	other := NewSGD(NewMLP(r, 4, []int{7}, 3), PaperSGD())
+	if err := UnmarshalSGDInto(other, buf); err == nil {
+		t.Error("layer-shape mismatch accepted")
+	}
+}
+
 func TestUnmarshalRejectsInconsistentDims(t *testing.T) {
 	r := tensor.NewRNG(3)
 	m := NewMLP(r, 4, nil, 3)

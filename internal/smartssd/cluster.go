@@ -1,18 +1,25 @@
 package smartssd
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"nessa/internal/faults"
+	"nessa/internal/simtime"
 )
 
 // Cluster models the paper's stated future work (§5): scaling NeSSA
 // over multiple SmartSSDs feeding a shared GPU pool. The dataset is
 // sharded record-wise across drives; each FPGA scans and selects over
-// its local shard in parallel (pairing naturally with the GreeDi
-// two-round merge in internal/selection), and only the merged subset
-// crosses the host interconnect.
+// its local shard (pairing naturally with the GreeDi two-round merge
+// in internal/selection), and only the merged subset crosses the host
+// interconnect.
+//
+// With StripeDataset the cluster additionally lays out Reed–Solomon
+// parity stripes so whole-device loss is survivable: ParallelScan
+// reconstructs a lost device's stripe from the survivors, and Rebuild
+// re-materializes it onto a spare (DESIGN.md §4.11).
 type Cluster struct {
 	Devices []*Device
 
@@ -24,21 +31,51 @@ type Cluster struct {
 	// MaxReissue caps straggler re-issues per shard before the scan
 	// fails with faults.ErrShardTimeout. Zero means 2.
 	MaxReissue int
+	// Verify, when non-nil, validates every scanned (or reconstructed)
+	// data-shard payload — typically the codec's per-record CRC check.
+	// Parity stripes are raw coding bytes, never records, so Verify is
+	// not applied to them.
+	Verify func([]byte) error
+	// ReconstructBW is the modeled host-side throughput of the GF(256)
+	// reconstruction math in bytes/second of source data streamed.
+	// Zero means DefaultReconstructBW.
+	ReconstructBW float64
+	// Acct accumulates cluster-level (host-side) recovery costs under
+	// the "recover.*" buckets: parity bytes pulled for reconstruction,
+	// reconstructed payload bytes, and GF-math time.
+	Acct *simtime.Accountant
+
+	health   []Health
+	stripes  map[string]*stripeMeta
+	spares   []*Device
+	nextID   int
+	lostEver int
 }
 
-// NewCluster assembles n independent SmartSSDs.
+// DefaultReconstructBW is the modeled reconstruction throughput:
+// table-driven GF(256) multiply-accumulate streams at roughly DRAM
+// copy speed on one core.
+const DefaultReconstructBW = 6e9
+
+// NewCluster assembles n independent SmartSSDs with unique device IDs.
 func NewCluster(n int) (*Cluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("smartssd: cluster needs at least one device, got %d", n)
 	}
-	c := &Cluster{}
+	c := &Cluster{
+		Acct:    simtime.NewAccountant(),
+		stripes: make(map[string]*stripeMeta),
+	}
 	for i := 0; i < n; i++ {
 		d, err := New()
 		if err != nil {
 			return nil, err
 		}
+		d.ID = i
 		c.Devices = append(c.Devices, d)
 	}
+	c.health = make([]Health, n)
+	c.nextID = n
 	return c, nil
 }
 
@@ -57,7 +94,9 @@ func (c *Cluster) SetInjector(in *faults.Injector) {
 // ShardDataset splits a record-aligned dataset image across the
 // devices (round-robin by contiguous stripe: device i receives records
 // [i·n/D, (i+1)·n/D)) and stores each shard under name. It returns the
-// per-device record counts.
+// per-device record counts. Shards have no redundancy — a lost device
+// takes its records with it; use StripeDataset for placements that
+// survive device loss.
 func (c *Cluster) ShardDataset(name string, img []byte, recordSize int64) ([]int, error) {
 	if recordSize <= 0 {
 		return nil, fmt.Errorf("smartssd: record size %d must be positive", recordSize)
@@ -86,60 +125,116 @@ func (c *Cluster) ShardDataset(name string, img []byte, recordSize int64) ([]int
 	return counts, nil
 }
 
+// ScanStats aggregates what the recovery machinery did across one
+// cluster scan: the per-shard resilient-read stats summed, straggler
+// re-issues, and — for striped datasets — how much was served by
+// parity reconstruction instead of the lost device.
+type ScanStats struct {
+	Read               ReadStats // per-shard recovery-loop stats, summed
+	Reissues           int       // straggler re-issues across shards
+	DegradedReads      int       // stripes served via parity reconstruction
+	ReconstructedBytes int64     // payload bytes rebuilt from parity
+}
+
+// Add accumulates other into s.
+func (s *ScanStats) Add(other ScanStats) {
+	s.Read.Add(other.Read)
+	s.Reissues += other.Reissues
+	s.DegradedReads += other.DegradedReads
+	s.ReconstructedBytes += other.ReconstructedBytes
+}
+
 // ParallelScan reads every device's full shard of name to its FPGA
-// over the P2P links concurrently. It returns the per-shard payloads
-// and the wall-clock time of the slowest device — the cluster's
-// selection-scan latency.
+// over the P2P links. Each device runs on its own simulated clock, so
+// the modeled scan is parallel in simulated time even though the host
+// loop issues the reads serially; the returned wall duration is the
+// slowest device's elapsed time — the cluster's selection-scan
+// latency. It also returns the per-shard payloads and the aggregated
+// recovery stats.
 //
 // Each per-shard read runs under the resilient recovery loop (retry on
-// transient faults, host-path fallback on link drops). When
-// ShardDeadline is set, a shard whose scan — including injected stalls
-// — exceeds the deadline is treated as a straggler and re-issued up to
-// MaxReissue times; a shard that still misses its deadline fails the
-// scan with an error wrapping faults.ErrShardTimeout.
-func (c *Cluster) ParallelScan(name string, recordSize int64) ([][]byte, time.Duration, error) {
+// transient faults, host-path fallback on link drops, Verify-driven
+// corruption re-reads). When ShardDeadline is set, a shard whose scan
+// — including injected stalls — exceeds the deadline is treated as a
+// straggler and re-issued up to MaxReissue times; a shard that still
+// misses its deadline fails the scan with an error wrapping
+// faults.ErrShardTimeout.
+//
+// For a dataset laid out with StripeDataset, a device lost mid-scan
+// does not fail the scan: its stripe is reconstructed from the
+// surviving peers' parity (up to ParityShards concurrent losses), with
+// the extra parity traffic and GF-math time charged to the cluster's
+// "recover.*" buckets and the stats reporting the degraded reads.
+func (c *Cluster) ParallelScan(name string, recordSize int64) ([][]byte, ScanStats, time.Duration, error) {
+	var st ScanStats
 	if recordSize <= 0 {
-		return nil, 0, fmt.Errorf("smartssd: record size %d must be positive", recordSize)
+		return nil, st, 0, fmt.Errorf("smartssd: record size %d must be positive", recordSize)
+	}
+	if meta := c.stripeFor(name); meta != nil {
+		return c.stripedScan(name, recordSize, meta)
+	}
+	shards := make([][]byte, len(c.Devices))
+	var wall time.Duration
+	for i, d := range c.Devices {
+		scanStart := d.Clock.Now()
+		buf, err := c.scanShard(i, d, name, recordSize, c.Verify, &st)
+		if err != nil {
+			if errors.Is(err, faults.ErrDeviceLost) {
+				c.noteLost(i, name)
+			}
+			return nil, st, 0, fmt.Errorf("smartssd: shard %d: %w", i, err)
+		}
+		shards[i] = buf
+		if total := d.Clock.Now() - scanStart; total > wall {
+			wall = total
+		}
+	}
+	c.bumpScans()
+	return shards, st, wall, nil
+}
+
+// scanShard runs one device's shard scan under the deadline/re-issue
+// policy, accumulating recovery stats into st.
+func (c *Cluster) scanShard(i int, d *Device, name string, recordSize int64, verify func([]byte) error, st *ScanStats) ([]byte, error) {
+	size, err := d.SSD.Size(name)
+	if err != nil {
+		return nil, err
 	}
 	reissues := c.MaxReissue
 	if reissues <= 0 {
 		reissues = 2
 	}
-	shards := make([][]byte, len(c.Devices))
-	var wall time.Duration
-	for i, d := range c.Devices {
-		size, err := d.SSD.Size(name)
+	for issue := 0; ; issue++ {
+		before := d.Clock.Now()
+		buf, rst, err := d.ReadResilient(name, 0, size, int(size/recordSize), verify, RetryPolicy{})
+		st.Read.Add(rst)
 		if err != nil {
-			return nil, 0, fmt.Errorf("smartssd: shard %d: %w", i, err)
+			return nil, err
 		}
-		scanStart := d.Clock.Now()
-		for issue := 0; ; issue++ {
-			before := d.Clock.Now()
-			buf, _, err := d.ReadResilient(name, 0, size, int(size/recordSize), nil, RetryPolicy{})
-			if err != nil {
-				return nil, 0, fmt.Errorf("smartssd: shard %d: %w", i, err)
-			}
-			if stall := d.Injector.Stall(); stall > 0 {
-				d.Clock.Advance(stall)
-				d.Acct.AddTime("scan.stall", stall)
-			}
-			// The deadline applies per issue; the shard's wall cost below
-			// still accumulates every abandoned straggler issue.
-			if dt := d.Clock.Now() - before; c.ShardDeadline <= 0 || dt <= c.ShardDeadline {
-				shards[i] = buf
-				break
-			}
-			if issue == reissues {
-				return nil, 0, fmt.Errorf("smartssd: shard %d missed %v deadline on %d issues: %w",
-					i, c.ShardDeadline, issue+1, faults.ErrShardTimeout)
-			}
-			// Straggler: drop the slow issue and read the shard again.
+		if stall := d.Injector.Stall(); stall > 0 {
+			d.Clock.Advance(stall)
+			d.Acct.AddTime("scan.stall", stall)
 		}
-		if total := d.Clock.Now() - scanStart; total > wall {
-			wall = total
+		// The deadline applies per issue; the shard's wall cost still
+		// accumulates every abandoned straggler issue.
+		if dt := d.Clock.Now() - before; c.ShardDeadline <= 0 || dt <= c.ShardDeadline {
+			return buf, nil
 		}
+		if issue == reissues {
+			return nil, fmt.Errorf("smartssd: shard missed %v deadline on %d issues: %w",
+				c.ShardDeadline, issue+1, faults.ErrShardTimeout)
+		}
+		// Straggler: drop the slow issue and read the shard again.
+		st.Reissues++
 	}
-	return shards, wall, nil
+}
+
+// bumpScans records one completed cluster scan on every member device
+// — the trigger count for scripted DeviceKill{AfterScans} schedules.
+func (c *Cluster) bumpScans() {
+	for _, d := range c.Devices {
+		d.Scans++
+	}
 }
 
 // TotalBytes sums a byte bucket across all devices.

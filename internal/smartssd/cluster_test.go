@@ -108,7 +108,7 @@ func TestParallelScanReturnsAllShards(t *testing.T) {
 	if _, err := c.ShardDataset("cifar", img, spec.BytesPerImage); err != nil {
 		t.Fatal(err)
 	}
-	shards, wall, err := c.ParallelScan("cifar", spec.BytesPerImage)
+	shards, _, wall, err := c.ParallelScan("cifar", spec.BytesPerImage)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,14 +140,14 @@ func TestParallelScanFasterThanSingleDevice(t *testing.T) {
 
 	single, _ := NewCluster(1)
 	single.ShardDataset("ds", img, spec.BytesPerImage)
-	_, wall1, err := single.ParallelScan("ds", spec.BytesPerImage)
+	_, _, wall1, err := single.ParallelScan("ds", spec.BytesPerImage)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	quad, _ := NewCluster(4)
 	quad.ShardDataset("ds", img, spec.BytesPerImage)
-	_, wall4, err := quad.ParallelScan("ds", spec.BytesPerImage)
+	_, _, wall4, err := quad.ParallelScan("ds", spec.BytesPerImage)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,10 +159,10 @@ func TestParallelScanFasterThanSingleDevice(t *testing.T) {
 
 func TestParallelScanValidatesRecordSize(t *testing.T) {
 	c, _ := NewCluster(2)
-	if _, _, err := c.ParallelScan("ds", 0); err == nil {
+	if _, _, _, err := c.ParallelScan("ds", 0); err == nil {
 		t.Error("zero record size accepted")
 	}
-	if _, _, err := c.ParallelScan("ds", -3); err == nil {
+	if _, _, _, err := c.ParallelScan("ds", -3); err == nil {
 		t.Error("negative record size accepted")
 	}
 }
@@ -180,7 +180,7 @@ func TestParallelScanSurvivesStalls(t *testing.T) {
 	// Frequent stalls but no deadline: the scan completes, just slower,
 	// with the stall time visible in the accounting.
 	c.SetInjector(faults.NewInjector(faults.Profile{Seed: 11, StallRate: 0.5, StallFor: 3 * time.Millisecond}))
-	shards, wall, err := c.ParallelScan("ds", spec.BytesPerImage)
+	shards, _, wall, err := c.ParallelScan("ds", spec.BytesPerImage)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestParallelScanReissuesStragglers(t *testing.T) {
 	c.ShardDeadline = 2 * time.Millisecond
 	c.MaxReissue = 4
 	c.SetInjector(faults.NewInjector(faults.Profile{Seed: 3, StallRate: 0.4, StallFor: 5 * time.Millisecond}))
-	shards, _, err := c.ParallelScan("ds", spec.BytesPerImage)
+	shards, st, _, err := c.ParallelScan("ds", spec.BytesPerImage)
 	if err != nil {
 		t.Fatalf("scan with straggler re-issue failed: %v", err)
 	}
@@ -230,6 +230,12 @@ func TestParallelScanReissuesStragglers(t *testing.T) {
 	}
 	if !bytes.Equal(rebuilt, img) {
 		t.Fatal("re-issued shards differ from the original image")
+	}
+	if st.Reissues == 0 {
+		t.Fatal("scan stats recorded no straggler re-issues despite 40% stalls")
+	}
+	if st.Read.Attempts == 0 {
+		t.Fatal("scan stats recorded no read attempts")
 	}
 }
 
@@ -247,7 +253,7 @@ func TestParallelScanPersistentStallTimesOut(t *testing.T) {
 	c.MaxReissue = 2
 	// Every issue stalls past the deadline: the shard can never finish.
 	c.SetInjector(faults.NewInjector(faults.Profile{Seed: 1, StallRate: 1, StallFor: 10 * time.Millisecond}))
-	_, _, err := c.ParallelScan("ds", spec.BytesPerImage)
+	_, _, _, err := c.ParallelScan("ds", spec.BytesPerImage)
 	if !errors.Is(err, faults.ErrShardTimeout) {
 		t.Fatalf("persistent stall error = %v, want wrapped ErrShardTimeout", err)
 	}

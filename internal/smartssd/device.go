@@ -39,6 +39,14 @@ type Device struct {
 	Clock *simtime.Clock
 	Acct  *simtime.Accountant
 
+	// ID names the device to the fault injector's whole-device-loss
+	// state, which is sticky per ID. Clusters assign unique IDs;
+	// standalone devices default to 0.
+	ID int
+	// Scans counts completed cluster scans this device served — the
+	// trigger for scripted DeviceKill{AfterScans: n} schedules.
+	Scans int64
+
 	// Injector, when non-nil, perturbs device operations with the
 	// configured fault schedule: the P2P link consults it for link
 	// drops, and SetInjector wires the same injector into the
@@ -71,8 +79,24 @@ func (d *Device) SetInjector(in *faults.Injector) {
 	d.SSD.SetInjector(in)
 }
 
+// lostCheck consults the injector's whole-device fault state before an
+// operation on the given path. A lost device still charges the path's
+// command setup — the host only learns of the loss when the command
+// times out — and then fails with a wrapped faults.ErrDeviceLost.
+func (d *Device) lostCheck(link LinkModel, bucket, op, name string) error {
+	if !d.Injector.DeviceLoss(d.ID, d.Scans, d.Clock.Now()) {
+		return nil
+	}
+	d.Clock.Advance(link.CommandLatency)
+	d.Acct.AddTime(bucket, link.CommandLatency)
+	return fmt.Errorf("smartssd: %s of %q on device %d: %w", op, name, d.ID, faults.ErrDeviceLost)
+}
+
 // StoreDataset writes a dataset image to the drive under name.
 func (d *Device) StoreDataset(name string, img []byte) error {
+	if err := d.lostCheck(d.Host, "ssd.error", "write", name); err != nil {
+		return err
+	}
 	dur, err := d.SSD.Write(name, img)
 	if err != nil {
 		return err
@@ -105,6 +129,9 @@ func (d *Device) ReadToFPGA(name string, off, length int64, commands int) ([]byt
 	if length > d.Spec.DRAMBytes {
 		return nil, fmt.Errorf("smartssd: transfer of %d bytes exceeds FPGA DRAM (%d)", length, d.Spec.DRAMBytes)
 	}
+	if err := d.lostCheck(d.P2P, "p2p.error", "p2p read", name); err != nil {
+		return nil, err
+	}
 	if d.Injector.LinkDown() {
 		// The DMA setup is spent before the link failure is observed.
 		d.Clock.Advance(d.P2P.CommandLatency)
@@ -133,6 +160,9 @@ func (d *Device) ReadToFPGA(name string, off, length int64, commands int) ([]byt
 func (d *Device) ReadViaHost(name string, off, length int64, commands int) ([]byte, error) {
 	if off < 0 || length < 0 {
 		return nil, fmt.Errorf("smartssd: host read [%d,+%d) of %q: %w", off, length, name, faults.ErrOutOfRange)
+	}
+	if err := d.lostCheck(d.Host, "host.error", "host read", name); err != nil {
+		return nil, err
 	}
 	buf, flashT, err := d.SSD.ReadAt(name, off, length)
 	if err != nil {

@@ -1,0 +1,508 @@
+package smartssd
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nessa/internal/erasure"
+	"nessa/internal/faults"
+	"nessa/internal/simtime"
+)
+
+// This file is the cluster's durability layer (DESIGN.md §4.11):
+// Reed–Solomon striped placement across devices, the per-device health
+// state machine, degraded scans that reconstruct a lost device's
+// stripe from its surviving peers, and background rebuild onto spares.
+
+// Placement configures redundant striping: a dataset is split into
+// DataShards record stripes with ParityShards parity stripes, laid out
+// on the cluster's first DataShards+ParityShards devices. Any
+// ParityShards concurrent whole-device losses are survivable.
+type Placement struct {
+	DataShards   int
+	ParityShards int
+}
+
+// Total reports the device count the placement occupies.
+func (p Placement) Total() int { return p.DataShards + p.ParityShards }
+
+func (p Placement) validate(devices int) error {
+	if p.DataShards < 1 || p.ParityShards < 1 {
+		return fmt.Errorf("smartssd: placement needs at least 1 data and 1 parity shard, got %d+%d",
+			p.DataShards, p.ParityShards)
+	}
+	if p.Total() > devices {
+		return fmt.Errorf("smartssd: placement %d+%d needs %d devices, cluster has %d",
+			p.DataShards, p.ParityShards, p.Total(), devices)
+	}
+	return nil
+}
+
+// Health is a device's position in the loss state machine. A scan
+// error wrapping faults.ErrDeviceLost moves the device to
+// HealthSuspect; a host-path liveness probe then either clears it back
+// to HealthHealthy (the error was a fluke of a non-sticky fault
+// source) or confirms HealthLost, which is terminal until a Rebuild
+// swaps a spare into the slot.
+type Health int
+
+const (
+	HealthHealthy Health = iota
+	HealthSuspect
+	HealthLost
+)
+
+// String renders the state for reports and errors.
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthSuspect:
+		return "suspect"
+	case HealthLost:
+		return "lost"
+	}
+	return fmt.Sprintf("health(%d)", int(h))
+}
+
+// stripeMeta records how StripeDataset laid a dataset out.
+type stripeMeta struct {
+	place     Placement
+	rec       int64         // record size the stripes are aligned to
+	counts    []int         // records per data stripe
+	stripeLen int64         // padded stripe length (record multiple)
+	code      *erasure.Code // the (DataShards, ParityShards) RS code
+}
+
+// lenOf reports the true stored byte length of group member gi's
+// stripe object: data stripes are stored unpadded, parity stripes are
+// full coding stripes.
+func (m *stripeMeta) lenOf(gi int) int64 {
+	if gi < m.place.DataShards {
+		return int64(m.counts[gi]) * m.rec
+	}
+	return m.stripeLen
+}
+
+// StripeDataset lays a record-aligned dataset image out with
+// redundancy: the records are split into p.DataShards contiguous
+// stripes on devices [0, DataShards), and p.ParityShards Reed–Solomon
+// parity stripes are computed over them (stripes zero-padded to the
+// longest stripe's length for the coding math) and stored on devices
+// [DataShards, Total()). It returns the per-data-device record counts.
+//
+// The parity encode's GF-math time is charged to the cluster
+// accountant's "stripe.encode" bucket; each stripe write is charged to
+// its device like any StoreDataset.
+func (c *Cluster) StripeDataset(name string, img []byte, recordSize int64, p Placement) ([]int, error) {
+	if recordSize <= 0 {
+		return nil, fmt.Errorf("smartssd: record size %d must be positive", recordSize)
+	}
+	if int64(len(img))%recordSize != 0 {
+		return nil, fmt.Errorf("smartssd: image length %d not a multiple of record size %d", len(img), recordSize)
+	}
+	if err := p.validate(len(c.Devices)); err != nil {
+		return nil, err
+	}
+	records := int(int64(len(img)) / recordSize)
+	k := p.DataShards
+	if records < k {
+		return nil, fmt.Errorf("smartssd: %d records cannot stripe across %d data shards without empty stripes",
+			records, k)
+	}
+	counts := make([]int, k)
+	stripes := make([][]byte, k)
+	var stripeLen int64
+	for i := 0; i < k; i++ {
+		lo := int64(i*records/k) * recordSize
+		hi := int64((i+1)*records/k) * recordSize
+		if lo == hi {
+			return nil, fmt.Errorf("smartssd: striping %d records across %d data shards leaves stripe %d empty",
+				records, k, i)
+		}
+		stripes[i] = img[lo:hi]
+		counts[i] = int((hi - lo) / recordSize)
+		if hi-lo > stripeLen {
+			stripeLen = hi - lo
+		}
+	}
+	code, err := erasure.New(k, p.ParityShards)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([][]byte, p.Total())
+	for i := 0; i < k; i++ {
+		shards[i] = padStripe(stripes[i], stripeLen)
+	}
+	for r := 0; r < p.ParityShards; r++ {
+		shards[k+r] = make([]byte, stripeLen)
+	}
+	if err := code.Encode(shards); err != nil {
+		return nil, fmt.Errorf("smartssd: encoding parity for %q: %w", name, err)
+	}
+	c.acct().AddTime("stripe.encode", c.gfTime(int64(k)*stripeLen*int64(p.ParityShards)))
+	for i := 0; i < k; i++ {
+		if err := c.Devices[i].StoreDataset(name, stripes[i]); err != nil {
+			return nil, fmt.Errorf("smartssd: data stripe %d: %w", i, err)
+		}
+	}
+	for r := 0; r < p.ParityShards; r++ {
+		if err := c.Devices[k+r].StoreDataset(name, shards[k+r]); err != nil {
+			return nil, fmt.Errorf("smartssd: parity stripe %d: %w", r, err)
+		}
+	}
+	c.ensureHealth()
+	if c.stripes == nil {
+		c.stripes = make(map[string]*stripeMeta)
+	}
+	c.stripes[name] = &stripeMeta{place: p, rec: recordSize, counts: counts, stripeLen: stripeLen, code: code}
+	return counts, nil
+}
+
+// stripeFor reports the placement metadata of name, or nil for plain
+// (sharded or single-object) datasets.
+func (c *Cluster) stripeFor(name string) *stripeMeta { return c.stripes[name] }
+
+// DeviceHealth reports device i's health state.
+func (c *Cluster) DeviceHealth(i int) Health {
+	c.ensureHealth()
+	return c.health[i]
+}
+
+// LostCount reports how many devices the cluster has ever confirmed
+// lost (rebuilt slots stay counted — the loss happened).
+func (c *Cluster) LostCount() int { return c.lostEver }
+
+// Spares reports how many spare devices are attached and unused.
+func (c *Cluster) Spares() int { return len(c.spares) }
+
+// AttachSpare registers a standby device for Rebuild to swap in after
+// a loss. The spare gets a fresh cluster-unique ID; its injector, if
+// any, is left exactly as the caller configured it.
+func (c *Cluster) AttachSpare(d *Device) {
+	d.ID = c.nextID
+	c.nextID++
+	c.spares = append(c.spares, d)
+}
+
+func (c *Cluster) ensureHealth() {
+	if len(c.health) < len(c.Devices) {
+		h := make([]Health, len(c.Devices))
+		copy(h, c.health)
+		c.health = h
+	}
+}
+
+// noteLost runs the health state machine on a device that just failed
+// with faults.ErrDeviceLost: mark it suspect, probe it with a
+// zero-length host-path command, and either confirm the loss or clear
+// it. Returns true when the device is confirmed lost.
+func (c *Cluster) noteLost(i int, name string) bool {
+	c.ensureHealth()
+	if c.health[i] == HealthLost {
+		return true
+	}
+	c.health[i] = HealthSuspect
+	d := c.Devices[i]
+	if _, err := d.ReadViaHost(name, 0, 0, 1); err != nil {
+		if errors.Is(err, faults.ErrDeviceLost) {
+			c.health[i] = HealthLost
+			c.lostEver++
+			return true
+		}
+	}
+	c.health[i] = HealthHealthy
+	return false
+}
+
+// stripedScan is ParallelScan over a StripeDataset layout: scan the
+// data stripes, run the health machine on any device-lost failure, and
+// serve confirmed-lost stripes by parity reconstruction. Only the data
+// stripes are returned — parity is an implementation detail of the
+// placement.
+func (c *Cluster) stripedScan(name string, recordSize int64, meta *stripeMeta) ([][]byte, ScanStats, time.Duration, error) {
+	var st ScanStats
+	if recordSize != meta.rec {
+		return nil, st, 0, fmt.Errorf("smartssd: scan of %q with record size %d, but it was striped at %d",
+			name, recordSize, meta.rec)
+	}
+	c.ensureHealth()
+	k, m := meta.place.DataShards, meta.place.ParityShards
+	group := k + m
+	starts := make([]time.Duration, group)
+	for gi := 0; gi < group; gi++ {
+		starts[gi] = c.Devices[gi].Clock.Now()
+	}
+	data := make([][]byte, k)
+	var lost []int
+	for i := 0; i < k; i++ {
+		if c.health[i] == HealthLost {
+			lost = append(lost, i)
+			continue
+		}
+		buf, err := c.scanShard(i, c.Devices[i], name, recordSize, c.Verify, &st)
+		if err == nil {
+			data[i] = buf
+			continue
+		}
+		if !errors.Is(err, faults.ErrDeviceLost) {
+			return nil, st, 0, fmt.Errorf("smartssd: stripe %d: %w", i, err)
+		}
+		if c.noteLost(i, name) {
+			lost = append(lost, i)
+			continue
+		}
+		// The probe cleared the device; give the stripe one more scan.
+		buf, err = c.scanShard(i, c.Devices[i], name, recordSize, c.Verify, &st)
+		if err != nil {
+			return nil, st, 0, fmt.Errorf("smartssd: stripe %d failed again after its probe cleared it: %w", i, err)
+		}
+		data[i] = buf
+	}
+	var extra time.Duration
+	if len(lost) > 0 {
+		recT, err := c.reconstructStripes(name, meta, data, lost, &st)
+		if err != nil {
+			return nil, st, 0, err
+		}
+		extra = recT
+	}
+	var wall time.Duration
+	for gi := 0; gi < group; gi++ {
+		if dt := c.Devices[gi].Clock.Now() - starts[gi]; dt > wall {
+			wall = dt
+		}
+	}
+	wall += extra
+	c.bumpScans()
+	return data, st, wall, nil
+}
+
+// reconstructStripes serves the lost data stripes from parity: pull
+// enough surviving parity stripes, run the RS decode, and verify the
+// rebuilt payloads. A verification failure means a parity read was
+// silently corrupted in flight, so the parity pull and decode are
+// retried once before giving up. Returns the simulated GF-math time
+// (the parity reads advance their own devices' clocks directly).
+func (c *Cluster) reconstructStripes(name string, meta *stripeMeta, data [][]byte, lost []int, st *ScanStats) (time.Duration, error) {
+	k, m := meta.place.DataShards, meta.place.ParityShards
+	if len(lost) > m {
+		return 0, fmt.Errorf("smartssd: %d data stripes of %q lost with only %d parity stripes: %w",
+			len(lost), name, m, faults.ErrDeviceLost)
+	}
+	var recT time.Duration
+	var lastErr error
+	const attempts = 2
+	for attempt := 0; attempt < attempts; attempt++ {
+		shards := make([][]byte, k+m)
+		for i := 0; i < k; i++ {
+			if data[i] != nil {
+				shards[i] = padStripe(data[i], meta.stripeLen)
+			}
+		}
+		needed := len(lost)
+		for r := 0; r < m && needed > 0; r++ {
+			pi := k + r
+			if c.health[pi] == HealthLost {
+				continue
+			}
+			d := c.Devices[pi]
+			buf, rst, err := d.ReadResilient(name, 0, meta.stripeLen, int(meta.stripeLen/meta.rec), nil, RetryPolicy{})
+			st.Read.Add(rst)
+			if err != nil {
+				if errors.Is(err, faults.ErrDeviceLost) {
+					c.noteLost(pi, name)
+					continue
+				}
+				return recT, fmt.Errorf("smartssd: parity stripe %d of %q: %w", r, name, err)
+			}
+			shards[pi] = buf
+			c.acct().AddBytes("recover.parity", meta.stripeLen)
+			needed--
+		}
+		if needed > 0 {
+			return recT, fmt.Errorf("smartssd: %q is short %d surviving stripes for reconstruction: %w",
+				name, needed, faults.ErrDeviceLost)
+		}
+		if err := meta.code.Reconstruct(shards); err != nil {
+			return recT, fmt.Errorf("smartssd: reconstructing %q: %w", name, err)
+		}
+		// Each missing stripe is a k-term GF dot product over the
+		// stripe length: k·stripeLen source bytes streamed per rebuild.
+		dur := c.gfTime(int64(k) * meta.stripeLen * int64(len(lost)))
+		c.acct().AddTime("recover.reconstruct", dur)
+		recT += dur
+		outs := make([][]byte, len(lost))
+		ok := true
+		for li, i := range lost {
+			outs[li] = shards[i][:meta.lenOf(i)]
+			if c.Verify != nil {
+				if err := c.Verify(outs[li]); err != nil {
+					st.Read.Corrupt++
+					lastErr = err
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue // corrupted parity pull: re-read and decode again
+		}
+		for li, i := range lost {
+			data[i] = outs[li]
+			st.DegradedReads++
+			st.ReconstructedBytes += int64(len(outs[li]))
+			c.acct().AddBytes("recover.rebuilt", int64(len(outs[li])))
+		}
+		return recT, nil
+	}
+	return recT, fmt.Errorf("smartssd: reconstructed stripes of %q failed verification after %d attempts: %w",
+		name, attempts, lastErr)
+}
+
+// Rebuild re-materializes every confirmed-lost device's stripe of the
+// named striped dataset onto attached spares, swapping each spare into
+// the lost slot (back to HealthHealthy). It reads DataShards surviving
+// stripes — advancing those devices' simulated clocks, which is
+// exactly how a background rebuild races foreground scans for link
+// bandwidth — decodes the missing stripes, and writes each onto its
+// spare. Returns the rebuild's simulated duration: the slowest
+// survivor read, plus the GF-math time, plus the slowest spare write.
+func (c *Cluster) Rebuild(name string) (time.Duration, error) {
+	meta := c.stripeFor(name)
+	if meta == nil {
+		return 0, fmt.Errorf("smartssd: %q is not striped; nothing to rebuild", name)
+	}
+	c.ensureHealth()
+	k, m := meta.place.DataShards, meta.place.ParityShards
+	group := k + m
+	var lost []int
+	for gi := 0; gi < group; gi++ {
+		if c.health[gi] == HealthLost {
+			lost = append(lost, gi)
+		}
+	}
+	if len(lost) == 0 {
+		return 0, nil
+	}
+	if len(lost) > m {
+		return 0, fmt.Errorf("smartssd: %d of %q's %d stripes lost with %d parity: %w",
+			len(lost), name, group, m, faults.ErrDeviceLost)
+	}
+	if len(lost) > len(c.spares) {
+		return 0, fmt.Errorf("smartssd: rebuilding %q needs %d spares, %d attached", name, len(lost), len(c.spares))
+	}
+	shards := make([][]byte, group)
+	sources := 0
+	var readWall time.Duration
+	for gi := 0; gi < group && sources < k; gi++ {
+		if c.health[gi] != HealthHealthy {
+			continue
+		}
+		d := c.Devices[gi]
+		length := meta.lenOf(gi)
+		verify := c.Verify
+		if gi >= k {
+			verify = nil // parity stripes are not records
+		}
+		before := d.Clock.Now()
+		buf, _, err := d.ReadResilient(name, 0, length, int(length/meta.rec), verify, RetryPolicy{})
+		if err != nil {
+			if errors.Is(err, faults.ErrDeviceLost) {
+				c.noteLost(gi, name)
+				continue
+			}
+			return 0, fmt.Errorf("smartssd: rebuild source stripe %d of %q: %w", gi, name, err)
+		}
+		if dt := d.Clock.Now() - before; dt > readWall {
+			readWall = dt
+		}
+		shards[gi] = padStripe(buf, meta.stripeLen)
+		c.acct().AddBytes("recover.rebuild.read", length)
+		sources++
+	}
+	if sources < k {
+		return 0, fmt.Errorf("smartssd: rebuilding %q needs %d surviving stripes, found %d: %w",
+			name, k, sources, faults.ErrDeviceLost)
+	}
+	if err := meta.code.Reconstruct(shards); err != nil {
+		return 0, fmt.Errorf("smartssd: rebuilding %q: %w", name, err)
+	}
+	recT := c.gfTime(int64(k) * meta.stripeLen * int64(len(lost)))
+	c.acct().AddTime("recover.reconstruct", recT)
+	var writeWall time.Duration
+	for _, gi := range lost {
+		payload := shards[gi][:meta.lenOf(gi)]
+		if gi < k && c.Verify != nil {
+			if err := c.Verify(payload); err != nil {
+				return 0, fmt.Errorf("smartssd: rebuilt stripe %d of %q failed verification: %w", gi, name, err)
+			}
+		}
+		spare := c.spares[0]
+		c.spares = c.spares[1:]
+		before := spare.Clock.Now()
+		if err := spare.StoreDataset(name, payload); err != nil {
+			return 0, fmt.Errorf("smartssd: writing rebuilt stripe %d of %q to spare device %d: %w",
+				gi, name, spare.ID, err)
+		}
+		if dt := spare.Clock.Now() - before; dt > writeWall {
+			writeWall = dt
+		}
+		c.acct().AddBytes("recover.rebuilt", int64(len(payload)))
+		c.Devices[gi] = spare
+		c.health[gi] = HealthHealthy
+	}
+	return readWall + recT + writeWall, nil
+}
+
+// DegradedScanBound models the worst-case extra simulated time one
+// lost-device scan pays over a clean scan of the same striped dataset:
+// the host-path liveness probe, one parity stripe pulled per lost
+// device over P2P, and the GF reconstruction math. bench-recovery
+// gates measured degraded overhead against this bound.
+func (c *Cluster) DegradedScanBound(name string, lostDevices int) (time.Duration, error) {
+	meta := c.stripeFor(name)
+	if meta == nil {
+		return 0, fmt.Errorf("smartssd: %q is not striped", name)
+	}
+	if lostDevices < 1 {
+		lostDevices = 1
+	}
+	k := meta.place.DataShards
+	d := c.Devices[0]
+	probe := d.Host.CommandLatency + d.Host.Duration(0, 1)
+	parity := d.P2P.Duration(meta.stripeLen, int(meta.stripeLen/meta.rec))
+	gf := c.gfTime(int64(k) * meta.stripeLen * int64(lostDevices))
+	return time.Duration(lostDevices)*(probe+parity) + gf, nil
+}
+
+// gfTime converts streamed GF-math source bytes into simulated time at
+// the modeled reconstruction bandwidth.
+func (c *Cluster) gfTime(bytes int64) time.Duration {
+	bw := c.ReconstructBW
+	if bw <= 0 {
+		bw = DefaultReconstructBW
+	}
+	return time.Duration(float64(bytes) / bw * float64(time.Second))
+}
+
+// acct returns the cluster accountant, creating it for clusters built
+// as literals.
+func (c *Cluster) acct() *simtime.Accountant {
+	if c.Acct == nil {
+		c.Acct = simtime.NewAccountant()
+	}
+	return c.Acct
+}
+
+// padStripe zero-pads b to n bytes for the coding math (no copy when
+// already full length).
+func padStripe(b []byte, n int64) []byte {
+	if int64(len(b)) == n {
+		return b
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,361 @@
+package smartssd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"nessa/internal/faults"
+)
+
+func TestRetryPolicyNormalize(t *testing.T) {
+	def := DefaultRetryPolicy()
+	cases := []struct {
+		name string
+		in   RetryPolicy
+		want RetryPolicy
+	}{
+		{"zero value", RetryPolicy{}, def},
+		{"attempts only", RetryPolicy{MaxAttempts: 6},
+			RetryPolicy{MaxAttempts: 6, BaseBackoff: def.BaseBackoff, MaxBackoff: def.MaxBackoff}},
+		{"base only", RetryPolicy{BaseBackoff: time.Millisecond},
+			RetryPolicy{MaxAttempts: def.MaxAttempts, BaseBackoff: time.Millisecond, MaxBackoff: def.MaxBackoff}},
+		{"max only", RetryPolicy{MaxBackoff: time.Second},
+			RetryPolicy{MaxAttempts: def.MaxAttempts, BaseBackoff: def.BaseBackoff, MaxBackoff: time.Second}},
+		{"fully specified", RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: time.Second},
+			RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: time.Second}},
+		{"negative fields", RetryPolicy{MaxAttempts: -1, BaseBackoff: -time.Millisecond, MaxBackoff: -time.Second}, def},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.in.normalize(); got != tc.want {
+				t.Fatalf("normalize(%+v) = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// stripeImg builds a record-aligned image with the record index
+// stamped into every byte, so payload provenance is checkable.
+func stripeImg(records int, rec int64) []byte {
+	img := make([]byte, int64(records)*rec)
+	for i := range img {
+		img[i] = byte(int64(i) / rec)
+	}
+	return img
+}
+
+// reassemble concatenates scan shards back into one image.
+func reassemble(shards [][]byte) []byte {
+	var out []byte
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	return out
+}
+
+func TestStripeDatasetLayout(t *testing.T) {
+	c, _ := NewCluster(4)
+	const rec = 64
+	img := stripeImg(10, rec)
+	counts, err := c.StripeDataset("ds", img, rec, Placement{DataShards: 3, ParityShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, n := range counts {
+		if n <= 0 {
+			t.Fatalf("data stripe %d holds %d records", i, n)
+		}
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("data stripes hold %d records, want 10", total)
+	}
+	// Parity lives on device 3, padded to the longest stripe.
+	psize, err := c.Devices[3].SSD.Size("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := c.stripeFor("ds")
+	if meta == nil {
+		t.Fatal("no stripe metadata recorded")
+	}
+	if psize != meta.stripeLen {
+		t.Fatalf("parity stripe is %d bytes, want stripeLen %d", psize, meta.stripeLen)
+	}
+	if c.Acct.Time("stripe.encode") <= 0 {
+		t.Fatal("no encode time charged for parity")
+	}
+}
+
+func TestStripeDatasetErrors(t *testing.T) {
+	c, _ := NewCluster(3)
+	img := stripeImg(8, 64)
+	cases := []struct {
+		name  string
+		img   []byte
+		rec   int64
+		place Placement
+	}{
+		{"zero record size", img, 0, Placement{DataShards: 2, ParityShards: 1}},
+		{"non-aligned image", img[:65], 64, Placement{DataShards: 2, ParityShards: 1}},
+		{"no parity", img, 64, Placement{DataShards: 3, ParityShards: 0}},
+		{"no data", img, 64, Placement{DataShards: 0, ParityShards: 1}},
+		{"too many shards", img, 64, Placement{DataShards: 3, ParityShards: 1}},
+		{"fewer records than stripes", stripeImg(1, 64), 64, Placement{DataShards: 2, ParityShards: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := c.StripeDataset("bad", tc.img, tc.rec, tc.place); err == nil {
+				t.Fatal("invalid striping accepted")
+			}
+		})
+	}
+}
+
+func TestStripedScanCleanMatchesImage(t *testing.T) {
+	c, _ := NewCluster(4)
+	const rec = 64
+	img := stripeImg(12, rec)
+	if _, err := c.StripeDataset("ds", img, rec, Placement{DataShards: 3, ParityShards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	shards, st, wall, err := c.ParallelScan("ds", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 {
+		t.Fatalf("striped scan returned %d shards, want 3 data stripes", len(shards))
+	}
+	if !bytes.Equal(reassemble(shards), img) {
+		t.Fatal("clean striped scan differs from the source image")
+	}
+	if st.DegradedReads != 0 || st.ReconstructedBytes != 0 {
+		t.Fatalf("clean scan reported degraded reads: %+v", st)
+	}
+	if wall <= 0 {
+		t.Fatal("wall time not positive")
+	}
+	// Clean scans never touch parity: the parity device serves writes
+	// only, and no recovery buckets are charged.
+	if c.Acct.Bytes("recover.parity") != 0 || c.Acct.Time("recover.reconstruct") != 0 {
+		t.Fatal("clean scan charged recovery buckets")
+	}
+}
+
+func TestStripedScanSurvivesDeviceLoss(t *testing.T) {
+	c, _ := NewCluster(4)
+	const rec = 64
+	img := stripeImg(12, rec)
+	if _, err := c.StripeDataset("ds", img, rec, Placement{DataShards: 3, ParityShards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Device 1 dies after its first completed scan.
+	c.SetInjector(faults.NewInjector(faults.Profile{Seed: 5, Kills: []faults.DeviceKill{{Device: 1, AfterScans: 1}}}))
+
+	clean, _, cleanWall, err := c.ParallelScan("ds", rec)
+	if err != nil {
+		t.Fatalf("scan before the kill failed: %v", err)
+	}
+	if !bytes.Equal(reassemble(clean), img) {
+		t.Fatal("pre-kill scan differs from the source image")
+	}
+
+	degraded, st, degradedWall, err := c.ParallelScan("ds", rec)
+	if err != nil {
+		t.Fatalf("degraded scan failed: %v", err)
+	}
+	if !bytes.Equal(reassemble(degraded), img) {
+		t.Fatal("degraded scan payload differs from the source image — reconstruction is wrong")
+	}
+	if st.DegradedReads != 1 {
+		t.Fatalf("DegradedReads = %d, want 1", st.DegradedReads)
+	}
+	meta := c.stripeFor("ds")
+	if want := int64(meta.counts[1]) * rec; st.ReconstructedBytes != want {
+		t.Fatalf("ReconstructedBytes = %d, want %d", st.ReconstructedBytes, want)
+	}
+	if got := c.DeviceHealth(1); got != HealthLost {
+		t.Fatalf("device 1 health = %v, want lost", got)
+	}
+	if c.LostCount() != 1 {
+		t.Fatalf("LostCount = %d, want 1", c.LostCount())
+	}
+	if c.Acct.Bytes("recover.parity") != meta.stripeLen {
+		t.Fatalf("recover.parity = %d bytes, want one stripe (%d)", c.Acct.Bytes("recover.parity"), meta.stripeLen)
+	}
+	if c.Acct.Time("recover.reconstruct") <= 0 {
+		t.Fatal("no reconstruction time charged")
+	}
+	// The degraded scan's overhead stays within the modeled bound.
+	bound, err := c.DegradedScanBound("ds", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overhead := degradedWall - cleanWall; overhead > bound {
+		t.Fatalf("degraded overhead %v exceeds modeled bound %v", overhead, bound)
+	}
+	// Loss is sticky: the next scan reconstructs again without a probe.
+	again, st2, _, err := c.ParallelScan("ds", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reassemble(again), img) || st2.DegradedReads != 1 {
+		t.Fatalf("second degraded scan wrong: stats %+v", st2)
+	}
+}
+
+func TestStripedScanUnrecoverableLoss(t *testing.T) {
+	c, _ := NewCluster(4)
+	const rec = 64
+	img := stripeImg(12, rec)
+	if _, err := c.StripeDataset("ds", img, rec, Placement{DataShards: 3, ParityShards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetInjector(faults.NewInjector(faults.Profile{Seed: 5, Kills: []faults.DeviceKill{
+		{Device: 0, AfterScans: 1},
+		{Device: 2, AfterScans: 1},
+	}}))
+	if _, _, _, err := c.ParallelScan("ds", rec); err != nil {
+		t.Fatalf("pre-kill scan failed: %v", err)
+	}
+	_, _, _, err := c.ParallelScan("ds", rec)
+	if !errors.Is(err, faults.ErrDeviceLost) {
+		t.Fatalf("two losses with one parity: err = %v, want wrapped ErrDeviceLost", err)
+	}
+}
+
+func TestPlainShardLossIsFatal(t *testing.T) {
+	c, _ := NewCluster(3)
+	const rec = 64
+	img := stripeImg(9, rec)
+	if _, err := c.ShardDataset("ds", img, rec); err != nil {
+		t.Fatal(err)
+	}
+	c.SetInjector(faults.NewInjector(faults.Profile{Seed: 5, Kills: []faults.DeviceKill{{Device: 2, AfterScans: 1}}}))
+	if _, _, _, err := c.ParallelScan("ds", rec); err != nil {
+		t.Fatalf("pre-kill scan failed: %v", err)
+	}
+	_, _, _, err := c.ParallelScan("ds", rec)
+	if !errors.Is(err, faults.ErrDeviceLost) {
+		t.Fatalf("unprotected shard loss: err = %v, want wrapped ErrDeviceLost", err)
+	}
+	if got := c.DeviceHealth(2); got != HealthLost {
+		t.Fatalf("device 2 health = %v, want lost", got)
+	}
+}
+
+func TestRebuildRestoresHealthyCluster(t *testing.T) {
+	c, _ := NewCluster(4)
+	const rec = 64
+	img := stripeImg(12, rec)
+	if _, err := c.StripeDataset("ds", img, rec, Placement{DataShards: 3, ParityShards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetInjector(faults.NewInjector(faults.Profile{Seed: 5, Kills: []faults.DeviceKill{{Device: 1, AfterScans: 1}}}))
+	if _, _, _, err := c.ParallelScan("ds", rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, st, _, err := c.ParallelScan("ds", rec); err != nil || st.DegradedReads != 1 {
+		t.Fatalf("expected one degraded scan (err=%v stats=%+v)", err, st)
+	}
+
+	// No spare: rebuild must refuse, cluster stays degraded.
+	if _, err := c.Rebuild("ds"); err == nil {
+		t.Fatal("rebuild without a spare succeeded")
+	}
+	spare, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AttachSpare(spare)
+	if c.Spares() != 1 {
+		t.Fatalf("Spares = %d, want 1", c.Spares())
+	}
+	survivorBefore := c.Devices[0].Clock.Now()
+	dur, err := c.Rebuild("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur <= 0 {
+		t.Fatal("rebuild reported zero duration")
+	}
+	if c.Spares() != 0 {
+		t.Fatal("spare not consumed")
+	}
+	if got := c.DeviceHealth(1); got != HealthHealthy {
+		t.Fatalf("rebuilt slot health = %v, want healthy", got)
+	}
+	if c.Devices[1] != spare {
+		t.Fatal("spare not swapped into the lost slot")
+	}
+	// The rebuild read survivors — the foreground-contention model:
+	// their clocks advanced, so concurrent scans queue behind it.
+	if c.Devices[0].Clock.Now() <= survivorBefore {
+		t.Fatal("rebuild did not advance survivor clocks")
+	}
+	// Back to full health: the next scan is clean and identical.
+	shards, st, _, err := c.ParallelScan("ds", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DegradedReads != 0 {
+		t.Fatalf("post-rebuild scan still degraded: %+v", st)
+	}
+	if !bytes.Equal(reassemble(shards), img) {
+		t.Fatal("post-rebuild scan differs from the source image")
+	}
+	// LostCount is cumulative history, not current state.
+	if c.LostCount() != 1 {
+		t.Fatalf("LostCount = %d, want 1", c.LostCount())
+	}
+}
+
+// TestHealthStateMachine drives noteLost directly: a device whose
+// injector does not confirm the loss is cleared back to healthy via
+// the suspect probe; a confirmed loss is terminal.
+func TestHealthStateMachine(t *testing.T) {
+	c, _ := NewCluster(2)
+	const rec = 64
+	img := stripeImg(4, rec)
+	if _, err := c.StripeDataset("ds", img, rec, Placement{DataShards: 1, ParityShards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Injector never kills: a spurious device-lost classification is
+	// probed and cleared.
+	c.SetInjector(faults.NewInjector(faults.Profile{Seed: 1}))
+	if c.noteLost(0, "ds") {
+		t.Fatal("healthy device confirmed lost")
+	}
+	if got := c.DeviceHealth(0); got != HealthHealthy {
+		t.Fatalf("health after cleared probe = %v, want healthy", got)
+	}
+	// Now a real kill: suspect → probe → lost, and sticky.
+	c.SetInjector(faults.NewInjector(faults.Profile{Seed: 1, Kills: []faults.DeviceKill{{Device: 0, AfterScans: 1}}}))
+	c.bumpScans()
+	if !c.noteLost(0, "ds") {
+		t.Fatal("killed device not confirmed lost")
+	}
+	if got := c.DeviceHealth(0); got != HealthLost {
+		t.Fatalf("health = %v, want lost", got)
+	}
+	if !c.noteLost(0, "ds") {
+		t.Fatal("lost state not sticky")
+	}
+	if c.LostCount() != 1 {
+		t.Fatalf("LostCount = %d, want 1 (no double count)", c.LostCount())
+	}
+}
+
+func TestStripedScanRejectsMismatchedRecordSize(t *testing.T) {
+	c, _ := NewCluster(3)
+	img := stripeImg(6, 64)
+	if _, err := c.StripeDataset("ds", img, 64, Placement{DataShards: 2, ParityShards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.ParallelScan("ds", 32); err == nil {
+		t.Fatal("scan with the wrong record size accepted")
+	}
+}

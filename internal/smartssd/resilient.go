@@ -27,10 +27,19 @@ func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 200 * time.Microsecond, MaxBackoff: 5 * time.Millisecond}
 }
 
-// normalize fills in defaults for the zero value.
+// normalize fills in defaults field by field, so a partially specified
+// policy (say RetryPolicy{MaxAttempts: 6}) still gets the standard
+// backoff curve instead of silently retrying with zero backoff.
 func (p RetryPolicy) normalize() RetryPolicy {
+	def := DefaultRetryPolicy()
 	if p.MaxAttempts <= 0 {
-		return DefaultRetryPolicy()
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = def.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = def.MaxBackoff
 	}
 	return p
 }

@@ -77,3 +77,12 @@ func (r *RNG) Shuffle(p []int) {
 // giving each worker or dataset its own stream while preserving
 // determinism from the root seed.
 func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
+
+// State returns the generator's cursor. Together with SetState it lets
+// checkpoints capture and replay a stream mid-sequence: a generator
+// restored onto a saved state produces exactly the draws the original
+// would have produced next.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState repositions the generator onto a previously captured cursor.
+func (r *RNG) SetState(s uint64) { r.state = s }

@@ -1,0 +1,72 @@
+package trainer
+
+import (
+	"testing"
+
+	"nessa/internal/data"
+)
+
+// TestSnapshotRestoreBitIdentical is the checkpoint/resume contract at
+// the trainer level: train E epochs, snapshot, keep training the
+// original while a restored trainer trains the same remaining epochs —
+// losses, accuracies, and final weights must match bit for bit.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	tr, te := data.Generate(tinySpec())
+	cfg := tinyCfg()
+	const splitAt = 10
+
+	orig := New(tr.Spec, cfg)
+	for e := 0; e < splitAt; e++ {
+		orig.SetEpoch(e)
+		orig.TrainEpoch(tr.X, tr.Labels, nil)
+	}
+	model, opt, rngState := orig.Snapshot()
+
+	resumed, err := Restore(tr.Spec, cfg, model, opt, rngState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := splitAt; e < cfg.Epochs; e++ {
+		orig.SetEpoch(e)
+		resumed.SetEpoch(e)
+		lo := orig.TrainEpoch(tr.X, tr.Labels, nil)
+		lr := resumed.TrainEpoch(tr.X, tr.Labels, nil)
+		if lo != lr {
+			t.Fatalf("epoch %d: resumed loss %v, original %v", e, lr, lo)
+		}
+		if ao, ar := orig.Evaluate(te), resumed.Evaluate(te); ao != ar {
+			t.Fatalf("epoch %d: resumed accuracy %v, original %v", e, ar, ao)
+		}
+	}
+	for li := range orig.Model.Layers {
+		a, b := orig.Model.Layers[li], resumed.Model.Layers[li]
+		for i := range a.W.Data {
+			if a.W.Data[i] != b.W.Data[i] {
+				t.Fatalf("final weights diverged at layer %d index %d", li, i)
+			}
+		}
+	}
+}
+
+func TestRestoreRejectsMismatchedGeometry(t *testing.T) {
+	tr, _ := data.Generate(tinySpec())
+	cfg := tinyCfg()
+	model, opt, rngState := New(tr.Spec, cfg).Snapshot()
+
+	other := tr.Spec
+	other.FeatureDim = tr.Spec.FeatureDim + 1
+	if _, err := Restore(other, cfg, model, opt, rngState); err == nil {
+		t.Fatal("restore accepted a checkpoint from a different input width")
+	}
+	wider := cfg
+	wider.Hidden = []int{cfg.Hidden[0] + 1}
+	if _, err := Restore(tr.Spec, wider, model, opt, rngState); err == nil {
+		t.Fatal("restore accepted a checkpoint from a different hidden width")
+	}
+	if _, err := Restore(tr.Spec, cfg, model[:8], opt, rngState); err == nil {
+		t.Fatal("restore accepted a truncated model blob")
+	}
+	if _, err := Restore(tr.Spec, cfg, model, opt[:8], rngState); err == nil {
+		t.Fatal("restore accepted a truncated optimizer blob")
+	}
+}

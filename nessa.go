@@ -206,7 +206,32 @@ var (
 	ErrShardTimeout  = faults.ErrShardTimeout
 	ErrOutOfRange    = faults.ErrOutOfRange
 	ErrNotFound      = faults.ErrNotFound
+	ErrDeviceLost    = faults.ErrDeviceLost
 )
+
+// Placement configures erasure-coded striping for Cluster.StripeDataset
+// (§4.11): DataShards record stripes protected by ParityShards
+// Reed–Solomon parity stripes, surviving up to ParityShards whole-
+// device losses.
+type Placement = smartssd.Placement
+
+// ScanStats aggregates one cluster scan's read activity, including
+// degraded reads served by parity reconstruction.
+type ScanStats = smartssd.ScanStats
+
+// DeviceHealth is a cluster member's health state: healthy, suspect,
+// or lost.
+type DeviceHealth = smartssd.Health
+
+// DeviceKill schedules a scripted whole-device kill in a FaultProfile:
+// device Device dies permanently after AfterScans completed scans or
+// at simulated time At, whichever trigger is set.
+type DeviceKill = faults.DeviceKill
+
+// RecoveryReport aggregates a run's device-loss recovery activity:
+// reconstructions, rebuilds, and the resume point of a checkpointed
+// session.
+type RecoveryReport = core.RecoveryReport
 
 // NewFaultInjector builds a deterministic injector from a profile.
 func NewFaultInjector(p FaultProfile) *FaultInjector { return faults.NewInjector(p) }

@@ -121,7 +121,7 @@ func TestPublicAPIDistributedSelection(t *testing.T) {
 	if _, err := cluster.ShardDataset("mnist", img, spec.BytesPerImage); err != nil {
 		t.Fatal(err)
 	}
-	shards, wall, err := cluster.ParallelScan("mnist", spec.BytesPerImage)
+	shards, _, wall, err := cluster.ParallelScan("mnist", spec.BytesPerImage)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -81,7 +81,12 @@ echo "== determinism gate =="
 # bench-selection), ≥ 80 % of the modeled sequential-read bound,
 # selection state within the on-chip budget, and ≥ 90 % of exact
 # LazyGreedy's objective on the reference instance.
+# bench-recovery gates the device-loss machinery: a kill-one-device
+# run with k+1 parity must keep the trajectory bit-identical, a
+# checkpointed session must resume exactly, the degraded scan must
+# stay within the modeled reconstruction bound, and configuring
+# parity with no fault must cost under 2% on the clean path.
 "$tmpdir/nessa-bench" -quick -results "$tmpdir/results" \
-	-only bench-selection,bench-training,bench-streaming,bench-faults,bench-gemmtune >/dev/null
+	-only bench-selection,bench-training,bench-streaming,bench-faults,bench-gemmtune,bench-recovery >/dev/null
 
 echo "OK"
