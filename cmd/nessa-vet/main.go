@@ -2,11 +2,13 @@
 // suite (internal/analysis): eight analyzers that machine-check the
 // determinism, hot-path-allocation, FMA bit-identity, map-order,
 // error-hygiene, concurrency, scratch-lifetime, and seed-provenance
-// contracts at the source level.
+// contracts at the source level, plus a compiler-evidence mode that
+// verifies the hot-path contracts against what gc actually emitted.
 //
 // Usage:
 //
 //	nessa-vet [-run name[,name...]] [-json] [-baseline file [-write-baseline]] [packages]
+//	nessa-vet -compiler [-run ...] [-json] [-baseline file] [-ledger file [-write-ledger]] [packages]
 //
 // With no package arguments (or the pattern "./...") every buildable
 // non-test package in the module is analyzed. Individual directories
@@ -15,17 +17,35 @@
 // load or usage error.
 //
 // -json emits each finding as one JSON object per line (analyzer,
-// severity, file, line, col, message) instead of the text form.
+// severity, file, line, col, message, and — when a //nessa:* waiver
+// directive applies to the rule — a suggestion naming it, so editors
+// can render a quick-fix) instead of the text form.
 //
 // -baseline compares findings against a recorded baseline file and
 // reports (and fails on) only findings not present in it, so CI gates
 // on regressions rather than the historical backlog. A missing
 // baseline file is treated as empty. -write-baseline records the
 // current findings into the baseline file and exits 0.
+//
+// -compiler switches to the compiler-evidence suite (escapecheck,
+// inlinegate, bcecheck, asmfma): the module is rebuilt with
+// -gcflags='-m=2 -S -d=ssa/check_bce/debug=1' (cached after the first
+// compile), the diagnostics are parsed into position-keyed facts, and
+// the analyzers cross-check them against the //nessa:hotpath,
+// //nessa:inline, and fast-tier contracts. Because gc's diagnostic
+// formats are toolchain-pinned, an unvalidated toolchain makes the
+// mode skip cleanly with a warning (exit 0) rather than mis-parse.
+//
+// -ledger, valid only with -compiler, diffs the per-package evidence
+// counts against a committed ledger file: regressions (new escape
+// waivers, kernels lost from the inline budget, bounds checks creeping
+// back) exit 1, improvements are logged and accepted. -write-ledger
+// regenerates the file.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,8 +61,11 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
 	baselinePath := flag.String("baseline", "", "baseline file: suppress findings recorded in it")
 	writeBaseline := flag.Bool("write-baseline", false, "write current findings to -baseline and exit 0")
+	compiler := flag.Bool("compiler", false, "run the compiler-evidence suite against an instrumented build")
+	ledgerPath := flag.String("ledger", "", "with -compiler: evidence ledger file to diff per-package counts against")
+	writeLedger := flag.Bool("write-ledger", false, "with -compiler: regenerate the -ledger file from this run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: nessa-vet [-run name[,name...]] [-json] [-baseline file [-write-baseline]] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: nessa-vet [-compiler] [-run name[,name...]] [-json] [-baseline file [-write-baseline]] [-ledger file [-write-ledger]] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,8 +73,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nessa-vet: -write-baseline requires -baseline")
 		os.Exit(2)
 	}
+	if (*ledgerPath != "" || *writeLedger) && !*compiler {
+		fmt.Fprintln(os.Stderr, "nessa-vet: -ledger and -write-ledger require -compiler")
+		os.Exit(2)
+	}
+	if *writeLedger && *ledgerPath == "" {
+		fmt.Fprintln(os.Stderr, "nessa-vet: -write-ledger requires -ledger")
+		os.Exit(2)
+	}
 
 	analyzers := analysis.All()
+	if *compiler {
+		analyzers = analysis.CompilerAll()
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
@@ -72,6 +106,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nessa-vet:", err)
 		os.Exit(2)
 	}
+
+	var evidence *analysis.Evidence
+	if *compiler {
+		evidence, err = analysis.CollectEvidence(root)
+		if errors.Is(err, analysis.ErrToolchain) {
+			// The diagnostic formats this mode parses are validated
+			// per toolchain release; on an unpinned toolchain the gate
+			// skips cleanly rather than mis-parse and cry wolf.
+			fmt.Fprintf(os.Stderr, "nessa-vet: skipping compiler-evidence checks: %v\n", err)
+			return
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nessa-vet:", err)
+			os.Exit(2)
+		}
+	}
+
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nessa-vet:", err)
@@ -84,7 +135,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings := analysis.Run(pkgs, analyzers)
+	var findings []analysis.Finding
+	var ledger *analysis.Ledger
+	if *compiler {
+		findings, ledger = analysis.RunCompiler(pkgs, analyzers, evidence)
+	} else {
+		findings = analysis.Run(pkgs, analyzers)
+	}
 
 	if *writeBaseline {
 		if err := analysis.NewBaseline(findings, root).Write(*baselinePath); err != nil {
@@ -103,6 +160,29 @@ func main() {
 		findings = base.Diff(findings, root)
 	}
 
+	ledgerRegressed := false
+	if *writeLedger {
+		if err := ledger.Write(*ledgerPath); err != nil {
+			fmt.Fprintln(os.Stderr, "nessa-vet:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "nessa-vet: wrote evidence ledger to %s\n", *ledgerPath)
+	} else if *ledgerPath != "" {
+		committed, err := analysis.LoadLedger(*ledgerPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nessa-vet:", err)
+			os.Exit(2)
+		}
+		regressions, improvements := analysis.CompareLedgers(committed, ledger)
+		for _, s := range improvements {
+			fmt.Fprintf(os.Stderr, "nessa-vet: ledger improved: %s (run -write-ledger to accept)\n", s)
+		}
+		for _, s := range regressions {
+			fmt.Fprintf(os.Stderr, "nessa-vet: ledger regression: %s\n", s)
+		}
+		ledgerRegressed = len(regressions) > 0
+	}
+
 	for _, f := range findings {
 		if *jsonOut {
 			printJSON(f)
@@ -118,19 +198,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nessa-vet: %d %s\n", len(findings), what)
 		os.Exit(1)
 	}
+	if ledgerRegressed {
+		fmt.Fprintf(os.Stderr, "nessa-vet: evidence ledger regressed against %s\n", *ledgerPath)
+		os.Exit(1)
+	}
 }
 
 // printJSON emits one finding as a single-line JSON object.
 func printJSON(f analysis.Finding) {
-	rec := struct {
-		Analyzer string `json:"analyzer"`
-		Severity string `json:"severity"`
-		File     string `json:"file"`
-		Line     int    `json:"line"`
-		Col      int    `json:"col"`
-		Message  string `json:"message"`
-	}{f.Analyzer, f.Severity, f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message}
-	out, err := json.Marshal(rec)
+	out, err := json.Marshal(analysis.ToJSON(f))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nessa-vet:", err)
 		os.Exit(2)

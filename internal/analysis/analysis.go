@@ -64,6 +64,17 @@ const (
 	// DirSyncOK exempts one concurrency finding (e.g. a shared write
 	// the caller serializes by other means).
 	DirSyncOK = "sync-ok"
+	// DirInline marks a leaf kernel that must stay within gc's inline
+	// budget and actually inline at hot call sites (opt-in for the
+	// inlinegate compiler-evidence analyzer).
+	DirInline = "inline"
+	// DirInlineOK exempts one call site to a //nessa:inline function
+	// from the must-inline rule (a cold or dispatch-amortized call).
+	DirInlineOK = "inline-ok"
+	// DirBCEOK exempts one surviving bounds check in a hot inner loop
+	// from the bcecheck compiler-evidence analyzer, with a
+	// justification for why it cannot (or need not) be eliminated.
+	DirBCEOK = "bce-ok"
 )
 
 // Finding severities. Every rule reports SeverityError except the
@@ -76,23 +87,67 @@ const (
 )
 
 // Finding is one diagnostic: where, which analyzer, how severe, and
-// why.
+// why. Suggestion names the //nessa:* waiver directive applicable at
+// the site (empty when no directive can waive the rule), so editor and
+// CI integrations can render a quick-fix.
 type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Severity string
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Severity   string
+	Message    string
+	Suggestion string
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Analyzer is one named check run over a type-checked package.
+// JSONFinding is the wire form of a Finding emitted by nessa-vet
+// -json: one object per line. It round-trips losslessly with
+// ToJSON/FromJSON.
+type JSONFinding struct {
+	Analyzer   string `json:"analyzer"`
+	Severity   string `json:"severity"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
+// ToJSON converts a Finding to its wire form.
+func ToJSON(f Finding) JSONFinding {
+	return JSONFinding{
+		Analyzer:   f.Analyzer,
+		Severity:   f.Severity,
+		File:       f.Pos.Filename,
+		Line:       f.Pos.Line,
+		Col:        f.Pos.Column,
+		Message:    f.Message,
+		Suggestion: f.Suggestion,
+	}
+}
+
+// FromJSON converts a wire-form finding back to a Finding.
+func FromJSON(j JSONFinding) Finding {
+	return Finding{
+		Analyzer:   j.Analyzer,
+		Severity:   j.Severity,
+		Pos:        token.Position{Filename: j.File, Line: j.Line, Column: j.Col},
+		Message:    j.Message,
+		Suggestion: j.Suggestion,
+	}
+}
+
+// Analyzer is one named check run over a type-checked package. Waiver
+// names the //nessa:* directive that exempts one flagged site (empty
+// when the analyzer has no site-level waiver); it is copied into every
+// finding's Suggestion.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name   string
+	Doc    string
+	Waiver string
+	Run    func(*Pass)
 }
 
 // All returns the full analyzer suite in a stable order.
@@ -109,13 +164,30 @@ func All() []*Analyzer {
 	}
 }
 
+// CompilerAll returns the compiler-evidence analyzer suite in a
+// stable order. These run only under nessa-vet -compiler, with an
+// Evidence attached to the pass; they are not part of All() because
+// they are inert without an instrumented build.
+func CompilerAll() []*Analyzer {
+	return []*Analyzer{
+		EscapeCheckAnalyzer(),
+		InlineGateAnalyzer(),
+		BCECheckAnalyzer(),
+		AsmFMAAnalyzer(),
+	}
+}
+
 // ByName returns the named analyzers, or an error naming the first
-// unknown one. Names are trimmed of surrounding whitespace (so
+// unknown one. Both the source-level and compiler-evidence suites are
+// addressable. Names are trimmed of surrounding whitespace (so
 // "fma, hotpath" works) and deduplicated in first-occurrence order;
 // empty segments are ignored.
 func ByName(names []string) ([]*Analyzer, error) {
 	index := make(map[string]*Analyzer)
 	for _, a := range All() {
+		index[a.Name] = a
+	}
+	for _, a := range CompilerAll() {
 		index[a.Name] = a
 	}
 	seen := make(map[string]bool)
@@ -143,6 +215,51 @@ type Pass struct {
 	// directives maps filename -> line -> directive names present on
 	// that line, for line-level opt-out lookup.
 	directives map[string]map[int][]string
+	// Evidence carries the parsed instrumented-build facts during a
+	// nessa-vet -compiler run; nil for source-level passes. The
+	// compiler-evidence analyzers report nothing when it is nil.
+	Evidence *Evidence
+	// ledger accumulates per-package evidence tallies during a
+	// compiler run; nil otherwise.
+	ledger *Ledger
+}
+
+// Metric bumps a ledger tally for the current package. A no-op when
+// no ledger is attached (source-level passes, fixture tests that do
+// not care about counts).
+func (p *Pass) Metric(name string, delta int) {
+	if p.ledger != nil {
+		p.ledger.Add(p.Pkg.ImportPath, name, delta)
+	}
+}
+
+// PosAt translates an evidence fact position (absolute file, 1-based
+// line and column) into a token.Pos of the package's file set, so
+// facts can be tested against AST spans and directive lines. Returns
+// token.NoPos when the file is not part of this package's load or the
+// line is out of range.
+func (p *Pass) PosAt(file string, line, col int) token.Pos {
+	var tf *token.File
+	p.Pkg.Fset.Iterate(func(f *token.File) bool {
+		if f.Name() == file {
+			tf = f
+			return false
+		}
+		return true
+	})
+	if tf == nil || line < 1 || line > tf.LineCount() {
+		return token.NoPos
+	}
+	pos := tf.LineStart(line)
+	if col > 1 {
+		// Columns are byte offsets within the line; clamp to the file.
+		off := tf.Offset(pos) + col - 1
+		if off >= tf.Size() {
+			off = tf.Size() - 1
+		}
+		pos = tf.Pos(off)
+	}
+	return pos
 }
 
 // Reportf records a finding at pos with SeverityError.
@@ -157,10 +274,24 @@ func (p *Pass) Warnf(pos token.Pos, format string, args ...any) {
 
 func (p *Pass) report(pos token.Pos, severity, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
-		Analyzer: p.analyzer.Name,
-		Pos:      p.Pkg.Fset.Position(pos),
-		Severity: severity,
-		Message:  fmt.Sprintf(format, args...),
+		Analyzer:   p.analyzer.Name,
+		Pos:        p.Pkg.Fset.Position(pos),
+		Severity:   severity,
+		Message:    fmt.Sprintf(format, args...),
+		Suggestion: p.analyzer.Waiver,
+	})
+}
+
+// ReportPosition records a finding at an already-resolved file
+// position — the escape hatch for facts about files the FileSet does
+// not cover (hand-written assembly scanned by asmfma).
+func (p *Pass) ReportPosition(pos token.Position, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer:   p.analyzer.Name,
+		Pos:        pos,
+		Severity:   SeverityError,
+		Message:    fmt.Sprintf(format, args...),
+		Suggestion: p.analyzer.Waiver,
 	})
 }
 
@@ -240,6 +371,39 @@ func buildDirectives(pkg *Package) map[string]map[int][]string {
 // Run executes the given analyzers over the given packages and returns
 // all findings sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return run(pkgs, analyzers, nil)
+}
+
+// RunCompiler executes compiler-evidence analyzers over the packages
+// with the parsed facts of an instrumented build attached, returning
+// the findings plus the per-package evidence ledger. Before the
+// analyzers run, every //nessa:inline declaration across the loaded
+// packages is indexed into the evidence so inlinegate's call-site rule
+// resolves annotated callees across package boundaries.
+func RunCompiler(pkgs []*Package, analyzers []*Analyzer, ev *Evidence) ([]Finding, *Ledger) {
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !HasDirective(fn.Doc, DirInline) {
+					continue
+				}
+				pos := pkg.Fset.Position(fn.Name.Pos())
+				ev.markInline(pos.Filename, pos.Line, fn.Name.Name)
+			}
+		}
+	}
+	ledger := NewLedger(ev.GoVersion)
+	findings := run(pkgs, analyzers, &compilerCtx{ev: ev, ledger: ledger})
+	return findings, ledger
+}
+
+type compilerCtx struct {
+	ev     *Evidence
+	ledger *Ledger
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer, ctx *compilerCtx) []Finding {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		dirs := buildDirectives(pkg)
@@ -249,6 +413,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				analyzer:   a,
 				findings:   &findings,
 				directives: dirs,
+			}
+			if ctx != nil {
+				pass.Evidence = ctx.ev
+				pass.ledger = ctx.ledger
 			}
 			a.Run(pass)
 		}

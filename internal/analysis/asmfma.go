@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// AsmFMAAnalyzer turns the source-level fma analyzer's heuristic into
+// a proof about the emitted code: in the kernel packages, no
+// VFMADD*/VFNMADD* instruction may exist outside the fast-tier file
+// set that the BitExact option dispatch-gates at runtime. A fused
+// multiply-add rounds once where the bit-exact contract requires two
+// roundings, so a stray FMA anywhere else silently breaks trajectory
+// bit-identity between the amd64 and portable kernels.
+//
+// Two instruction sources are checked:
+//
+//   - gc-compiled Go code, via the FactFusedMulAdd facts parsed from
+//     the instrumented build's -S listing (the compiler's own record
+//     of every mnemonic it emitted — immune to the relocation-desync
+//     that makes objdump unreliable on unlinked archives);
+//   - hand-written assembly files, scanned textually — Plan9 asm
+//     mnemonics are literal in the source, so the text *is* the
+//     instruction stream.
+//
+// The escape hatch is the file set, not a directive: fast-tier
+// kernels live in files whose base name starts with one of
+// fastTierFilePrefixes, and anything there may fuse freely because
+// the BitExact=false tier documents its tolerance. A justified
+// exception elsewhere in hand-written assembly may carry
+// //nessa:fma-ok on (or above) the instruction line.
+func AsmFMAAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:   "asmfma",
+		Doc:    "prove no fused-multiply-add instructions exist outside the fast-tier file set in kernel packages",
+		Waiver: DirFMAOK,
+		Run:    runAsmFMA,
+	}
+}
+
+// fastTierFilePrefixes is the dispatch-gated fast-tier file set: the
+// only files in the kernel packages allowed to contain FMA
+// instructions. Matches gemm_fast.go (tier drivers), gemm_fma_*.go
+// (detection + stubs), and gemm_avx2_*.s (the VFMADD micro-kernels).
+var fastTierFilePrefixes = []string{"gemm_fast", "gemm_fma", "gemm_avx2"}
+
+func fastTierFile(path string) bool {
+	base := filepath.Base(path)
+	for _, prefix := range fastTierFilePrefixes {
+		if strings.HasPrefix(base, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// asmFMARe matches the fused-multiply-add mnemonic family in Plan9
+// assembly text: VFMADD132/213/231 and VFNMADD variants, packed or
+// scalar, single or double.
+var asmFMARe = regexp.MustCompile(`\bVFN?MADD[0-9]{3}[SP][SD]\b`)
+
+func runAsmFMA(p *Pass) {
+	if p.Evidence == nil {
+		return
+	}
+	if !bceScoped(moduleOf(p.Pkg.ImportPath), p.Pkg.ImportPath) {
+		return
+	}
+	checkCompiledFMA(p)
+	checkAsmFiles(p)
+}
+
+// checkCompiledFMA audits the -S listing facts for the package's Go
+// files.
+func checkCompiledFMA(p *Pass) {
+	files := make([]string, 0, len(p.Pkg.Files))
+	for _, f := range p.Pkg.Files {
+		files = append(files, p.Pkg.Fset.Position(f.Pos()).Filename)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		for _, fact := range p.Evidence.FactsIn(file) {
+			if fact.Kind != FactFusedMulAdd {
+				continue
+			}
+			if fastTierFile(file) {
+				p.Metric(MetricFMAFastTier, 1)
+				continue
+			}
+			p.ReportPosition(token.Position{Filename: file, Line: fact.Line, Column: fact.Col},
+				"gc emitted %s here, outside the fast-tier file set (%s*) — a fused multiply-add rounds once and breaks the bit-exact tier's trajectory identity; move the code into the dispatch-gated fast tier or restructure so gc does not fuse",
+				fact.Name, strings.Join(fastTierFilePrefixes, "*, "))
+		}
+	}
+}
+
+// checkAsmFiles textually scans the package's hand-written assembly.
+func checkAsmFiles(p *Pass) {
+	entries, err := os.ReadDir(p.Pkg.Dir)
+	if err != nil {
+		return
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".s") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(p.Pkg.Dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		lines := strings.Split(string(data), "\n")
+		if fastTierFile(path) {
+			for _, line := range lines {
+				p.Metric(MetricFMAFastTier, len(asmFMARe.FindAllString(stripAsmComment(line), -1)))
+			}
+			continue
+		}
+		for i, line := range lines {
+			code := stripAsmComment(line)
+			m := asmFMARe.FindStringIndex(code)
+			if m == nil {
+				continue
+			}
+			if asmLineWaived(lines, i) {
+				continue
+			}
+			p.ReportPosition(token.Position{Filename: path, Line: i + 1, Column: m[0] + 1},
+				"hand-written %s outside the fast-tier file set (%s*) — the bit-exact kernels must not fuse multiply-adds (move the kernel into a dispatch-gated fast-tier file, or annotate //nessa:fma-ok with a justification)",
+				code[m[0]:m[1]], strings.Join(fastTierFilePrefixes, "*, "))
+		}
+	}
+}
+
+// stripAsmComment drops a // comment tail so mnemonics mentioned in
+// prose do not count as instructions.
+func stripAsmComment(line string) string {
+	if i := strings.Index(line, "//"); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// asmLineWaived reports whether assembly line i (0-based) or the line
+// above carries //nessa:fma-ok — the same placement convention
+// ExemptAt implements for Go files, applied textually since assembly
+// never reaches the AST.
+func asmLineWaived(lines []string, i int) bool {
+	if strings.Contains(lines[i], "//nessa:"+DirFMAOK) {
+		return true
+	}
+	return i > 0 && strings.Contains(lines[i-1], "//nessa:"+DirFMAOK)
+}

@@ -1,0 +1,419 @@
+// Compiler-evidence collection for nessa-vet. The source-level
+// analyzers check what the code *says*; the compiler-evidence layer
+// checks what gc actually *emits*. One instrumented build of the
+// module —
+//
+//	go build -gcflags='-m=2 -S -d=ssa/check_bce/debug=1' ./...
+//
+// — yields three diagnostic streams on stderr, which this file parses
+// into position-keyed facts:
+//
+//   - escape analysis ("moved to heap: x", "make(...) escapes to heap")
+//   - inlining decisions ("can inline F with cost N", "cannot inline
+//     F: cost N exceeds budget M", "inlining call to F")
+//   - surviving bounds checks ("Found IsInBounds", from the ssa
+//     check_bce debug pass)
+//   - the exact instruction mnemonics gc emitted per source line (the
+//     -S listing), of which only the fused-multiply-add family is
+//     retained
+//
+// The -S listing is used instead of `go tool objdump` on package
+// archives deliberately: objdump's linear decoder loses sync around
+// unresolved relocations in unlinked objects (verified: a
+// VFMADD231SD following an R_CALL reloc decodes as garbage), while
+// the -S listing is the compiler's own record of what it emitted.
+// Hand-written assembly files never pass through gc, so they are
+// scanned textually by the asmfma analyzer instead.
+//
+// Diagnostic formats are not a stable API, so evidence collection is
+// pinned to the toolchains it has been validated against (see
+// ToolchainSupported); an unknown toolchain yields ErrToolchain and
+// the caller skips with a warning rather than mis-parsing.
+package analysis
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// CompilerFlags is the -gcflags value of the instrumented build. The
+// build cache stores and replays compiler diagnostics, so repeated
+// collections after the first compile only pay cache replay.
+const CompilerFlags = "-m=2 -S -d=ssa/check_bce/debug=1"
+
+// ErrToolchain reports that the active go toolchain is not one the
+// diagnostic parser has been validated against. Callers treat it as
+// "skip with a warning", never as a failure.
+var ErrToolchain = errors.New("analysis: unsupported toolchain for compiler evidence")
+
+// toolchainRe extracts the minor version from strings like "go1.24.0",
+// "go1.22", or "devel go1.25-abcdef".
+var toolchainRe = regexp.MustCompile(`go1\.(\d+)`)
+
+// ToolchainSupported reports whether the gc diagnostic formats of the
+// given toolchain version are pinned by this parser. The accepted
+// range covers the formats verified stable for -m=2, the check_bce
+// debug output, and the -S listing.
+func ToolchainSupported(version string) bool {
+	m := toolchainRe.FindStringSubmatch(version)
+	if m == nil {
+		return false
+	}
+	minor, err := strconv.Atoi(m[1])
+	if err != nil {
+		return false
+	}
+	return minor >= 22 && minor <= 26
+}
+
+// FactKind classifies one compiler-evidence fact.
+type FactKind int
+
+const (
+	// FactEscape: a value at this position was heap-allocated by
+	// escape analysis ("moved to heap: x", "<expr> escapes to heap").
+	// String-constant escapes are dropped at parse time: a constant
+	// string converted to an interface (a panic argument, typically)
+	// points at static data and never allocates.
+	FactEscape FactKind = iota
+	// FactCanInline: the function declared at this position is
+	// inlinable; Detail carries "cost N".
+	FactCanInline
+	// FactCannotInline: the function declared at this position is not
+	// inlinable; Detail carries gc's reason (e.g. "cost 105 exceeds
+	// budget 80").
+	FactCannotInline
+	// FactInlineCall: the call at this position was inlined; Name is
+	// the callee.
+	FactInlineCall
+	// FactBoundsCheck: a bounds check survived SSA optimization at
+	// this position; Name is IsInBounds or IsSliceInBounds.
+	FactBoundsCheck
+	// FactFusedMulAdd: gc emitted a fused-multiply-add instruction
+	// (VFMADD*/VFNMADD* family) attributed to this source line; Name
+	// is the mnemonic.
+	FactFusedMulAdd
+)
+
+func (k FactKind) String() string {
+	switch k {
+	case FactEscape:
+		return "escape"
+	case FactCanInline:
+		return "can-inline"
+	case FactCannotInline:
+		return "cannot-inline"
+	case FactInlineCall:
+		return "inline-call"
+	case FactBoundsCheck:
+		return "bounds-check"
+	case FactFusedMulAdd:
+		return "fused-mul-add"
+	}
+	return "unknown"
+}
+
+// Fact is one parsed compiler diagnostic, keyed by source position.
+// File is absolute and cleaned; Col is 0 when the diagnostic stream
+// only carries line granularity (the -S listing).
+type Fact struct {
+	Kind   FactKind
+	File   string
+	Line   int
+	Col    int
+	Name   string // subject: variable, function, callee, check kind, or mnemonic
+	Detail string // free-form compiler justification (cost, reason)
+}
+
+// Evidence is the parsed result of one instrumented build: every
+// retained fact, indexed by absolute file path.
+type Evidence struct {
+	// GoVersion is the toolchain that produced the diagnostics
+	// (e.g. "go1.24.0").
+	GoVersion string
+	files     map[string][]Fact
+	// inlineDecls maps file -> line -> function name for every
+	// //nessa:inline declaration seen by RunCompiler, so the
+	// call-site rule resolves annotated callees across packages.
+	inlineDecls map[string]map[int]string
+}
+
+// FactsIn returns the facts recorded for the given absolute file path,
+// in diagnostic-stream order.
+func (e *Evidence) FactsIn(file string) []Fact {
+	return e.files[filepath.Clean(file)]
+}
+
+// Span returns the facts in file whose line lies in [lo, hi].
+func (e *Evidence) Span(file string, lo, hi int) []Fact {
+	var out []Fact
+	for _, f := range e.FactsIn(file) {
+		if f.Line >= lo && f.Line <= hi {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Files returns the number of distinct files with recorded facts.
+func (e *Evidence) Files() int { return len(e.files) }
+
+// markInline records a //nessa:inline declaration for cross-package
+// call-site resolution.
+func (e *Evidence) markInline(file string, line int, name string) {
+	if e.inlineDecls == nil {
+		e.inlineDecls = make(map[string]map[int]string)
+	}
+	file = filepath.Clean(file)
+	if e.inlineDecls[file] == nil {
+		e.inlineDecls[file] = make(map[int]string)
+	}
+	e.inlineDecls[file][line] = name
+}
+
+// inlineDeclAt reports whether the declaration at file:line is marked
+// //nessa:inline, and its name.
+func (e *Evidence) inlineDeclAt(file string, line int) (string, bool) {
+	name, ok := e.inlineDecls[filepath.Clean(file)][line]
+	return name, ok
+}
+
+// CollectEvidence runs the instrumented build of the module rooted at
+// root and parses the diagnostics. It returns ErrToolchain (wrapped)
+// when the active toolchain's formats are not pinned, and a hard error
+// when the build itself fails.
+func CollectEvidence(root string) (*Evidence, error) {
+	version, err := goEnvVersion(root)
+	if err != nil {
+		return nil, err
+	}
+	return collectEvidence(root, version)
+}
+
+// collectEvidence is the version-injectable core of CollectEvidence,
+// split out so tests can drive the toolchain guard directly.
+func collectEvidence(root, version string) (*Evidence, error) {
+	if !ToolchainSupported(version) {
+		return nil, fmt.Errorf("%w: %q (validated range go1.22–go1.26)", ErrToolchain, version)
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	if resolved, err := filepath.EvalSymlinks(abs); err == nil {
+		abs = resolved
+	}
+	cmd := exec.Command("go", "build", "-gcflags="+CompilerFlags, "./...")
+	cmd.Dir = abs
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("analysis: starting instrumented build: %w", err)
+	}
+	facts, tail, perr := parseDiagnostics(abs, stderr)
+	werr := cmd.Wait()
+	if werr != nil {
+		return nil, fmt.Errorf("analysis: instrumented build failed (%v):\n%s", werr, strings.Join(tail, "\n"))
+	}
+	if perr != nil {
+		return nil, perr
+	}
+	ev := &Evidence{GoVersion: version, files: make(map[string][]Fact)}
+	for _, f := range facts {
+		ev.files[f.File] = append(ev.files[f.File], f)
+	}
+	return ev, nil
+}
+
+// goEnvVersion asks the go command (the one that will run the
+// instrumented build, which may differ from the toolchain this binary
+// was built with) for its version.
+func goEnvVersion(root string) (string, error) {
+	cmd := exec.Command("go", "env", "GOVERSION")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("analysis: go env GOVERSION: %w", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// Diagnostic-line shapes. Position lines are `path:line:col: message`;
+// -S listing instruction lines are `\t0xOFF DEC (path:line)\tMNEMONIC\targs`.
+var (
+	posLineRe = regexp.MustCompile(`^(.+?):(\d+):(\d+): (.+)$`)
+	asmLineRe = regexp.MustCompile(`^\t0x[0-9a-f]+ \d+ \((.+?):(\d+)\)\t([A-Z][A-Z0-9.]*)`)
+	costRe    = regexp.MustCompile(`^can inline (.+?) with cost (\d+)`)
+	fmaMnemRe = regexp.MustCompile(`^VFN?MADD`)
+)
+
+// ParseDiagnostics parses one instrumented-build stderr stream into
+// facts, dropping anything attributed to files outside root. Exposed
+// for tests; CollectEvidence is the production entry point.
+func ParseDiagnostics(root string, lines []string) []Fact {
+	var (
+		facts []Fact
+		seen  = make(map[Fact]bool)
+	)
+	for _, line := range lines {
+		if f, ok := parseDiagnosticLine(root, line); ok && !seen[f] {
+			seen[f] = true
+			facts = append(facts, f)
+		}
+	}
+	return facts
+}
+
+func parseDiagnostics(root string, r io.Reader) ([]Fact, []string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var (
+		facts []Fact
+		tail  []string
+		seen  = make(map[Fact]bool)
+	)
+	for sc.Scan() {
+		line := sc.Text()
+		tail = appendTail(tail, line)
+		if f, ok := parseDiagnosticLine(root, line); ok && !seen[f] {
+			seen[f] = true
+			facts = append(facts, f)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, tail, fmt.Errorf("analysis: reading build diagnostics: %w", err)
+	}
+	return facts, tail, nil
+}
+
+// appendTail keeps a bounded ring of recent lines for build-failure
+// error messages.
+func appendTail(tail []string, line string) []string {
+	const keep = 30
+	// Assembly listing and flow-explanation lines are useless context
+	// for a failed build; keep only plain diagnostic/error lines.
+	if strings.HasPrefix(line, "\t") || strings.HasPrefix(line, " ") {
+		return tail
+	}
+	tail = append(tail, line)
+	if len(tail) > keep {
+		tail = tail[1:]
+	}
+	return tail
+}
+
+// parseDiagnosticLine classifies one stderr line. The bool result is
+// false for lines that carry no retained fact (section headers, flow
+// explanations, uninteresting messages, files outside root).
+func parseDiagnosticLine(root, line string) (Fact, bool) {
+	if m := asmLineRe.FindStringSubmatch(line); m != nil {
+		if !fmaMnemRe.MatchString(m[3]) {
+			return Fact{}, false
+		}
+		file, ok := canonPath(root, m[1])
+		if !ok {
+			return Fact{}, false
+		}
+		ln, _ := strconv.Atoi(m[2])
+		return Fact{Kind: FactFusedMulAdd, File: file, Line: ln, Name: m[3]}, true
+	}
+	if strings.HasPrefix(line, "\t") || strings.HasPrefix(line, " ") || strings.HasPrefix(line, "#") {
+		return Fact{}, false
+	}
+	m := posLineRe.FindStringSubmatch(line)
+	if m == nil {
+		return Fact{}, false
+	}
+	file, ok := canonPath(root, m[1])
+	if !ok {
+		return Fact{}, false
+	}
+	ln, _ := strconv.Atoi(m[2])
+	col, _ := strconv.Atoi(m[3])
+	msg := m[4]
+	fact := Fact{File: file, Line: ln, Col: col}
+	switch {
+	case strings.HasPrefix(msg, "moved to heap: "):
+		fact.Kind = FactEscape
+		fact.Name = strings.TrimPrefix(msg, "moved to heap: ")
+		fact.Detail = "moved to heap"
+	case strings.HasSuffix(msg, " escapes to heap") || strings.HasSuffix(msg, " escapes to heap:"):
+		subject := strings.TrimSuffix(strings.TrimSuffix(msg, ":"), " escapes to heap")
+		// A constant string escaping (a panic argument, typically)
+		// points at static data — no runtime allocation, no fact.
+		if strings.HasPrefix(subject, `"`) {
+			return Fact{}, false
+		}
+		fact.Kind = FactEscape
+		fact.Name = subject
+		fact.Detail = "escapes to heap"
+	case strings.HasPrefix(msg, "inlining call to "):
+		fact.Kind = FactInlineCall
+		fact.Name = strings.TrimPrefix(msg, "inlining call to ")
+	case strings.HasPrefix(msg, "can inline "):
+		cm := costRe.FindStringSubmatch(msg)
+		if cm == nil {
+			return Fact{}, false
+		}
+		fact.Kind = FactCanInline
+		fact.Name = cm[1]
+		fact.Detail = "cost " + cm[2]
+	case strings.HasPrefix(msg, "cannot inline "):
+		rest := strings.TrimPrefix(msg, "cannot inline ")
+		name, reason, found := strings.Cut(rest, ": ")
+		if !found {
+			return Fact{}, false
+		}
+		fact.Kind = FactCannotInline
+		fact.Name = name
+		fact.Detail = reason
+	case msg == "Found IsInBounds" || msg == "Found IsSliceInBounds":
+		fact.Kind = FactBoundsCheck
+		fact.Name = strings.TrimPrefix(msg, "Found ")
+	default:
+		return Fact{}, false
+	}
+	return fact, true
+}
+
+// canonPath resolves a diagnostic path (absolute in the -S listing,
+// root-relative in -m output) to a cleaned absolute path, rejecting
+// files outside root (stdlib sources, <autogenerated>).
+func canonPath(root, p string) (string, bool) {
+	if strings.HasPrefix(p, "<") { // <autogenerated>, <unknown line number>
+		return "", false
+	}
+	if !filepath.IsAbs(p) {
+		p = filepath.Join(root, p)
+	}
+	p = filepath.Clean(p)
+	if p != root && !strings.HasPrefix(p, root+string(filepath.Separator)) {
+		return "", false
+	}
+	return p, true
+}
+
+// InlineCost extracts the numeric cost from a can-inline fact's Detail
+// ("cost 79"), or from a cannot-inline reason ("cost 105 exceeds
+// budget 80"). Returns -1 when no cost is present (e.g. "no function
+// body").
+func InlineCost(f Fact) int {
+	fields := strings.Fields(f.Detail)
+	for i, w := range fields {
+		if w == "cost" && i+1 < len(fields) {
+			if n, err := strconv.Atoi(strings.TrimSuffix(fields[i+1], ":")); err == nil {
+				return n
+			}
+		}
+	}
+	return -1
+}

@@ -39,9 +39,10 @@ import (
 // ConcurrencyAnalyzer returns the concurrency analyzer.
 func ConcurrencyAnalyzer() *Analyzer {
 	return &Analyzer{
-		Name: "concurrency",
-		Doc:  "loop capture and shared writes in pool/go closures, copied locks, WaitGroup.Add placement, unlock-without-lock paths",
-		Run:  runConcurrency,
+		Name:   "concurrency",
+		Waiver: DirSyncOK,
+		Doc:    "loop capture and shared writes in pool/go closures, copied locks, WaitGroup.Add placement, unlock-without-lock paths",
+		Run:    runConcurrency,
 	}
 }
 

@@ -33,9 +33,10 @@ var wallClockFuncs = map[string]bool{
 // line.
 func DeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
-		Name: "determinism",
-		Doc:  "forbid wall-clock and math/rand outside bench, cmd, and examples",
-		Run:  runDeterminism,
+		Name:   "determinism",
+		Waiver: DirWallclock,
+		Doc:    "forbid wall-clock and math/rand outside bench, cmd, and examples",
+		Run:    runDeterminism,
 	}
 }
 

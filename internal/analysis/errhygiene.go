@@ -28,9 +28,10 @@ import (
 // Opt-out: //nessa:err-ok on (or above) the line.
 func ErrHygieneAnalyzer() *Analyzer {
 	return &Analyzer{
-		Name: "errhygiene",
-		Doc:  "enforce errors.Is / %w wrapping in the sentinel-error packages",
-		Run:  runErrHygiene,
+		Name:   "errhygiene",
+		Waiver: DirErrOK,
+		Doc:    "enforce errors.Is / %w wrapping in the sentinel-error packages",
+		Run:    runErrHygiene,
 	}
 }
 

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// EscapeCheckAnalyzer verifies the //nessa:hotpath zero-allocation
+// contract against gc's escape analysis instead of against syntax.
+// The source-level hotpath analyzer can only flag constructs that
+// *look* allocating (make, append, composite literals); escape
+// analysis sees the ones it structurally cannot — an interface
+// conversion that boxes, a slice captured by a closure, a local the
+// compiler moved to the heap because a pointer outlived the frame.
+// Every "moved to heap" / "escapes to heap" fact inside an annotated
+// function is a finding unless it sits in the same automatically
+// exempt spans the source analyzer honors (panic arguments, len/cap
+// growth guards) or carries a //nessa:alloc-ok waiver.
+//
+// The analyzer reports nothing without compiler evidence attached
+// (nessa-vet -compiler); it is a proof layer, not a heuristic.
+func EscapeCheckAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:   "escapecheck",
+		Doc:    "prove //nessa:hotpath functions have zero heap escapes in gc's escape analysis",
+		Waiver: DirAllocOK,
+		Run:    runEscapeCheck,
+	}
+}
+
+func runEscapeCheck(p *Pass) {
+	if p.Evidence == nil {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !HasDirective(fn.Doc, DirHotpath) {
+				continue
+			}
+			p.Metric(MetricHotpathFuncs, 1)
+			checkEscapes(p, fn)
+		}
+	}
+}
+
+func checkEscapes(p *Pass, fn *ast.FuncDecl) {
+	// The span starts at the declaration, not the body: a parameter
+	// gc moved to the heap is reported at the signature.
+	start := p.Pkg.Fset.Position(fn.Pos())
+	end := p.Pkg.Fset.Position(fn.End())
+	panicSpans, guardSpans := hotExemptSpans(p, fn)
+	for _, fact := range p.Evidence.Span(start.Filename, start.Line, end.Line) {
+		if fact.Kind != FactEscape {
+			continue
+		}
+		pos := p.PosAt(fact.File, fact.Line, fact.Col)
+		if !pos.IsValid() || pos < fn.Pos() || pos >= fn.End() {
+			continue
+		}
+		if anyContains(panicSpans, pos) || anyContains(guardSpans, pos) {
+			continue
+		}
+		if p.ExemptAt(pos, DirAllocOK) {
+			p.Metric(MetricEscapesWaived, 1)
+			continue
+		}
+		p.Reportf(pos, "gc escape analysis: %s %s in //nessa:hotpath function %s — the compiled steady-state path heap-allocates here even though the source shows no allocating construct (annotate //nessa:alloc-ok with a justification if amortized)",
+			fact.Name, fact.Detail, fn.Name.Name)
+	}
+}

@@ -27,9 +27,10 @@ import (
 // line.
 func FMAAnalyzer() *Analyzer {
 	return &Analyzer{
-		Name: "fma",
-		Doc:  "flag fusable float multiply-add expressions in kernel packages",
-		Run:  runFMA,
+		Name:   "fma",
+		Waiver: DirFMAOK,
+		Doc:    "flag fusable float multiply-add expressions in kernel packages",
+		Run:    runFMA,
 	}
 }
 

@@ -29,9 +29,10 @@ import (
 // once-per-dispatch closure amortized over a whole banded GEMM).
 func HotPathAnalyzer() *Analyzer {
 	return &Analyzer{
-		Name: "hotpath",
-		Doc:  "forbid allocating and formatting constructs in //nessa:hotpath functions",
-		Run:  runHotPath,
+		Name:   "hotpath",
+		Waiver: DirAllocOK,
+		Doc:    "forbid allocating and formatting constructs in //nessa:hotpath functions",
+		Run:    runHotPath,
 	}
 }
 
@@ -64,8 +65,13 @@ func anyContains(spans []span, pos token.Pos) bool {
 	return false
 }
 
-func checkHotPathBody(p *Pass, fn *ast.FuncDecl) {
-	var panicSpans, guardSpans []span
+// hotExemptSpans computes the two automatically exempt position
+// classes of a hotpath function body: panic arguments (the failure
+// path never runs hot) and bodies of ifs whose condition calls len or
+// cap (the amortized warm-up growth idiom). Shared by the source-level
+// hotpath analyzer and the compiler-evidence escapecheck analyzer so
+// both excuse exactly the same sites.
+func hotExemptSpans(p *Pass, fn *ast.FuncDecl) (panicSpans, guardSpans []span) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
@@ -79,6 +85,11 @@ func checkHotPathBody(p *Pass, fn *ast.FuncDecl) {
 		}
 		return true
 	})
+	return panicSpans, guardSpans
+}
+
+func checkHotPathBody(p *Pass, fn *ast.FuncDecl) {
+	panicSpans, guardSpans := hotExemptSpans(p, fn)
 
 	// allocFlag reports an allocation-class construct, honoring the
 	// growth-guard spans and the alloc-ok annotation.

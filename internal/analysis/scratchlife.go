@@ -36,9 +36,10 @@ import (
 // ScratchLifeAnalyzer returns the scratchlife analyzer.
 func ScratchLifeAnalyzer() *Analyzer {
 	return &Analyzer{
-		Name: "scratchlife",
-		Doc:  "pooled/arena scratch memory escaping its epoch: use-after-Put, returns, stores, channel sends",
-		Run:  runScratchLife,
+		Name:   "scratchlife",
+		Waiver: DirScratchOK,
+		Doc:    "pooled/arena scratch memory escaping its epoch: use-after-Put, returns, stores, channel sends",
+		Run:    runScratchLife,
 	}
 }
 

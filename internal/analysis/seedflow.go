@@ -36,9 +36,10 @@ import (
 // SeedFlowAnalyzer returns the seedflow analyzer.
 func SeedFlowAnalyzer() *Analyzer {
 	return &Analyzer{
-		Name: "seedflow",
-		Doc:  "RNG and fault-injector seeds in library code must flow from a parameter, a Seed field, or an existing RNG stream",
-		Run:  runSeedFlow,
+		Name:   "seedflow",
+		Waiver: DirSeedOK,
+		Doc:    "RNG and fault-injector seeds in library code must flow from a parameter, a Seed field, or an existing RNG stream",
+		Run:    runSeedFlow,
 	}
 }
 

@@ -1,0 +1,25 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func fmaAsm(a, b, c float64) float64
+// Hand-written FMA outside the fast-tier file set: the textual scan
+// must flag the mnemonic below.
+TEXT ·fmaAsm(SB), NOSPLIT, $0-32
+	MOVSD a+0(FP), X0
+	MOVSD b+8(FP), X1
+	MOVSD c+16(FP), X2
+	VFMADD231SD X1, X2, X0 // want "hand-written VFMADD231SD outside the fast-tier file set"
+	MOVSD X0, ret+24(FP)
+	RET
+
+// func fmaAsmWaived(a, b, c float64) float64
+// The same instruction under an //nessa:fma-ok waiver is accepted.
+TEXT ·fmaAsmWaived(SB), NOSPLIT, $0-32
+	MOVSD a+0(FP), X0
+	MOVSD b+8(FP), X1
+	MOVSD c+16(FP), X2
+	//nessa:fma-ok fixture: justified fused kernel, tolerance documented at the call site
+	VFMADD231SD X1, X2, X0
+	MOVSD X0, ret+24(FP)
+	RET

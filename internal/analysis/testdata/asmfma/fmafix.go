@@ -1,0 +1,21 @@
+// Golden fixture for the asmfma compiler-evidence analyzer. The
+// harness loads this package under internal/tensor (the kernel scope)
+// and only runs on amd64, where math.FMA compiles to a VFMADD231SD
+// behind a CPU-feature check.
+package fmafix
+
+import "math"
+
+// FusedPortable is the compiled-code true positive: a fused multiply-
+// add emitted outside the fast-tier file set breaks the bit-exact
+// tier's single-rounding-per-step contract.
+func FusedPortable(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want "gc emitted VFMADD231SD"
+}
+
+// Mul2Add is the clean true negative: separate multiply and add round
+// twice and emit no fused instruction.
+func Mul2Add(a, b, c float64) float64 {
+	t := a * b
+	return t + c
+}

@@ -1,0 +1,11 @@
+// Fast-tier true negative: this file's gemm_fast prefix puts it in the
+// dispatch-gated file set, where fusing is the whole point.
+package fmafix
+
+import "math"
+
+// FusedFast may fuse freely — the BitExact=false tier documents its
+// rounding tolerance.
+func FusedFast(a, b, c float64) float64 {
+	return math.FMA(a, b, c)
+}

@@ -1,0 +1,14 @@
+//go:build amd64
+
+package fmafix
+
+// fmaAsm is implemented in asm_amd64.s: the hand-written-assembly true
+// positive and waiver cases for the textual scanner.
+//
+//go:noescape
+func fmaAsm(a, b, c float64) float64
+
+// fmaAsmWaived is implemented in asm_amd64.s.
+//
+//go:noescape
+func fmaAsmWaived(a, b, c float64) float64

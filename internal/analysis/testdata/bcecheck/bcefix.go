@@ -1,0 +1,53 @@
+// Golden fixture for the bcecheck compiler-evidence analyzer: inner-
+// loop index expressions in hotpath kernel functions must be bounds-
+// check-eliminated, per the ssa/check_bce debug log of the
+// instrumented build.
+package bcefix
+
+// GatherSum is the true positive: the gather index is data-dependent,
+// so the prover cannot discharge the check and it survives in the
+// innermost loop of a hotpath function.
+//
+//nessa:hotpath
+func GatherSum(xs []float32, idx []int) float32 {
+	var s float32
+	for _, i := range idx {
+		s += xs[i] // want "IsInBounds survives in an innermost loop of //nessa:hotpath function GatherSum"
+	}
+	return s
+}
+
+// WaivedGather is the escape-hatch true negative: the identical check
+// under an //nessa:bce-ok waiver is accepted (and counted).
+//
+//nessa:hotpath
+func WaivedGather(xs []float32, idx []int) float32 {
+	var s float32
+	for _, i := range idx {
+		//nessa:bce-ok fixture: data-dependent gather, check is the corruption guard
+		s += xs[i]
+	}
+	return s
+}
+
+// RangeSum is the clean true negative: range-derived indexing is
+// provably in bounds, so check_bce records nothing here.
+//
+//nessa:hotpath
+func RangeSum(xs []float32) float32 {
+	var s float32
+	for i := range xs {
+		s += xs[i]
+	}
+	return s
+}
+
+// ColdGather is the scope true negative: the same surviving check
+// outside a //nessa:hotpath function is not gated.
+func ColdGather(xs []float32, idx []int) float32 {
+	var s float32
+	for _, i := range idx {
+		s += xs[i]
+	}
+	return s
+}

@@ -1,0 +1,45 @@
+// Golden fixture for the escapecheck compiler-evidence analyzer. The
+// harness compiles this package with the instrumented flags, so every
+// expectation below is checked against what gc actually reported.
+package escfix
+
+// sink keeps escaping values reachable so escape analysis must heap-
+// allocate them.
+var sink []float32
+
+// Leak is the true positive: the buffer escapes through the package
+// sink, and the hotpath contract forbids uncovered heap escapes.
+//
+//nessa:hotpath
+func Leak(n int) {
+	buf := make([]float32, n) // want "escapes to heap in //nessa:hotpath function Leak"
+	sink = buf
+}
+
+// Waived is the escape-hatch true negative: the same escape under an
+// //nessa:alloc-ok waiver is accepted (and counted in the ledger).
+//
+//nessa:hotpath
+func Waived(n int) {
+	//nessa:alloc-ok fixture: amortized setup buffer, built once per session
+	buf := make([]float32, n)
+	sink = buf
+}
+
+// Cold is the scope true negative: escapes outside //nessa:hotpath
+// functions are not escapecheck's business.
+func Cold(n int) {
+	sink = make([]float32, n)
+}
+
+// StackOnly is the clean true negative: nothing here escapes, so the
+// instrumented build records no escape fact in the function's span.
+//
+//nessa:hotpath
+func StackOnly(xs []float32) float32 {
+	var acc [4]float32
+	for i, x := range xs {
+		acc[i%4] += x
+	}
+	return acc[0] + acc[1] + acc[2] + acc[3]
+}

@@ -50,9 +50,6 @@ func readWants(t *testing.T, file string) map[int][]string {
 			wants[i+1] = append(wants[i+1], m[1])
 		}
 	}
-	if len(wants) == 0 {
-		t.Fatalf("fixture %s declares no // want comments", file)
-	}
 	return wants
 }
 
@@ -77,21 +74,38 @@ func runFixture(t *testing.T, analyzer, dir, importPath string) {
 		t.Fatal(err)
 	}
 	findings := Run([]*Package{pkg}, az)
+	matchWants(t, findings, collectWants(t, fixDir, ".go"))
+}
 
-	// One want file per fixture keeps the harness simple.
-	entries, err := os.ReadDir(fixDir)
+// collectWants gathers the `// want` expectations from every fixture
+// file in dir with one of the given extensions, keyed by line.
+func collectWants(t *testing.T, dir string, exts ...string) map[int][]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wants := make(map[int][]string)
 	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), ".go") {
-			for line, subs := range readWants(t, filepath.Join(fixDir, e.Name())) {
-				wants[line] = append(wants[line], subs...)
+		for _, ext := range exts {
+			if strings.HasSuffix(e.Name(), ext) {
+				for line, subs := range readWants(t, filepath.Join(dir, e.Name())) {
+					wants[line] = append(wants[line], subs...)
+				}
+				break
 			}
 		}
 	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture directory %s declares no // want comments", dir)
+	}
+	return wants
+}
 
+// matchWants checks findings against want expectations one-to-one by
+// line number and message substring.
+func matchWants(t *testing.T, findings []Finding, wants map[int][]string) {
+	t.Helper()
 	for _, f := range findings {
 		line := f.Pos.Line
 		matched := -1

@@ -113,6 +113,7 @@ func GradEmbeddingsInto(emb, logits *tensor.Matrix, labels []int) {
 	for i := 0; i < n; i++ {
 		row := emb.Row(i)
 		tensor.Softmax(row, logits.Row(i))
+		//nessa:bce-ok label is a data-dependent class index; the check is the guard against corrupt labels, paid once per k-wide softmax
 		row[labels[i]] -= 1
 	}
 }

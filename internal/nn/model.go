@@ -137,13 +137,20 @@ func (m *MLP) forwardInto(acts []*tensor.Matrix, x *tensor.Matrix) *tensor.Matri
 	if x.Cols != m.In {
 		panic(fmt.Sprintf("nn: Forward input has %d features, model wants %d", x.Cols, m.In))
 	}
+	// Both callers size acts to len(Layers)+1. The local layers copy
+	// and the tail re-slice share one length value, so the prover can
+	// discharge the per-layer indexing that an acts[i+1] access
+	// defeats (a field re-load would not: the calls in the loop could,
+	// for all the prover knows, mutate m.Layers).
+	layers := m.Layers
+	rest := acts[1:][:len(layers)]
 	acts[0] = x
 	cur := x
-	for i, l := range m.Layers {
-		out := tensor.EnsureShape(acts[i+1], cur.Rows, l.W.Rows)
-		acts[i+1] = out
+	for i, l := range layers {
+		out := tensor.EnsureShape(rest[i], cur.Rows, l.W.Rows)
+		rest[i] = out
 		tensor.MatMulTransB(out, cur, l.W)
-		if i < len(m.Layers)-1 {
+		if i < len(layers)-1 {
 			tensor.AddRowVecReLU(out, l.B)
 		} else {
 			tensor.AddRowVec(out, l.B)
@@ -203,7 +210,9 @@ func (m *MLP) Backward(g *Grads, dLogits *tensor.Matrix) {
 		tensor.MatMulTransAAcc(g.W[i], delta, in)
 		gb := g.B[i]
 		for r := 0; r < delta.Rows; r++ {
-			row := delta.Row(r)
+			// Pin the row length to len(gb) so the prover discharges
+			// both index checks in the column-sum loop.
+			row := delta.Row(r)[:len(gb)]
 			for j := range gb {
 				gb[j] += row[j]
 			}
@@ -218,9 +227,12 @@ func (m *MLP) Backward(g *Grads, dLogits *tensor.Matrix) {
 		dIn := tensor.EnsureShape(m.deltas[i], delta.Rows, l.W.Cols)
 		m.deltas[i] = dIn
 		tensor.MatMul(dIn, delta, l.W)
+		// dIn and in share a shape; the re-slice proves it to the
+		// compiler so the mask loop runs check-free.
+		dd := dIn.Data[:len(in.Data)]
 		for k, v := range in.Data {
 			if v <= 0 {
-				dIn.Data[k] = 0
+				dd[k] = 0
 			}
 		}
 		delta = dIn

@@ -195,8 +195,8 @@ func getGemmTask(kind uint8, dst, a, b *Matrix, packed []float32, acc bool) *gem
 	if t == nil {
 		//nessa:alloc-ok free-list miss: descriptor and its two bound closures are built once and recycled forever
 		t = &gemmTask{}
-		t.run = t.band
-		t.runPack = t.pack
+		//nessa:alloc-ok method values allocate once per descriptor lifetime and are recycled with it
+		t.run, t.runPack = t.band, t.pack
 	}
 	t.kind, t.dst, t.a, t.b, t.packed, t.acc = kind, dst, a, b, packed, acc
 	return t
@@ -438,10 +438,13 @@ func packColRange(out []float32, b *Matrix, lo, hi int) {
 		o := jp * k * gemmNR
 		for kk := 0; kk < k; kk++ {
 			row := b.Row(kk)[j0 : j0+gemmNR]
-			out[o] = row[0]
-			out[o+1] = row[1]
-			out[o+2] = row[2]
-			out[o+3] = row[3]
+			// Constant-length destination window: one slice check,
+			// zero per-element index checks.
+			d := out[o:][:gemmNR]
+			d[0] = row[0]
+			d[1] = row[1]
+			d[2] = row[2]
+			d[3] = row[3]
 			o += gemmNR
 		}
 	}
@@ -470,13 +473,17 @@ func packRowRange(out []float32, b *Matrix, lo, hi int) {
 	k := b.Cols
 	for jp := lo; jp < hi; jp++ {
 		j0 := jp * gemmNR
-		r0, r1, r2, r3 := b.Row(j0), b.Row(j0+1), b.Row(j0+2), b.Row(j0+3)
+		// The [:k] re-slices pin each row's length to the loop bound
+		// and the [:gemmNR] window pins the destination's, so every
+		// check below is discharged by the prover.
+		r0, r1, r2, r3 := b.Row(j0)[:k], b.Row(j0 + 1)[:k], b.Row(j0 + 2)[:k], b.Row(j0 + 3)[:k]
 		o := jp * k * gemmNR
 		for kk := 0; kk < k; kk++ {
-			out[o] = r0[kk]
-			out[o+1] = r1[kk]
-			out[o+2] = r2[kk]
-			out[o+3] = r3[kk]
+			d := out[o:][:gemmNR]
+			d[0] = r0[kk]
+			d[1] = r1[kk]
+			d[2] = r2[kk]
+			d[3] = r3[kk]
 			o += gemmNR
 		}
 	}
@@ -490,10 +497,11 @@ func packAPanel(pa []float32, a *Matrix, i0, k0, k1 int) {
 	o := 0
 	for kk := k0; kk < k1; kk++ {
 		row := a.Row(kk)[i0 : i0+gemmMR]
-		pa[o] = row[0]
-		pa[o+1] = row[1]
-		pa[o+2] = row[2]
-		pa[o+3] = row[3]
+		d := pa[o:][:gemmMR]
+		d[0] = row[0]
+		d[1] = row[1]
+		d[2] = row[2]
+		d[3] = row[3]
 		o += gemmMR
 	}
 }
@@ -501,6 +509,7 @@ func packAPanel(pa []float32, a *Matrix, i0, k0, k1 int) {
 // zeroRows clears dst rows [lo,hi).
 //
 //nessa:hotpath
+//nessa:inline
 func zeroRows(dst *Matrix, lo, hi int) {
 	z := dst.Data[lo*dst.Cols : hi*dst.Cols]
 	for i := range z {
@@ -548,6 +557,7 @@ func matMulBand(dst, a, b *Matrix, packed []float32, lo, hi int) {
 			for kk := 0; kk < k; kk++ {
 				// Round each product before the add so the compiler
 				// cannot fuse it into an FMA (bit-identity contract).
+				//nessa:bce-ok column tail (< NR columns): the stride-m walk down b.Data defeats the prover
 				t := arow[kk] * b.Data[kk*m+j]
 				sum += t
 			}
@@ -567,6 +577,7 @@ func matMulTransBBand(dst, a, b *Matrix, packed []float32, lo, hi int) {
 	for j := np * gemmNRActive(); j < m; j++ {
 		brow := b.Row(j)
 		for i := lo; i < hi; i++ {
+			//nessa:bce-ok one store per k-length Dot; j is a column-tail index the prover cannot bound
 			dst.Row(i)[j] = Dot(a.Row(i), brow)
 		}
 	}
@@ -581,7 +592,8 @@ func matMulTransBBand(dst, a, b *Matrix, packed []float32, lo, hi int) {
 func matMulSkipBand(dst, a, b *Matrix, lo, hi int) {
 	k := a.Cols
 	for i := lo; i < hi; i++ {
-		arow := a.Row(i)
+		// [:k] ties the row length to the kk loop bound for the prover.
+		arow := a.Row(i)[:k]
 		drow := dst.Row(i)
 		for j := range drow {
 			drow[j] = 0
@@ -609,14 +621,14 @@ func matMulTransASkipBand(dst, a, b *Matrix, acc bool, lo, hi int) {
 		zeroRows(dst, lo, hi)
 	}
 	for kk := 0; kk < k; kk++ {
-		arow := a.Row(kk)
 		brow := b.Row(kk)
-		for i := lo; i < hi; i++ {
-			av := arow[i]
+		// Ranging over the band's window of the row keeps the sparse
+		// scan check-free where an indexed arow[i] read would not be.
+		for io, av := range a.Row(kk)[lo:hi] {
 			if av == 0 {
 				continue
 			}
-			axpyRow(dst.Row(i), brow, av)
+			axpyRow(dst.Row(lo+io), brow, av)
 		}
 	}
 }
@@ -670,6 +682,7 @@ func matMulTransABand(dst, a, b *Matrix, packed []float32, acc bool, w, lo, hi i
 			var sum float32
 			for kk := 0; kk < k; kk++ {
 				// Round each product before the add (no FMA).
+				//nessa:bce-ok column tail (< NR columns): stride-walks down both Data arrays defeat the prover
 				t := a.Data[kk*a.Cols+i] * b.Data[kk*m+j]
 				sum += t
 			}
@@ -681,6 +694,7 @@ func matMulTransABand(dst, a, b *Matrix, packed []float32, acc bool, w, lo, hi i
 	for i := scalarRowEnd; i < hi; i++ {
 		drow := dst.Row(i)
 		for kk := 0; kk < k; kk++ {
+			//nessa:bce-ok one strided scalar load per m-wide axpy; stride a.Cols defeats the prover
 			axpyRow(drow, b.Row(kk), a.Data[kk*a.Cols+i])
 		}
 	}

@@ -19,6 +19,7 @@ package tensor
 // unblocked.
 //
 //nessa:hotpath
+//nessa:inline
 func kcBlock(k int) int {
 	kc := tuning.KC
 	if kc <= 0 || kc > k {
@@ -51,20 +52,22 @@ func packRowRange8(out []float32, b *Matrix, lo, hi int) {
 	k := b.Cols
 	for jp := lo; jp < hi; jp++ {
 		j0 := jp * gemmNRFast
-		var rows [gemmNRFast][]float32
-		for c := range rows {
-			rows[c] = b.Row(j0 + c)
-		}
+		// Named rows re-sliced to [:k] (the kk loop bound) and a
+		// constant-length destination window keep the inner loop free
+		// of per-element bounds checks.
+		r0, r1, r2, r3 := b.Row(j0)[:k], b.Row(j0 + 1)[:k], b.Row(j0 + 2)[:k], b.Row(j0 + 3)[:k]
+		r4, r5, r6, r7 := b.Row(j0 + 4)[:k], b.Row(j0 + 5)[:k], b.Row(j0 + 6)[:k], b.Row(j0 + 7)[:k]
 		o := jp * k * gemmNRFast
 		for kk := 0; kk < k; kk++ {
-			out[o] = rows[0][kk]
-			out[o+1] = rows[1][kk]
-			out[o+2] = rows[2][kk]
-			out[o+3] = rows[3][kk]
-			out[o+4] = rows[4][kk]
-			out[o+5] = rows[5][kk]
-			out[o+6] = rows[6][kk]
-			out[o+7] = rows[7][kk]
+			d := out[o:][:gemmNRFast]
+			d[0] = r0[kk]
+			d[1] = r1[kk]
+			d[2] = r2[kk]
+			d[3] = r3[kk]
+			d[4] = r4[kk]
+			d[5] = r5[kk]
+			d[6] = r6[kk]
+			d[7] = r7[kk]
 			o += gemmNRFast
 		}
 	}
@@ -143,7 +146,12 @@ func transACoreFast(dst, a *Matrix, packed, pa []float32, np, lo, iTileEnd int) 
 func transARowFast(drow []float32, a *Matrix, packed, col []float32, np, i int) {
 	k := a.Rows
 	kc := kcBlock(k)
+	// [:k] ties the strip length to the loop bound; the strided read
+	// down a.Data stays checked (and waived): stride a.Cols defeats
+	// the prover, and the gather runs once per k elements of FMA work.
+	col = col[:k]
 	for kk := 0; kk < k; kk++ {
+		//nessa:bce-ok strided column gather, once per row: stride a.Cols defeats the prover
 		col[kk] = a.Data[kk*a.Cols+i]
 	}
 	for jp := 0; jp < np; jp++ {

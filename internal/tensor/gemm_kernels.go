@@ -110,8 +110,10 @@ func goMicro4x4(d0, d1, d2, d3 []float32, j0 int, a0, a1, a2, a3, p []float32) {
 	a3 = a3[:kn:kn]
 	p = p[: gemmNR*kn : gemmNR*kn]
 	for k := 0; k < kn; k++ {
-		o := k * gemmNR
-		bv0, bv1, bv2, bv3 := p[o], p[o+1], p[o+2], p[o+3]
+		// One slice check in place of four index checks: pb has
+		// constant length gemmNR, so pb[0..3] are provably in bounds.
+		pb := p[k*gemmNR:][:gemmNR]
+		bv0, bv1, bv2, bv3 := pb[0], pb[1], pb[2], pb[3]
 		av0, av1, av2, av3 := a0[k], a1[k], a2[k], a3[k]
 		// The products are materialized into temporaries before the
 		// adds: the spec lets `c += a*b` fuse into one FMA (a single
@@ -161,10 +163,10 @@ func goMicro1x4(d []float32, j0 int, a, p []float32) {
 	a = a[:kn:kn]
 	p = p[: gemmNR*kn : gemmNR*kn]
 	for k := 0; k < kn; k++ {
-		o := k * gemmNR
+		pb := p[k*gemmNR:][:gemmNR]
 		av := a[k]
 		// Explicit product temporaries: see goMicro4x4.
-		m0, m1, m2, m3 := av*p[o], av*p[o+1], av*p[o+2], av*p[o+3]
+		m0, m1, m2, m3 := av*pb[0], av*pb[1], av*pb[2], av*pb[3]
 		c0, c1, c2, c3 = c0+m0, c1+m1, c2+m2, c3+m3
 	}
 	d = d[j0 : j0+gemmNR]
@@ -191,9 +193,10 @@ func goMicroP4x4(d0, d1, d2, d3 []float32, j0 int, pa, p []float32) {
 	pa = pa[: gemmNR*kn : gemmNR*kn]
 	p = p[: gemmNR*kn : gemmNR*kn]
 	for k := 0; k < kn; k++ {
-		o := k * gemmNR
-		av0, av1, av2, av3 := pa[o], pa[o+1], pa[o+2], pa[o+3]
-		bv0, bv1, bv2, bv3 := p[o], p[o+1], p[o+2], p[o+3]
+		pav := pa[k*gemmNR:][:gemmNR]
+		pb := p[k*gemmNR:][:gemmNR]
+		av0, av1, av2, av3 := pav[0], pav[1], pav[2], pav[3]
+		bv0, bv1, bv2, bv3 := pb[0], pb[1], pb[2], pb[3]
 		// Explicit product temporaries: see goMicro4x4.
 		m0, m1, m2, m3 := av0*bv0, av0*bv1, av0*bv2, av0*bv3
 		c00, c01, c02, c03 = c00+m0, c01+m1, c02+m2, c03+m3

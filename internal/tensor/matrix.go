@@ -41,11 +41,15 @@ func FromRows(rows [][]float32) *Matrix {
 }
 
 // Row returns a mutable view of row i.
+//
+//nessa:inline
 func (m *Matrix) Row(i int) []float32 {
 	return m.Data[i*m.Cols : (i+1)*m.Cols]
 }
 
 // At returns the element at (i, j).
+//
+//nessa:inline
 func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
 
 // Set assigns the element at (i, j).
@@ -113,7 +117,9 @@ func AddRowVec(m *Matrix, v []float32) {
 		panic(fmt.Sprintf("tensor: AddRowVec length %d, want %d", len(v), m.Cols))
 	}
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
+		// Pinning the row length to len(v) lets the prover discharge
+		// both index checks in the element loop.
+		row := m.Row(i)[:len(v)]
 		for j := range row {
 			row[j] += v[j]
 		}
@@ -131,7 +137,7 @@ func AddRowVecReLU(m *Matrix, v []float32) {
 		panic(fmt.Sprintf("tensor: AddRowVecReLU length %d, want %d", len(v), m.Cols))
 	}
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
+		row := m.Row(i)[:len(v)]
 		for j := range row {
 			t := row[j] + v[j]
 			if t < 0 {
@@ -150,6 +156,8 @@ func (m *Matrix) Scale(s float32) {
 }
 
 // AXPY computes dst += alpha*src elementwise. Shapes must match.
+//
+//nessa:inline
 func AXPY(dst *Matrix, alpha float32, src *Matrix) {
 	if dst.Rows != src.Rows || dst.Cols != src.Cols {
 		panic("tensor: AXPY shape mismatch")

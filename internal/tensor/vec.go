@@ -5,6 +5,7 @@ import "math"
 // Dot returns the inner product of a and b. Lengths must match.
 //
 //nessa:hotpath
+//nessa:inline
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("tensor: Dot length mismatch")
@@ -56,10 +57,13 @@ func Argmax(v []float32) int {
 	if len(v) == 0 {
 		return -1
 	}
-	best := 0
+	// Carrying the running maximum in a register instead of re-reading
+	// v[best] removes the only bounds check the prover cannot discharge
+	// (best is data-dependent). Same comparisons, same tie-breaking.
+	best, bestVal := 0, v[0]
 	for i := 1; i < len(v); i++ {
-		if v[i] > v[best] {
-			best = i
+		if v[i] > bestVal {
+			best, bestVal = i, v[i]
 		}
 	}
 	return best

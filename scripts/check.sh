@@ -51,6 +51,51 @@ echo "== nessa-vet =="
 # with: nessa-vet -baseline scripts/vet-baseline.json -write-baseline ./...
 "$tmpdir/nessa-vet" -baseline scripts/vet-baseline.json ./...
 
+echo "== nessa-vet -compiler =="
+# Machine-level verification: rebuild with gc diagnostics
+# (-gcflags='-m=2 -S -d=ssa/check_bce/debug=1' — cached after the first
+# compile) and check the hot-path contracts against what the compiler
+# actually emitted: escapecheck (//nessa:hotpath functions have no heap
+# escapes beyond //nessa:alloc-ok), inlinegate (//nessa:inline kernels
+# stay within gc's inline budget and inline at hot call sites),
+# bcecheck (no IsInBounds survives an innermost hot loop in the kernel
+# packages without //nessa:bce-ok), and asmfma (no VFMADD outside the
+# dispatch-gated fast-tier files).
+#
+# Toolchain pin / skip path: the parsed diagnostic formats are
+# validated for go1.22–go1.26. On any other toolchain this section is
+# skipped with a warning — nessa-vet itself also exits 0 on an
+# unpinned toolchain, so a bare `nessa-vet -compiler ./...` degrades
+# the same way outside this script.
+#
+# The findings gate diffs against scripts/vet-compiler-baseline.json
+# (empty — the tree is swept clean); the evidence ledger
+# results/COMPILER_evidence.json diffs per-package counts: regressions
+# (new escape waivers, kernels lost from the inline budget, bounds
+# checks creeping back) fail, improvements are auto-accepted by
+# regenerating the committed file, with a log line so the refresh
+# lands in the commit.
+goversion="$(go env GOVERSION)"
+case "$goversion" in
+go1.2[2-6] | go1.2[2-6].* | go1.2[2-6][!0-9]*)
+	compiler_out="$("$tmpdir/nessa-vet" -compiler \
+		-baseline scripts/vet-compiler-baseline.json \
+		-ledger results/COMPILER_evidence.json ./... 2>&1)" || {
+		printf '%s\n' "$compiler_out" >&2
+		exit 1
+	}
+	[[ -n "$compiler_out" ]] && printf '%s\n' "$compiler_out"
+	if grep -q "ledger improved" <<<"$compiler_out"; then
+		"$tmpdir/nessa-vet" -compiler \
+			-ledger results/COMPILER_evidence.json -write-ledger ./... 2>/dev/null
+		echo "accepted ledger improvements into results/COMPILER_evidence.json (commit the refresh)"
+	fi
+	;;
+*)
+	echo "skipping compiler evidence: $goversion outside the pinned range go1.22-go1.26" >&2
+	;;
+esac
+
 echo "== go test -race =="
 go test -race ./...
 
