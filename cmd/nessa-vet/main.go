@@ -1,9 +1,10 @@
 // Command nessa-vet runs the repository's custom static-analysis
-// suite (internal/analysis): eight analyzers that machine-check the
+// suite (internal/analysis): nine analyzers that machine-check the
 // determinism, hot-path-allocation, FMA bit-identity, map-order,
-// error-hygiene, concurrency, scratch-lifetime, and seed-provenance
-// contracts at the source level, plus a compiler-evidence mode that
-// verifies the hot-path contracts against what gc actually emitted.
+// error-hygiene, concurrency, scratch-lifetime, seed-provenance, and
+// tensor-shape contracts at the source level, plus a compiler-evidence
+// mode that verifies the hot-path contracts against what gc actually
+// emitted.
 //
 // Usage:
 //
@@ -48,6 +49,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -87,9 +89,7 @@ func main() {
 		analyzers = analysis.CompilerAll()
 	}
 	if *list {
-		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
-		}
+		printList(os.Stdout)
 		return
 	}
 	if *runList != "" {
@@ -201,6 +201,18 @@ func main() {
 	if ledgerRegressed {
 		fmt.Fprintf(os.Stderr, "nessa-vet: evidence ledger regressed against %s\n", *ledgerPath)
 		os.Exit(1)
+	}
+}
+
+// printList writes every analyzer of both suites with a suite column.
+// Both are always listed, not just the suite the other flags would
+// run: -list answers "what can -run name?", and -run addresses both.
+func printList(w io.Writer) {
+	for _, a := range analysis.All() {
+		fmt.Fprintf(w, "%-12s %-9s %s\n", a.Name, "source", a.Doc)
+	}
+	for _, a := range analysis.CompilerAll() {
+		fmt.Fprintf(w, "%-12s %-9s %s\n", a.Name, "compiler", a.Doc)
 	}
 }
 

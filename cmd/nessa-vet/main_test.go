@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"nessa/internal/analysis"
+)
+
+// TestListShowsBothSuites pins the -list output contract: every
+// analyzer of both the source and compiler suites appears, each with
+// its suite column, so -run users can discover every valid name from
+// one listing.
+func TestListShowsBothSuites(t *testing.T) {
+	var b strings.Builder
+	printList(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	want := len(analysis.All()) + len(analysis.CompilerAll())
+	if len(lines) != want {
+		t.Fatalf("printList wrote %d lines, want %d:\n%s", len(lines), want, out)
+	}
+	byName := make(map[string]string)
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			t.Fatalf("list line has no suite column: %q", line)
+		}
+		byName[fields[0]] = fields[1]
+	}
+	for _, a := range analysis.All() {
+		if byName[a.Name] != "source" {
+			t.Errorf("analyzer %s: suite column %q, want %q", a.Name, byName[a.Name], "source")
+		}
+	}
+	for _, a := range analysis.CompilerAll() {
+		if byName[a.Name] != "compiler" {
+			t.Errorf("analyzer %s: suite column %q, want %q", a.Name, byName[a.Name], "compiler")
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package analysis implements nessa-vet, the repository's custom
-// static-analysis suite. Five analyzers machine-check the source-level
+// static-analysis suite. Nine analyzers machine-check the source-level
 // contracts the test suite otherwise only samples at runtime:
 //
 //   - determinism: no wall-clock or math/rand in device/core code
@@ -9,6 +9,16 @@
 //   - fma:         no fusable a*b±c float expressions in the kernels
 //   - errhygiene:  sentinel errors compared with errors.Is and wrapped
 //     with %w, never matched by identity or message text
+//   - concurrency: loop capture, unsynchronized shared writes, copied
+//     locks, and divergent lock-state paths
+//   - scratchlife: pooled/arena scratch must not outlive its epoch
+//   - seedflow:    RNG seeds must flow from configuration
+//   - shapecheck:  tensor dimensions must agree symbolically across
+//     the tensor/nn/data APIs and //nessa:shape contracts
+//
+// A second, compiler-evidence suite (escapecheck, inlinegate,
+// bcecheck, asmfma) runs under nessa-vet -compiler against an
+// instrumented build; see README's analyzer reference table.
 //
 // Every analyzer reports position-accurate findings and honors a
 // source-level opt-out annotation (see the directive constants below
@@ -75,6 +85,18 @@ const (
 	// from the bcecheck compiler-evidence analyzer, with a
 	// justification for why it cannot (or need not) be eliminated.
 	DirBCEOK = "bce-ok"
+	// DirShape declares a shape contract on a function or struct field
+	// (opt-in boundary facts for the shapecheck analyzer):
+	//
+	//	//nessa:shape(features: len=nf, buf: minlen=10+4*nf)
+	//
+	// Clause targets name parameters (omitted on struct fields, where
+	// the field itself is the target); keys are rows/cols/len/minlen
+	// and dims are integer expressions over named symbols.
+	DirShape = "shape"
+	// DirShapeOK waives one shapecheck finding, with a justification
+	// for why the flagged dimensions are in fact compatible.
+	DirShapeOK = "shape-ok"
 )
 
 // Finding severities. Every rule reports SeverityError except the
@@ -161,6 +183,7 @@ func All() []*Analyzer {
 		ConcurrencyAnalyzer(),
 		ScratchLifeAnalyzer(),
 		SeedFlowAnalyzer(),
+		ShapeCheckAnalyzer(),
 	}
 }
 
@@ -200,7 +223,13 @@ func ByName(names []string) ([]*Analyzer, error) {
 		seen[n] = true
 		a, ok := index[n]
 		if !ok {
-			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+			valid := make([]string, 0, len(index))
+			for name := range index {
+				//nessa:sorted-iteration keys are sorted immediately below
+				valid = append(valid, name)
+			}
+			sort.Strings(valid)
+			return nil, fmt.Errorf("analysis: unknown analyzer %q (valid: %s)", n, strings.Join(valid, ", "))
 		}
 		out = append(out, a)
 	}
@@ -209,7 +238,12 @@ func ByName(names []string) ([]*Analyzer, error) {
 
 // Pass is the per-package context handed to an analyzer's Run.
 type Pass struct {
-	Pkg      *Package
+	Pkg *Package
+	// Universe lists every package of the current Run, the one under
+	// analysis included, so cross-package indexes (shapecheck's
+	// contract and summary caches) can see declarations in sibling
+	// packages of the same load.
+	Universe []*Package
 	analyzer *Analyzer
 	findings *[]Finding
 	// directives maps filename -> line -> directive names present on
@@ -410,6 +444,7 @@ func run(pkgs []*Package, analyzers []*Analyzer, ctx *compilerCtx) []Finding {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Pkg:        pkg,
+				Universe:   pkgs,
 				analyzer:   a,
 				findings:   &findings,
 				directives: dirs,

@@ -475,3 +475,212 @@ func TestBaselineRoundTrip(t *testing.T) {
 		t.Errorf("round-tripped baseline must absorb its own findings, got %d fresh", len(fresh))
 	}
 }
+
+// TestCFGLabeledBreakExitsOuterLoop pins the successor edge of a
+// labeled break: it must leave the labeled (outer) loop entirely, not
+// just the innermost one. shapecheck's joins ride on these edges.
+func TestCFGLabeledBreakExitsOuterLoop(t *testing.T) {
+	pkg := loadSrc(t, `package p
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 3 {
+				s = 1
+				break outer
+			}
+		}
+		s = 2
+	}
+	s = 3
+	return s
+}
+`)
+	g := BuildCFG(funcBody(t, pkg, "f").Body)
+	// Pin each s-assignment block by its constant right-hand side.
+	var breakBlock, afterOuter, innerTail *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			lit, ok := as.Rhs[0].(*ast.BasicLit)
+			if !ok {
+				continue
+			}
+			switch lit.Value {
+			case "1":
+				breakBlock = b
+			case "2":
+				innerTail = b
+			case "3":
+				afterOuter = b
+			}
+		}
+	}
+	if breakBlock == nil || innerTail == nil || afterOuter == nil {
+		t.Fatal("could not locate the three s-assignments in the CFG")
+	}
+	seen := reachable(breakBlock)
+	if !seen[afterOuter] {
+		t.Error("break outer: the statement after the outer loop is not reachable")
+	}
+	if seen[innerTail] {
+		t.Error("break outer fell back into the outer loop body (labeled break mishandled)")
+	}
+}
+
+// TestCFGLabeledContinueTargetsOuterPost pins labeled continue: its
+// successor must be the labeled loop's post statement, not the inner
+// loop's.
+func TestCFGLabeledContinueTargetsOuterPost(t *testing.T) {
+	pkg := loadSrc(t, `package p
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 3 {
+				s = 1
+				continue outer
+			}
+		}
+	}
+	return s
+}
+`)
+	g := BuildCFG(funcBody(t, pkg, "f").Body)
+	var contBlock, outerPost, innerPost *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if lit, ok := n.Rhs[0].(*ast.BasicLit); ok && lit.Value == "1" {
+					contBlock = b
+				}
+			case *ast.IncDecStmt:
+				if id, ok := n.X.(*ast.Ident); ok {
+					switch id.Name {
+					case "i":
+						outerPost = b
+					case "j":
+						innerPost = b
+					}
+				}
+			}
+		}
+	}
+	if contBlock == nil || outerPost == nil || innerPost == nil {
+		t.Fatal("could not locate the continue block and loop posts in the CFG")
+	}
+	succs := make(map[*Block]bool)
+	for _, s := range contBlock.Succs {
+		succs[s] = true
+	}
+	if !succs[outerPost] {
+		t.Error("continue outer does not edge to the outer loop's post statement")
+	}
+	if succs[innerPost] {
+		t.Error("continue outer edges to the inner loop's post statement (label ignored)")
+	}
+}
+
+// TestCFGGotoForwardSkips pins forward goto: the skipped statement
+// must not be reachable from the jump, while the label target is.
+func TestCFGGotoForwardSkips(t *testing.T) {
+	pkg := loadSrc(t, `package p
+func f(c bool) int {
+	s := 0
+	if c {
+		s = 9
+		goto done
+	}
+	s = 1
+done:
+	s = 2
+	return s
+}
+`)
+	g := BuildCFG(funcBody(t, pkg, "f").Body)
+	// Branch statements carry no node of their own — the jump is pure
+	// edges — so the goto's block is pinned by the s = 9 marker
+	// immediately before it.
+	var gotoBlock, skipped, target *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			if lit, ok := as.Rhs[0].(*ast.BasicLit); ok {
+				switch lit.Value {
+				case "9":
+					gotoBlock = b
+				case "1":
+					skipped = b
+				case "2":
+					target = b
+				}
+			}
+		}
+	}
+	if gotoBlock == nil || skipped == nil || target == nil {
+		t.Fatal("could not locate goto, skipped, and target blocks in the CFG")
+	}
+	seen := reachable(gotoBlock)
+	if !seen[target] {
+		t.Error("goto done: label target not reachable from the jump")
+	}
+	if seen[skipped] {
+		t.Error("goto done: the skipped statement is reachable from the jump")
+	}
+}
+
+// TestCFGGotoBackwardFormsCycle pins backward goto: it must create a
+// loop in the graph (and the exit must stay reachable through the
+// conditional).
+func TestCFGGotoBackwardFormsCycle(t *testing.T) {
+	pkg := loadSrc(t, `package p
+func f(n int) int {
+	i := 0
+again:
+	i++
+	if i < n {
+		goto again
+	}
+	return i
+}
+`)
+	g := BuildCFG(funcBody(t, pkg, "f").Body)
+	var incBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if inc, ok := n.(*ast.IncDecStmt); ok {
+				if id, ok := inc.X.(*ast.Ident); ok && id.Name == "i" {
+					incBlock = b
+				}
+			}
+		}
+	}
+	if incBlock == nil {
+		t.Fatal("could not locate the i++ block in the CFG")
+	}
+	if !reachable(incBlock)[incBlock] {
+		// reachable() seeds with the block itself, so probe successors.
+		t.Fatal("unreachable")
+	}
+	cyclic := false
+	for _, s := range incBlock.Succs {
+		if reachable(s)[incBlock] {
+			cyclic = true
+		}
+	}
+	if !cyclic {
+		t.Error("backward goto produced an acyclic CFG")
+	}
+	if !reachable(g.Entry)[g.Exit] {
+		t.Error("exit not reachable: the conditional around the goto lost its fallthrough edge")
+	}
+}

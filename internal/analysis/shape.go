@@ -1,0 +1,594 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Symbolic-dimension lattice for the shapecheck analyzer.
+//
+// A dimension is an element of a three-level lattice:
+//
+//	⊤ (unknown)
+//	  |
+//	polynomials over named symbols (n, dim, classes, rows(x), 10+4*d, n*d ...)
+//	  |
+//	integer constants (a polynomial with no symbols)
+//
+// Symbols name the dimension quantities the analysis cannot reduce to
+// constants: function parameters, struct-field loads (train.X.Cols,
+// spec.FeatureDim), slice lengths (len(idx)), range-clause values, and
+// the named dims a //nessa:shape contract declares. Polynomials are
+// kept canonical (sorted monomials, no zero coefficients), so two
+// dimensions are equal exactly when their difference cancels to zero —
+// which is how products for flattened buffers (rows*cols) and sliced
+// windows (hi-lo) compare without any special cases.
+//
+// Mismatch reporting is deliberately asymmetric (see dimsConflict):
+// a nonzero constant difference is always a finding, but two merely
+// distinct symbols have an unknown relation and stay silent — except
+// when every residual symbol is a contract-declared dim of one
+// contract instance, where distinct names (out vs in) are distinct by
+// declaration.
+
+// symID indexes one symbol in a shapeState's table.
+type symID int32
+
+// symKey identifies a symbol: a root object (a variable, or the
+// function object for contract dims bound in a contracted function's
+// own body) plus a selector path. Path suffixes encode what quantity
+// of the rooted value the symbol measures: "~len" (slice length),
+// "~rows"/"~cols" (matrix dims), "#name" (a //nessa:shape contract
+// dim, which can never collide with a field path).
+type symKey struct {
+	root types.Object
+	path string
+}
+
+// symTable interns symbols and carries their display names.
+type symTable struct {
+	ids  map[symKey]symID
+	keys []symKey
+	disp []string
+}
+
+func newSymTable() *symTable {
+	return &symTable{ids: make(map[symKey]symID)}
+}
+
+func (st *symTable) intern(k symKey, display string) symID {
+	if id, ok := st.ids[k]; ok {
+		return id
+	}
+	id := symID(len(st.keys))
+	st.ids[k] = id
+	st.keys = append(st.keys, k)
+	st.disp = append(st.disp, display)
+	return id
+}
+
+// contractDim reports whether id is a contract-declared named dim, and
+// if so which root object (contract instance) it belongs to.
+func (st *symTable) contractDim(id symID) (types.Object, bool) {
+	k := st.keys[id]
+	if strings.HasPrefix(k.path, "#") || strings.Contains(k.path, ".#") {
+		return k.root, true
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------
+// Polynomials
+// ---------------------------------------------------------------------
+
+// mono is one monomial: coeff * Π syms (syms sorted, with repetition
+// for powers).
+type mono struct {
+	coeff int64
+	syms  []symID
+}
+
+func (m mono) key() string {
+	var b strings.Builder
+	for _, s := range m.syms {
+		fmt.Fprintf(&b, "%d,", s)
+	}
+	return b.String()
+}
+
+// poly is a canonical multivariate polynomial, or ⊤. The zero value of
+// *poly (nil) is NOT a valid dimension; use topPoly()/constPoly.
+type poly struct {
+	top bool
+	ms  []mono // canonical: sorted by key, no zero coefficients
+}
+
+// polyTermLimit bounds polynomial growth: beyond this many monomials
+// (or factors in one monomial) the dimension degrades to ⊤ rather than
+// blow up on pathological arithmetic.
+const polyTermLimit = 16
+
+func topPoly() *poly          { return &poly{top: true} }
+func constPoly(k int64) *poly { return canonPoly([]mono{{coeff: k}}) }
+func symPoly(id symID) *poly  { return canonPoly([]mono{{coeff: 1, syms: []symID{id}}}) }
+func (p *poly) isTop() bool   { return p == nil || p.top }
+func (p *poly) isZero() bool  { return !p.isTop() && len(p.ms) == 0 }
+func (p *poly) isConst() (int64, bool) {
+	if p.isTop() {
+		return 0, false
+	}
+	if len(p.ms) == 0 {
+		return 0, true
+	}
+	if len(p.ms) == 1 && len(p.ms[0].syms) == 0 {
+		return p.ms[0].coeff, true
+	}
+	return 0, false
+}
+
+// canonPoly sorts, merges, and prunes a monomial list.
+func canonPoly(ms []mono) *poly {
+	merged := make(map[string]*mono)
+	var order []string
+	for _, m := range ms {
+		if len(m.syms) > polyTermLimit {
+			return topPoly()
+		}
+		sort.Slice(m.syms, func(i, j int) bool { return m.syms[i] < m.syms[j] })
+		k := m.key()
+		if e, ok := merged[k]; ok {
+			e.coeff += m.coeff
+		} else {
+			cp := m
+			cp.syms = append([]symID(nil), m.syms...)
+			merged[k] = &cp
+			order = append(order, k)
+		}
+	}
+	sort.Strings(order)
+	out := make([]mono, 0, len(order))
+	for _, k := range order {
+		if m := merged[k]; m.coeff != 0 {
+			out = append(out, *m)
+		}
+	}
+	if len(out) > polyTermLimit {
+		return topPoly()
+	}
+	return &poly{ms: out}
+}
+
+func addPoly(a, b *poly) *poly {
+	if a.isTop() || b.isTop() {
+		return topPoly()
+	}
+	return canonPoly(append(append([]mono(nil), a.ms...), b.ms...))
+}
+
+func negPoly(a *poly) *poly {
+	if a.isTop() {
+		return topPoly()
+	}
+	out := make([]mono, len(a.ms))
+	for i, m := range a.ms {
+		out[i] = mono{coeff: -m.coeff, syms: m.syms}
+	}
+	return &poly{ms: out}
+}
+
+func subPoly(a, b *poly) *poly { return addPoly(a, negPoly(b)) }
+
+func mulPoly(a, b *poly) *poly {
+	if a.isTop() || b.isTop() {
+		// ⊤ absorbs, with one algebraic exception: 0 · ⊤ = 0 keeps
+		// zero-extent edge cases (empty batches) precise.
+		if a.isZero() || b.isZero() {
+			return constPoly(0)
+		}
+		return topPoly()
+	}
+	var out []mono
+	for _, x := range a.ms {
+		for _, y := range b.ms {
+			out = append(out, mono{
+				coeff: x.coeff * y.coeff,
+				syms:  append(append([]symID(nil), x.syms...), y.syms...),
+			})
+		}
+	}
+	if len(out) > polyTermLimit*polyTermLimit {
+		return topPoly()
+	}
+	return canonPoly(out)
+}
+
+// substPoly replaces every occurrence of symbol id with rep.
+func substPoly(p *poly, id symID, rep *poly) *poly {
+	if p.isTop() {
+		return p
+	}
+	out := constPoly(0)
+	for _, m := range p.ms {
+		term := constPoly(m.coeff)
+		for _, s := range m.syms {
+			if s == id {
+				term = mulPoly(term, rep)
+			} else {
+				term = mulPoly(term, symPoly(s))
+			}
+		}
+		out = addPoly(out, term)
+	}
+	return out
+}
+
+func polyEqual(a, b *poly) bool {
+	if a.isTop() || b.isTop() {
+		return a.isTop() && b.isTop()
+	}
+	return subPoly(a, b).isZero()
+}
+
+// render formats a polynomial with symbol names from st.
+func (p *poly) render(st *symTable) string {
+	if p.isTop() {
+		return "?"
+	}
+	if len(p.ms) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for i, m := range p.ms {
+		c := m.coeff
+		if i > 0 {
+			if c < 0 {
+				b.WriteString("-")
+				c = -c
+			} else {
+				b.WriteString("+")
+			}
+		} else if c < 0 && len(m.syms) > 0 {
+			b.WriteString("-")
+			c = -c
+		}
+		if len(m.syms) == 0 {
+			fmt.Fprintf(&b, "%d", c)
+			continue
+		}
+		if c != 1 {
+			fmt.Fprintf(&b, "%d*", c)
+		}
+		for j, s := range m.syms {
+			if j > 0 {
+				b.WriteString("*")
+			}
+			b.WriteString(st.disp[s])
+		}
+	}
+	return b.String()
+}
+
+// dimRelation classifies the relation between two dimensions.
+type dimRelation int
+
+const (
+	dimsEqual dimRelation = iota
+	dimsUnknown
+	dimsConflict
+)
+
+// relateDims compares two dimensions. Both ⊤ or either ⊤ → unknown.
+// Identical polynomials → equal. A nonzero constant difference is a
+// conflict (provably different for every assignment of the symbols).
+// Otherwise the difference still carries symbols, whose runtime values
+// are unknown — EXCEPT when every residual symbol is a named dim of
+// one //nessa:shape contract instance: the contract declares those
+// names as the instance's distinct dimensions, so requiring out == in
+// contradicts the declaration and is reported.
+func relateDims(st *symTable, a, b *poly) dimRelation {
+	if a.isTop() || b.isTop() {
+		return dimsUnknown
+	}
+	d := subPoly(a, b)
+	if d.isZero() {
+		return dimsEqual
+	}
+	if _, ok := d.isConst(); ok {
+		return dimsConflict
+	}
+	var root types.Object
+	for _, m := range d.ms {
+		for _, s := range m.syms {
+			r, isContract := st.contractDim(s)
+			if !isContract || r == nil {
+				return dimsUnknown
+			}
+			if root == nil {
+				root = r
+			} else if root != r {
+				return dimsUnknown
+			}
+		}
+	}
+	return dimsConflict
+}
+
+// ---------------------------------------------------------------------
+// //nessa:shape contract parsing
+// ---------------------------------------------------------------------
+
+// Contract dimension keys.
+const (
+	shapeKeyRows   = "rows"
+	shapeKeyCols   = "cols"
+	shapeKeyLen    = "len"
+	shapeKeyMinLen = "minlen"
+)
+
+// shapeClause constrains one target (a parameter name, or "" for the
+// annotated declaration itself) with dimension expressions.
+type shapeClause struct {
+	Target string
+	Dims   map[string]ast.Expr // key -> parsed dim expression
+}
+
+// shapeContract is one parsed //nessa:shape(...) directive.
+type shapeContract struct {
+	Pos     token.Pos
+	Clauses []shapeClause
+}
+
+// clauseFor returns the clause for target, or nil.
+func (c *shapeContract) clauseFor(target string) *shapeClause {
+	for i := range c.Clauses {
+		if c.Clauses[i].Target == target {
+			return &c.Clauses[i]
+		}
+	}
+	return nil
+}
+
+// names returns every identifier mentioned by the contract's dim
+// expressions, in first-appearance order.
+func (c *shapeContract) names() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, cl := range c.Clauses {
+		for _, key := range []string{shapeKeyRows, shapeKeyCols, shapeKeyLen, shapeKeyMinLen} {
+			e, ok := cl.Dims[key]
+			if !ok {
+				continue
+			}
+			ast.Inspect(e, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && !seen[id.Name] {
+					seen[id.Name] = true
+					out = append(out, id.Name)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// shapeDirectivePrefix is the raw comment prefix of a shape contract.
+const shapeDirectivePrefix = "//nessa:shape"
+
+// isShapeDirective reports whether one comment is a //nessa:shape
+// contract (well-formed or not). //nessa:shape-ok, the waiver, is a
+// different directive and does not match.
+func isShapeDirective(text string) bool {
+	rest, ok := strings.CutPrefix(text, shapeDirectivePrefix)
+	if !ok {
+		return false
+	}
+	rest = strings.TrimRight(rest, " \t")
+	return rest == "" || rest[0] == '(' || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// cutShapeBody extracts the balanced (...) argument list of a shape
+// directive. Text after the closing parenthesis is free-form
+// justification, like the trailing text of every other //nessa:
+// directive.
+func cutShapeBody(text string) (string, error) {
+	rest, ok := strings.CutPrefix(text, shapeDirectivePrefix)
+	if !ok {
+		return "", fmt.Errorf("not a shape directive")
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" || rest[0] != '(' {
+		return "", fmt.Errorf("missing argument list (want //nessa:shape(key=expr, ...))")
+	}
+	depth := 0
+	for i, r := range rest {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return rest[1:i], nil
+			}
+		}
+	}
+	return "", fmt.Errorf("missing closing parenthesis")
+}
+
+// parseShapeContract parses the argument list of one //nessa:shape
+// directive. The grammar is
+//
+//	//nessa:shape(item, item, ...) optional justification
+//	item   = [target ":"] key "=" expr
+//	key    = "rows" | "cols" | "len" | "minlen"
+//	expr   = identifiers, integer literals, + - * and parentheses
+//
+// A target names a function parameter; once given it sticks for the
+// following key=value pairs until the next target. Without any target
+// the clause binds the annotated declaration itself (a struct field,
+// or a function's result).
+func parseShapeContract(text string, pos token.Pos) (*shapeContract, error) {
+	body, err := cutShapeBody(strings.TrimSpace(text))
+	if err != nil {
+		return nil, err
+	}
+	c := &shapeContract{Pos: pos}
+	cur := &shapeClause{Dims: make(map[string]ast.Expr)}
+	c.Clauses = append(c.Clauses, *cur)
+	curIdx := 0
+	for _, item := range splitShapeItems(body) {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return nil, fmt.Errorf("empty item (stray comma?)")
+		}
+		if i := strings.Index(item, ":"); i >= 0 {
+			target := strings.TrimSpace(item[:i])
+			if !validShapeIdent(target) {
+				return nil, fmt.Errorf("invalid target %q", target)
+			}
+			item = strings.TrimSpace(item[i+1:])
+			if cl := c.clauseFor(target); cl != nil {
+				return nil, fmt.Errorf("duplicate target %q", target)
+			}
+			c.Clauses = append(c.Clauses, shapeClause{Target: target, Dims: make(map[string]ast.Expr)})
+			curIdx = len(c.Clauses) - 1
+		}
+		eq := strings.Index(item, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("item %q is not key=value", item)
+		}
+		key := strings.TrimSpace(item[:eq])
+		switch key {
+		case shapeKeyRows, shapeKeyCols, shapeKeyLen, shapeKeyMinLen:
+		default:
+			return nil, fmt.Errorf("unknown key %q (want rows, cols, len, or minlen)", key)
+		}
+		if _, dup := c.Clauses[curIdx].Dims[key]; dup {
+			return nil, fmt.Errorf("duplicate key %q for target %q", key, c.Clauses[curIdx].Target)
+		}
+		val := strings.TrimSpace(item[eq+1:])
+		expr, err := parseShapeExpr(val)
+		if err != nil {
+			return nil, fmt.Errorf("value %q: %v", val, err)
+		}
+		c.Clauses[curIdx].Dims[key] = expr
+	}
+	// Drop an unused empty default clause (fully targeted contract).
+	if len(c.Clauses) > 1 && len(c.Clauses[0].Dims) == 0 {
+		c.Clauses = c.Clauses[1:]
+	}
+	if len(c.Clauses) == 1 && len(c.Clauses[0].Dims) == 0 {
+		return nil, fmt.Errorf("contract declares no dimensions")
+	}
+	return c, nil
+}
+
+// splitShapeItems splits on commas that are not nested in parentheses.
+func splitShapeItems(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func validShapeIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case i > 0 && r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseShapeExpr parses one dim expression and rejects anything beyond
+// identifiers, integer literals, + - *, and parentheses.
+func parseShapeExpr(s string) (ast.Expr, error) {
+	e, err := parser.ParseExpr(s)
+	if err != nil {
+		return nil, fmt.Errorf("parse error")
+	}
+	var bad error
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case nil, *ast.Ident, *ast.ParenExpr:
+		case *ast.BasicLit:
+			if n.Kind != token.INT {
+				bad = fmt.Errorf("literal %s is not an integer", n.Value)
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD && n.Op != token.SUB && n.Op != token.MUL {
+				bad = fmt.Errorf("operator %s not allowed (want + - *)", n.Op)
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.SUB {
+				bad = fmt.Errorf("operator %s not allowed", n.Op)
+			}
+		default:
+			bad = fmt.Errorf("construct %T not allowed", n)
+		}
+		return bad == nil
+	})
+	if bad != nil {
+		return nil, bad
+	}
+	return e, nil
+}
+
+// evalContractExpr evaluates a contract dim expression given a binding
+// from contract names to dimensions. Unbound names resolve through
+// bind; bind returns nil for names it cannot (yet) resolve, which
+// makes the whole expression ⊤.
+func evalContractExpr(e ast.Expr, bind func(name string) *poly) *poly {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if p := bind(e.Name); p != nil {
+			return p
+		}
+		return topPoly()
+	case *ast.BasicLit:
+		v, err := strconv.ParseInt(e.Value, 0, 64)
+		if err != nil {
+			return topPoly()
+		}
+		return constPoly(v)
+	case *ast.ParenExpr:
+		return evalContractExpr(e.X, bind)
+	case *ast.UnaryExpr:
+		return negPoly(evalContractExpr(e.X, bind))
+	case *ast.BinaryExpr:
+		x := evalContractExpr(e.X, bind)
+		y := evalContractExpr(e.Y, bind)
+		switch e.Op {
+		case token.ADD:
+			return addPoly(x, y)
+		case token.SUB:
+			return subPoly(x, y)
+		case token.MUL:
+			return mulPoly(x, y)
+		}
+	}
+	return topPoly()
+}

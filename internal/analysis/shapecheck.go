@@ -1,0 +1,2373 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// shapecheck: abstract interpretation over the symbolic-dimension
+// lattice of shape.go. Every local variable carries a shape value —
+// an integer dimension, a slice length, or a matrix rows×cols pair,
+// each a polynomial over named symbols — propagated forward over the
+// CFG with a join that degrades disagreeing dimensions to ⊤. Transfer
+// functions encode the tensor API (NewMatrix, EnsureShape, Row,
+// GatherRows, the MatMul family, AXPY, AddRowVec*, Dot, Softmax), the
+// nn layer wiring (Forward/ForwardInto/Backward, the loss kernels),
+// and //nessa:shape contracts on struct fields and functions.
+//
+// The analysis is interprocedural via per-function summaries: a
+// function's result dimensions and checked preconditions, expressed
+// over its parameter symbols, are computed on demand and memoized;
+// recursive cycles are cut conservatively (in-progress callees read
+// as unknown) and re-solved once, which reaches the fixpoint for the
+// call graphs this repo has. Call sites substitute argument dimensions
+// into the callee's parameter symbols, so a guard like
+//
+//	if dst.Rows != src.Rows { panic(...) }
+//
+// inside a helper becomes a checked precondition at every caller.
+//
+// Two reporting modes keep the analysis useful without false alarms:
+//
+//   - everywhere: only provable conflicts are findings — a nonzero
+//     constant dimension difference, or a residual made entirely of
+//     one contract instance's named dims (out vs in);
+//   - at contract-binding sites (calls to //nessa:shape functions,
+//     composite literals of structs with //nessa:shape fields): a
+//     known dimension that cannot be proven equal to the contract is
+//     also a finding, because the contract is the declared truth.
+//
+// //nessa:shape-ok on (or immediately above) a flagged line waives it.
+func ShapeCheckAnalyzer() *Analyzer {
+	sc := newShapeCheck()
+	return &Analyzer{
+		Name:   "shapecheck",
+		Doc:    "tensor shapes must agree symbolically across the tensor/nn/data APIs and //nessa:shape contracts",
+		Waiver: DirShapeOK,
+		Run:    sc.run,
+	}
+}
+
+type shapeCheck struct {
+	syms *symTable
+	// Cross-package indexes, filled lazily per universe package.
+	indexed        map[*Package]bool
+	fieldContracts map[types.Object]*shapeContract
+	funcContracts  map[*types.Func]*shapeContract
+	contractIssues map[*Package][]dirIssue
+	attached       map[*ast.Comment]bool
+	decls          map[*types.Func]declRef
+	summaries      map[*types.Func]*funcSummary
+	inProgress     map[*types.Func]bool
+	reported       map[string]bool
+}
+
+type dirIssue struct {
+	pos token.Pos
+	msg string
+}
+
+type declRef struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+func newShapeCheck() *shapeCheck {
+	return &shapeCheck{
+		syms:           newSymTable(),
+		indexed:        make(map[*Package]bool),
+		fieldContracts: make(map[types.Object]*shapeContract),
+		funcContracts:  make(map[*types.Func]*shapeContract),
+		contractIssues: make(map[*Package][]dirIssue),
+		attached:       make(map[*ast.Comment]bool),
+		decls:          make(map[*types.Func]declRef),
+		summaries:      make(map[*types.Func]*funcSummary),
+		inProgress:     make(map[*types.Func]bool),
+		reported:       make(map[string]bool),
+	}
+}
+
+func (sc *shapeCheck) run(p *Pass) {
+	sc.indexPackage(p.Pkg)
+	for _, u := range p.Universe {
+		sc.indexPackage(u)
+	}
+	for _, iss := range sc.contractIssues[p.Pkg] {
+		p.Reportf(iss.pos, "%s", iss.msg)
+	}
+	sc.reportDetached(p)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sc.analyzeForReport(p, fd)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Contract and declaration indexing
+// ---------------------------------------------------------------------
+
+// indexPackage records every //nessa:shape contract (on functions and
+// struct fields) and every function declaration of pkg. Malformed
+// contracts become findings for the package's own pass.
+func (sc *shapeCheck) indexPackage(pkg *Package) {
+	if sc.indexed[pkg] {
+		return
+	}
+	sc.indexed[pkg] = true
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if fd.Body != nil {
+				sc.decls[fn] = declRef{pkg: pkg, decl: fd}
+			}
+			if c := sc.parseGroup(pkg, fd.Doc); c != nil {
+				sc.validateFuncContract(pkg, c, fd)
+				sc.funcContracts[fn] = c
+			}
+		}
+		// Struct fields anywhere in the file, including local types.
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				c := sc.parseGroup(pkg, field.Doc)
+				if c == nil {
+					c = sc.parseGroup(pkg, field.Comment)
+				}
+				if c == nil {
+					continue
+				}
+				if len(c.Clauses) != 1 || c.Clauses[0].Target != "" {
+					sc.issue(pkg, c.Pos, "field contract cannot name targets (write //nessa:shape(rows=..., cols=...))")
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						sc.fieldContracts[obj] = c
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// parseGroup parses the first //nessa:shape directive of a comment
+// group, marking every shape directive in it as attached to a
+// declaration (parse errors still count as attached — the directive is
+// positioned right, just malformed, and gets its own finding).
+func (sc *shapeCheck) parseGroup(pkg *Package, cg *ast.CommentGroup) *shapeContract {
+	if cg == nil {
+		return nil
+	}
+	var out *shapeContract
+	for _, c := range cg.List {
+		if !isShapeDirective(c.Text) {
+			continue
+		}
+		sc.attached[c] = true
+		parsed, err := parseShapeContract(c.Text, c.Pos())
+		if err != nil {
+			sc.issue(pkg, c.Pos(), fmt.Sprintf("malformed //nessa:shape directive: %v", err))
+			continue
+		}
+		if out == nil {
+			out = parsed
+		}
+	}
+	return out
+}
+
+func (sc *shapeCheck) validateFuncContract(pkg *Package, c *shapeContract, fd *ast.FuncDecl) {
+	params := make(map[string]bool)
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				params[name.Name] = true
+			}
+		}
+	}
+	for _, cl := range c.Clauses {
+		if cl.Target != "" && !params[cl.Target] {
+			sc.issue(pkg, c.Pos, fmt.Sprintf("//nessa:shape target %q is not a parameter of %s", cl.Target, fd.Name.Name))
+		}
+	}
+}
+
+func (sc *shapeCheck) issue(pkg *Package, pos token.Pos, msg string) {
+	sc.contractIssues[pkg] = append(sc.contractIssues[pkg], dirIssue{pos: pos, msg: msg})
+}
+
+// reportDetached flags //nessa:shape directives that are attached to no
+// declaration — the gofmt hazard where a blank line silently detaches a
+// contract and it stops being enforced.
+func (sc *shapeCheck) reportDetached(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if isShapeDirective(c.Text) && !sc.attached[c] {
+					p.Reportf(c.Pos(), "//nessa:shape directive is not attached to a function or struct field declaration (a blank line detaches it) and will not be enforced")
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Shape values and environments
+// ---------------------------------------------------------------------
+
+type svalKind uint8
+
+const (
+	svTop svalKind = iota
+	svNum
+	svMat
+	svSlice
+)
+
+// sval is the abstract value of one variable. For svNum, a is the
+// value; for svMat, a×b is rows×cols; for svSlice, a is the length and
+// b the capacity when known (nil otherwise).
+type sval struct {
+	kind svalKind
+	a, b *poly
+}
+
+func topSval() sval           { return sval{} }
+func numSval(p *poly) sval    { return sval{kind: svNum, a: p} }
+func matSval(r, c *poly) sval { return sval{kind: svMat, a: r, b: c} }
+func sliceSval(l *poly) sval  { return sval{kind: svSlice, a: l} }
+func capSval(l, c *poly) sval { return sval{kind: svSlice, a: l, b: c} }
+func (v sval) isTop() bool    { return v.kind == svTop }
+func (v sval) num() *poly {
+	if v.kind == svNum {
+		return v.a
+	}
+	return topPoly()
+}
+func (v sval) rows() *poly {
+	if v.kind == svMat {
+		return v.a
+	}
+	return topPoly()
+}
+func (v sval) cols() *poly {
+	if v.kind == svMat {
+		return v.b
+	}
+	return topPoly()
+}
+func (v sval) slen() *poly {
+	if v.kind == svSlice {
+		return v.a
+	}
+	return topPoly()
+}
+
+func joinDim(a, b *poly) *poly {
+	if polyEqual(a, b) {
+		return a
+	}
+	return topPoly()
+}
+
+func joinSval(a, b sval) sval {
+	if a.kind != b.kind {
+		return topSval()
+	}
+	return sval{kind: a.kind, a: joinDim(a.a, b.a), b: joinDim(a.b, b.b)}
+}
+
+func svalEqual(a, b sval) bool {
+	return a.kind == b.kind && polyEqual(a.a, b.a) && polyEqual(a.b, b.b)
+}
+
+// shapeEnv maps variables to shape values. A variable with no entry is
+// at its baseline: an opaque symbol named after the variable itself
+// (sym(n), len(v), m.Rows...), which is what makes two reads of an
+// untouched variable comparable. reached distinguishes dead blocks.
+type shapeEnv struct {
+	reached bool
+	vars    map[types.Object]sval
+}
+
+func copyEnv(e *shapeEnv) *shapeEnv {
+	out := &shapeEnv{reached: e.reached}
+	if e.vars != nil {
+		out.vars = make(map[types.Object]sval, len(e.vars))
+		for k, v := range e.vars {
+			out.vars[k] = v
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Per-function analysis state
+// ---------------------------------------------------------------------
+
+// shapeFn analyzes one function body (or function literal). pass is
+// nil while summarizing a callee: conflicts are not reported (the
+// callee's own package pass reports them) and strict-check residue
+// becomes summary preconditions instead.
+type shapeFn struct {
+	sc     *shapeCheck
+	pkg    *Package
+	pass   *Pass
+	fn     *types.Func
+	params map[types.Object]bool
+	subst  map[symID]*poly
+	sum    *funcSummary
+	lits   []queuedLit
+	// sawInProgress records that a call resolved to a summary still
+	// being computed (a call-graph cycle through this function).
+	sawInProgress bool
+}
+
+type queuedLit struct {
+	lit *ast.FuncLit
+	env *shapeEnv
+}
+
+// funcSummary is one function's interprocedural shape summary: result
+// dimensions and checked preconditions, both expressed over parameter
+// (and package-level) symbols only.
+type funcSummary struct {
+	params   []types.Object // receiver first, then parameters
+	results  []sval
+	preconds []shapePrecond
+}
+
+type shapePrecond struct {
+	labelA, labelB string
+	a, b           *poly
+	minlen         bool // a must be at least b, not equal to it
+}
+
+// summaryPrecondLimit caps how many preconditions one summary carries.
+const summaryPrecondLimit = 12
+
+func (sc *shapeCheck) newFn(pkg *Package, pass *Pass, fn *types.Func, params []types.Object) *shapeFn {
+	fa := &shapeFn{
+		sc:     sc,
+		pkg:    pkg,
+		pass:   pass,
+		fn:     fn,
+		params: make(map[types.Object]bool, len(params)),
+		subst:  make(map[symID]*poly),
+	}
+	for _, p := range params {
+		fa.params[p] = true
+	}
+	return fa
+}
+
+func (sc *shapeCheck) analyzeForReport(p *Pass, fd *ast.FuncDecl) {
+	fn, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+	fa := sc.newFn(p.Pkg, p, fn, funcParams(p.Pkg.Info, fd))
+	fa.collectAssumes(fd.Body)
+	fa.analyzeBody(fd.Body, fa.boundaryEnv(fd))
+	// Function literals run with the environment captured at their
+	// program point, so shapes of free variables flow in.
+	for i := 0; i < len(fa.lits); i++ {
+		q := fa.lits[i]
+		sub := sc.newFn(p.Pkg, p, fn, litParams(p.Pkg.Info, q.lit))
+		for par := range fa.params {
+			sub.params[par] = true
+		}
+		for id, rep := range fa.subst {
+			sub.subst[id] = rep
+		}
+		sub.collectAssumes(q.lit.Body)
+		sub.analyzeBody(q.lit.Body, q.env)
+		fa.lits = append(fa.lits, sub.lits...)
+	}
+}
+
+// boundaryEnv seeds the entry environment. Parameters of a contracted
+// function start at the contract's dimensions, with the contract's
+// free names bound to symbols rooted at the function object.
+func (fa *shapeFn) boundaryEnv(fd *ast.FuncDecl) *shapeEnv {
+	env := &shapeEnv{reached: true, vars: make(map[types.Object]sval)}
+	if fa.fn == nil {
+		return env
+	}
+	c := fa.sc.funcContracts[fa.fn]
+	if c == nil {
+		return env
+	}
+	bind := func(name string) *poly {
+		return symPoly(fa.sc.intern(fa.fn, "#"+name))
+	}
+	if fd.Type.Params == nil {
+		return env
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			cl := c.clauseFor(name.Name)
+			if cl == nil {
+				continue
+			}
+			obj := fa.pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			v := fa.baseVal(obj)
+			switch v.kind {
+			case svMat:
+				if e, ok := cl.Dims[shapeKeyRows]; ok {
+					v.a = evalContractExpr(e, bind)
+				}
+				if e, ok := cl.Dims[shapeKeyCols]; ok {
+					v.b = evalContractExpr(e, bind)
+				}
+			case svSlice:
+				if e, ok := cl.Dims[shapeKeyLen]; ok {
+					v.a = evalContractExpr(e, bind)
+				}
+			case svNum:
+				// ints carry no contract keys today
+			}
+			env.vars[obj] = v
+		}
+	}
+	return env
+}
+
+func (fa *shapeFn) analyzeBody(body *ast.BlockStmt, boundary *shapeEnv) {
+	g := BuildCFG(body)
+	spec := FlowSpec[*shapeEnv]{
+		Dir:      Forward,
+		Boundary: func() *shapeEnv { return copyEnv(boundary) },
+		Bottom:   func() *shapeEnv { return &shapeEnv{} },
+		Copy:     copyEnv,
+		Merge:    fa.mergeEnv,
+		Transfer: func(b *Block, in *shapeEnv) *shapeEnv {
+			if !in.reached {
+				// Dead blocks transfer nothing; their out-state stays
+				// bottom until a reached predecessor merges in.
+				return in
+			}
+			for _, n := range b.Nodes {
+				fa.applyNode(n, in)
+			}
+			return in
+		},
+	}
+	in := Solve(g, spec)
+	// Replay every reached block from its fixpoint in-state, checking
+	// as we go. Reporting only here (not inside Transfer) keeps each
+	// site checked exactly once per analysis.
+	for _, b := range g.Blocks {
+		env := copyEnv(in[b])
+		if !env.reached {
+			continue
+		}
+		for _, n := range b.Nodes {
+			fa.checkNode(n, env)
+			fa.applyNode(n, env)
+		}
+	}
+}
+
+// mergeEnv joins src into dst. A key missing on one side stands for
+// that variable's baseline symbol, so the join compares against the
+// baseline rather than treating absence as bottom.
+func (fa *shapeFn) mergeEnv(dst, src *shapeEnv) bool {
+	if !src.reached {
+		return false
+	}
+	if !dst.reached {
+		dst.reached = true
+		dst.vars = make(map[types.Object]sval, len(src.vars))
+		for k, v := range src.vars {
+			//nessa:sorted-iteration plain copy into an empty map; no accumulation
+			dst.vars[k] = v
+		}
+		return true
+	}
+	changed := false
+	for k, dv := range dst.vars {
+		//nessa:sorted-iteration pointwise lattice join; commutative and key-independent
+		sv, ok := src.vars[k]
+		if !ok {
+			sv = fa.baseVal(k)
+		}
+		nv := joinSval(dv, sv)
+		if !svalEqual(nv, dv) {
+			dst.vars[k] = nv
+			changed = true
+		}
+	}
+	for k, sv := range src.vars {
+		//nessa:sorted-iteration pointwise lattice join; commutative and key-independent
+		if _, ok := dst.vars[k]; ok {
+			continue
+		}
+		base := fa.baseVal(k)
+		nv := joinSval(base, sv)
+		if !svalEqual(nv, base) {
+			dst.vars[k] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ---------------------------------------------------------------------
+// Symbols and baselines
+// ---------------------------------------------------------------------
+
+// intern creates (or finds) the symbol for root+path, deriving the
+// display name from the key so every use site renders identically.
+func (sc *shapeCheck) intern(root types.Object, path string) symID {
+	return sc.syms.intern(symKey{root: root, path: path}, displayFor(root, path))
+}
+
+func displayFor(root types.Object, path string) string {
+	if i := strings.LastIndex(path, "#"); i >= 0 {
+		return path[i+1:]
+	}
+	base := root.Name()
+	qual := func(p string) string {
+		if p == "" {
+			return base
+		}
+		return base + "." + p
+	}
+	switch {
+	case strings.HasSuffix(path, "~len"):
+		return "len(" + qual(strings.TrimSuffix(strings.TrimSuffix(path, "~len"), ".")) + ")"
+	case strings.HasSuffix(path, "~rows"):
+		return qual(strings.TrimSuffix(strings.TrimSuffix(path, "~rows"), ".")) + ".Rows"
+	case strings.HasSuffix(path, "~cols"):
+		return qual(strings.TrimSuffix(strings.TrimSuffix(path, "~cols"), ".")) + ".Cols"
+	}
+	return qual(path)
+}
+
+func joinPath(base, field string) string {
+	if base == "" {
+		return field
+	}
+	return base + "." + field
+}
+
+// baseVal is the baseline shape of obj: fresh symbols keyed by the
+// object itself.
+func (fa *shapeFn) baseVal(obj types.Object) sval {
+	return fa.symVal(obj, "", obj.Type())
+}
+
+// symVal builds the symbolic shape of the value at root+path with the
+// given type: ints get a value symbol, slices a length symbol, arrays
+// their constant length, matrices a rows/cols symbol pair.
+func (fa *shapeFn) symVal(root types.Object, path string, t types.Type) sval {
+	if t == nil {
+		return topSval()
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if isMatrixType(t) {
+		return matSval(
+			symPoly(fa.sc.intern(root, path+"~rows")),
+			symPoly(fa.sc.intern(root, path+"~cols")))
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&types.IsInteger != 0 {
+			return numSval(symPoly(fa.sc.intern(root, path)))
+		}
+	case *types.Slice:
+		return sliceSval(symPoly(fa.sc.intern(root, path+"~len")))
+	case *types.Array:
+		return capSval(constPoly(u.Len()), constPoly(u.Len()))
+	}
+	return topSval()
+}
+
+// isMatrixType reports whether t (possibly behind a pointer) is the
+// tensor package's Matrix.
+func isMatrixType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Matrix" && shapePkgScope(n.Obj().Pkg()) == "tensor"
+}
+
+func shapePkgScope(pkg *types.Package) string {
+	path := pkg.Path()
+	switch {
+	case path == "tensor" || strings.HasSuffix(path, "/internal/tensor"):
+		return "tensor"
+	case path == "nn" || strings.HasSuffix(path, "/internal/nn"):
+		return "nn"
+	case path == "data" || strings.HasSuffix(path, "/internal/data"):
+		return "data"
+	}
+	return ""
+}
+
+// rootAndPath resolves a selector base expression to a stable symbol
+// root: an identifier (possibly behind & or *) followed by field
+// selections, where the identifier has no tracked environment entry —
+// an entry means the variable was reassigned or joined, and the
+// baseline symbols no longer denote its current value.
+func (fa *shapeFn) rootAndPath(e ast.Expr, env *shapeEnv) (types.Object, string, bool) {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := objOf(fa.pkg.Info, e)
+		if obj == nil {
+			return nil, "", false
+		}
+		if _, tracked := env.vars[obj]; tracked {
+			return nil, "", false
+		}
+		return obj, "", true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return fa.rootAndPath(e.X, env)
+		}
+	case *ast.StarExpr:
+		return fa.rootAndPath(e.X, env)
+	case *ast.SelectorExpr:
+		root, path, ok := fa.rootAndPath(e.X, env)
+		if !ok {
+			return nil, "", false
+		}
+		return root, joinPath(path, e.Sel.Name), true
+	}
+	return nil, "", false
+}
+
+// ---------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------
+
+func (fa *shapeFn) evalExpr(e ast.Expr, env *shapeEnv) sval {
+	if e == nil {
+		return topSval()
+	}
+	if tv, ok := fa.pkg.Info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return numSval(constPoly(v))
+		}
+		return topSval()
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := objOf(fa.pkg.Info, e)
+		if _, isVar := obj.(*types.Var); !isVar {
+			return topSval()
+		}
+		if v, ok := env.vars[obj]; ok {
+			return v
+		}
+		return fa.baseVal(obj)
+	case *ast.ParenExpr:
+		return fa.evalExpr(e.X, env)
+	case *ast.StarExpr:
+		return fa.evalExpr(e.X, env)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.AND:
+			return fa.evalExpr(e.X, env)
+		case token.SUB:
+			return numSval(negPoly(fa.evalExpr(e.X, env).num()))
+		}
+	case *ast.BinaryExpr:
+		x := fa.evalExpr(e.X, env)
+		y := fa.evalExpr(e.Y, env)
+		if x.kind == svNum && y.kind == svNum {
+			switch e.Op {
+			case token.ADD:
+				return numSval(addPoly(x.a, y.a))
+			case token.SUB:
+				return numSval(subPoly(x.a, y.a))
+			case token.MUL:
+				return numSval(mulPoly(x.a, y.a))
+			}
+		}
+	case *ast.CallExpr:
+		return fa.evalCall(e, env)
+	case *ast.SelectorExpr:
+		return fa.evalSelector(e, env)
+	case *ast.SliceExpr:
+		return fa.evalSlice(e, env)
+	case *ast.CompositeLit:
+		return fa.evalComposite(e, env)
+	}
+	return topSval()
+}
+
+func (fa *shapeFn) evalSelector(e *ast.SelectorExpr, env *shapeEnv) sval {
+	base := fa.evalExpr(e.X, env)
+	name := e.Sel.Name
+	if base.kind == svMat {
+		switch name {
+		case "Rows":
+			return numSval(base.a)
+		case "Cols":
+			return numSval(base.b)
+		case "Data":
+			return sliceSval(mulPoly(base.a, base.b))
+		}
+	}
+	obj := objOf(fa.pkg.Info, e.Sel)
+	field, ok := obj.(*types.Var)
+	if !ok || !field.IsField() {
+		return topSval()
+	}
+	root, path, okRoot := fa.rootAndPath(e.X, env)
+	if !okRoot {
+		return topSval()
+	}
+	if c := fa.sc.fieldContracts[field]; c != nil {
+		return fa.contractFieldVal(c, root, path, field)
+	}
+	return fa.symVal(root, joinPath(path, name), field.Type())
+}
+
+// contractFieldVal reads a //nessa:shape-annotated field: its declared
+// dims become instance symbols rooted at the selector base, so every
+// layer l shares one out/in pair and distinct contract names are
+// provably distinct (relateDims' one-instance rule).
+func (fa *shapeFn) contractFieldVal(c *shapeContract, root types.Object, path string, field *types.Var) sval {
+	cl := &c.Clauses[0]
+	bind := func(name string) *poly {
+		return symPoly(fa.sc.intern(root, joinPath(path, "#"+name)))
+	}
+	v := fa.symVal(root, joinPath(path, field.Name()), field.Type())
+	switch v.kind {
+	case svMat:
+		if e, ok := cl.Dims[shapeKeyRows]; ok {
+			v.a = evalContractExpr(e, bind)
+		}
+		if e, ok := cl.Dims[shapeKeyCols]; ok {
+			v.b = evalContractExpr(e, bind)
+		}
+	case svSlice:
+		if e, ok := cl.Dims[shapeKeyLen]; ok {
+			v.a = evalContractExpr(e, bind)
+			v.b = nil
+		}
+	}
+	return v
+}
+
+func (fa *shapeFn) evalSlice(e *ast.SliceExpr, env *shapeEnv) sval {
+	base := fa.evalExpr(e.X, env)
+	if base.kind != svSlice {
+		return topSval()
+	}
+	lo := constPoly(0)
+	if e.Low != nil {
+		lo = fa.evalExpr(e.Low, env).num()
+	}
+	hi := base.a
+	if e.High != nil {
+		hi = fa.evalExpr(e.High, env).num()
+	}
+	length := subPoly(hi, lo)
+	if length.isTop() {
+		// x[a : a+k] with opaque a: the window length is k even when a
+		// itself is ⊤, provided both bounds share the base expression.
+		length = windowLen(e.Low, e.High, func(k ast.Expr) *poly {
+			return fa.evalExpr(k, env).num()
+		})
+	}
+	return sliceSval(length)
+}
+
+// windowLen recognizes the slice window idiom lo=a, hi=a+k (in either
+// operand order) for side-effect-free a, returning k's dimension.
+func windowLen(lo, hi ast.Expr, eval func(ast.Expr) *poly) *poly {
+	if lo == nil || hi == nil || !sideEffectFree(lo) {
+		return topPoly()
+	}
+	be, ok := unparen(hi).(*ast.BinaryExpr)
+	if !ok || be.Op != token.ADD {
+		return topPoly()
+	}
+	loStr := types.ExprString(unparen(lo))
+	if types.ExprString(unparen(be.X)) == loStr {
+		return eval(be.Y)
+	}
+	if types.ExprString(unparen(be.Y)) == loStr {
+		return eval(be.X)
+	}
+	return topPoly()
+}
+
+func sideEffectFree(e ast.Expr) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isCall := n.(*ast.CallExpr); isCall {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+func (fa *shapeFn) evalComposite(e *ast.CompositeLit, env *shapeEnv) sval {
+	t := fa.pkg.Info.TypeOf(e)
+	if t == nil {
+		return topSval()
+	}
+	if isMatrixType(t) {
+		v := matSval(constPoly(0), constPoly(0))
+		for _, el := range e.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				return topSval()
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch key.Name {
+			case "Rows":
+				v.a = fa.evalExpr(kv.Value, env).num()
+			case "Cols":
+				v.b = fa.evalExpr(kv.Value, env).num()
+			}
+		}
+		return v
+	}
+	if _, ok := t.Underlying().(*types.Slice); ok {
+		// Element lists without keys have a knowable length; keyed
+		// (sparse) slice literals are rare enough to skip.
+		for _, el := range e.Elts {
+			if _, keyed := el.(*ast.KeyValueExpr); keyed {
+				return sliceSval(topPoly())
+			}
+		}
+		n := constPoly(int64(len(e.Elts)))
+		return capSval(n, n)
+	}
+	return topSval()
+}
+
+func (fa *shapeFn) evalCall(call *ast.CallExpr, env *shapeEnv) sval {
+	if v, handled := fa.evalBuiltinOrConv(call, env); handled {
+		return v
+	}
+	fn := StaticCallee(fa.pkg.Info, call)
+	if fn == nil {
+		return topSval()
+	}
+	if spec, ok := shapeAPI[shapeAPIKey(fn)]; ok {
+		if spec.result == nil {
+			return topSval()
+		}
+		return spec.result(fa.callContext(call, fn, env))
+	}
+	if c := fa.sc.funcContracts[fn]; c != nil {
+		results := fa.applyFuncContract(fa.callContext(call, fn, env), c, false)
+		if len(results) > 0 {
+			return results[0]
+		}
+		return topSval()
+	}
+	if sum := fa.summaryOf(fn); sum != nil {
+		results := fa.summaryResults(call, fn, sum, env)
+		if len(results) > 0 {
+			return results[0]
+		}
+	}
+	return topSval()
+}
+
+// summaryOf consults the shared summary cache, flagging cycles so a
+// summarization pass that hit one gets re-solved.
+func (fa *shapeFn) summaryOf(fn *types.Func) *funcSummary {
+	if fa.sc.inProgress[fn] {
+		fa.sawInProgress = true
+		return nil
+	}
+	return fa.sc.summaryOf(fn)
+}
+
+// evalCallResults resolves every result of a multi-value call, or nil
+// when nothing is known.
+func (fa *shapeFn) evalCallResults(call *ast.CallExpr, env *shapeEnv, n int) []sval {
+	fn := StaticCallee(fa.pkg.Info, call)
+	if fn == nil {
+		return nil
+	}
+	if sum := fa.summaryOf(fn); sum != nil {
+		if res := fa.summaryResults(call, fn, sum, env); len(res) == n {
+			return res
+		}
+	}
+	return nil
+}
+
+// evalBuiltinOrConv handles builtin calls and type conversions.
+func (fa *shapeFn) evalBuiltinOrConv(call *ast.CallExpr, env *shapeEnv) (sval, bool) {
+	if tv, ok := fa.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversions preserve integer values and slice lengths.
+		if len(call.Args) != 1 {
+			return topSval(), true
+		}
+		v := fa.evalExpr(call.Args[0], env)
+		t := tv.Type
+		if p, okp := t.Underlying().(*types.Pointer); okp {
+			t = p.Elem()
+		}
+		if b, okb := t.Underlying().(*types.Basic); okb && b.Info()&types.IsInteger != 0 && v.kind == svNum {
+			return v, true
+		}
+		if _, oks := t.Underlying().(*types.Slice); oks && v.kind == svSlice {
+			return v, true
+		}
+		return topSval(), true
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return topSval(), false
+	}
+	if _, isBuiltin := fa.pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return topSval(), false
+	}
+	switch id.Name {
+	case "len":
+		if len(call.Args) == 1 {
+			v := fa.evalExpr(call.Args[0], env)
+			switch v.kind {
+			case svSlice:
+				return numSval(v.a), true
+			}
+		}
+	case "cap":
+		if len(call.Args) == 1 {
+			v := fa.evalExpr(call.Args[0], env)
+			if v.kind == svSlice && v.b != nil {
+				return numSval(v.b), true
+			}
+		}
+	case "make":
+		if len(call.Args) >= 2 {
+			if tv, okt := fa.pkg.Info.Types[call.Args[0]]; okt {
+				if _, oks := tv.Type.Underlying().(*types.Slice); oks {
+					l := fa.evalExpr(call.Args[1], env).num()
+					c := l
+					if len(call.Args) >= 3 {
+						c = fa.evalExpr(call.Args[2], env).num()
+					}
+					return capSval(l, c), true
+				}
+			}
+		}
+	case "append":
+		if len(call.Args) >= 1 {
+			base := fa.evalExpr(call.Args[0], env).slen()
+			if call.Ellipsis.IsValid() && len(call.Args) == 2 {
+				tail := fa.evalExpr(call.Args[1], env).slen()
+				return sliceSval(addPoly(base, tail)), true
+			}
+			if !call.Ellipsis.IsValid() {
+				return sliceSval(addPoly(base, constPoly(int64(len(call.Args)-1)))), true
+			}
+		}
+	case "new":
+		if len(call.Args) == 1 {
+			if tv, okt := fa.pkg.Info.Types[call.Args[0]]; okt {
+				return fa.zeroSval(tv.Type), true
+			}
+		}
+	}
+	return topSval(), true
+}
+
+func (fa *shapeFn) zeroSval(t types.Type) sval {
+	if isMatrixType(t) {
+		if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+			return matSval(constPoly(0), constPoly(0))
+		}
+		return topSval()
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&types.IsInteger != 0 {
+			return numSval(constPoly(0))
+		}
+	case *types.Slice:
+		return capSval(constPoly(0), constPoly(0))
+	case *types.Array:
+		return capSval(constPoly(u.Len()), constPoly(u.Len()))
+	}
+	return topSval()
+}
+
+// ---------------------------------------------------------------------
+// Statement transfer
+// ---------------------------------------------------------------------
+
+func (fa *shapeFn) applyNode(n ast.Node, env *shapeEnv) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		fa.applyAssign(n, env)
+		return
+	case *ast.DeclStmt:
+		fa.applyDecl(n, env)
+		return
+	case *ast.IncDecStmt:
+		fa.applyIncDec(n, env)
+		return
+	case *ast.RangeStmt:
+		fa.killCalls(n.X, env)
+		// Per-iteration range variables: drop any tracked value so
+		// reads fall back to opaque baselines. Cross-iteration values
+		// always pass the loop-head join, which ⊤s any dim that
+		// differs between entry and back edge.
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := unparen(e).(*ast.Ident); ok {
+				if obj := objOf(fa.pkg.Info, id); obj != nil {
+					delete(env.vars, obj)
+				}
+			}
+		}
+		return
+	}
+	fa.killCalls(n, env)
+}
+
+func (fa *shapeFn) applyAssign(n *ast.AssignStmt, env *shapeEnv) {
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		// Compound: x op= e
+		fa.killCalls(n, env)
+		if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+			return
+		}
+		x := fa.evalExpr(n.Lhs[0], env)
+		y := fa.evalExpr(n.Rhs[0], env)
+		v := topSval()
+		if x.kind == svNum && y.kind == svNum {
+			switch n.Tok {
+			case token.ADD_ASSIGN:
+				v = numSval(addPoly(x.a, y.a))
+			case token.SUB_ASSIGN:
+				v = numSval(subPoly(x.a, y.a))
+			case token.MUL_ASSIGN:
+				v = numSval(mulPoly(x.a, y.a))
+			}
+		}
+		fa.assignTo(n.Lhs[0], v, env)
+		return
+	}
+	vals := make([]sval, len(n.Lhs))
+	if len(n.Lhs) == len(n.Rhs) {
+		for i, rhs := range n.Rhs {
+			vals[i] = fa.evalExpr(rhs, env)
+		}
+	} else if len(n.Rhs) == 1 {
+		if call, ok := unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+			if res := fa.evalCallResults(call, env, len(n.Lhs)); res != nil {
+				vals = res
+			}
+		}
+	}
+	fa.killCalls(n, env)
+	for i, lhs := range n.Lhs {
+		fa.assignTo(lhs, vals[i], env)
+	}
+}
+
+// assignTo stores v at the target. A ⊤ store to an identifier deletes
+// the entry instead, restoring the opaque baseline symbol — a fresh
+// unknown value is still self-equal across later reads.
+func (fa *shapeFn) assignTo(target ast.Expr, v sval, env *shapeEnv) {
+	switch t := unparen(target).(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return
+		}
+		obj := objOf(fa.pkg.Info, t)
+		if obj == nil {
+			return
+		}
+		if v.isTop() {
+			delete(env.vars, obj)
+		} else {
+			env.vars[obj] = v
+		}
+	case *ast.StarExpr:
+		fa.assignTo(t.X, v, env)
+	case *ast.SelectorExpr:
+		// m.Rows = k on a tracked matrix updates its dimension.
+		base, ok := unparen(t.X).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := objOf(fa.pkg.Info, base)
+		if obj == nil {
+			return
+		}
+		cur, ok := env.vars[obj]
+		if !ok || cur.kind != svMat {
+			return
+		}
+		switch t.Sel.Name {
+		case "Rows":
+			cur.a = v.num()
+		case "Cols":
+			cur.b = v.num()
+		default:
+			return
+		}
+		env.vars[obj] = cur
+	}
+}
+
+func (fa *shapeFn) applyDecl(n *ast.DeclStmt, env *shapeEnv) {
+	gd, ok := n.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	fa.killCalls(n, env)
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			obj := fa.pkg.Info.Defs[name]
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			var v sval
+			switch {
+			case len(vs.Values) == len(vs.Names):
+				v = fa.evalExpr(vs.Values[i], env)
+			case len(vs.Values) == 0:
+				v = fa.zeroSval(obj.Type())
+			default:
+				v = topSval()
+				if call, okc := unparen(vs.Values[0]).(*ast.CallExpr); okc {
+					if res := fa.evalCallResults(call, env, len(vs.Names)); res != nil {
+						v = res[i]
+					}
+				}
+			}
+			if v.isTop() {
+				delete(env.vars, obj)
+			} else {
+				env.vars[obj] = v
+			}
+		}
+	}
+}
+
+func (fa *shapeFn) applyIncDec(n *ast.IncDecStmt, env *shapeEnv) {
+	id, ok := unparen(n.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := objOf(fa.pkg.Info, id)
+	if obj == nil {
+		return
+	}
+	if v, okv := env.vars[obj]; okv && v.kind == svNum {
+		d := constPoly(1)
+		if n.Tok == token.DEC {
+			d = constPoly(-1)
+		}
+		env.vars[obj] = numSval(addPoly(v.a, d))
+		return
+	}
+	delete(env.vars, obj)
+}
+
+// killCalls conservatively invalidates variables a call might resize:
+// &x arguments and identifier receivers of calls the analysis has no
+// model for. Builtins, conversions, and the hardcoded tensor/nn API
+// never resize their arguments' shapes.
+func (fa *shapeFn) killCalls(n ast.Node, env *shapeEnv) {
+	if n == nil {
+		return
+	}
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		n = rs.X
+		if n == nil {
+			return
+		}
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var kills []int
+		benign := false
+		if _, handled := fa.evalBuiltinOrConv(call, env); handled {
+			benign = true
+		} else if fn := StaticCallee(fa.pkg.Info, call); fn != nil {
+			if spec, okSpec := shapeAPI[shapeAPIKey(fn)]; okSpec {
+				benign = true
+				kills = spec.kills
+			}
+		}
+		if benign {
+			for _, i := range kills {
+				if i < len(call.Args) {
+					fa.killAmpIdent(call.Args[i], env)
+				}
+			}
+			return true
+		}
+		for _, arg := range call.Args {
+			fa.killAmpIdent(arg, env)
+		}
+		if sel, okSel := unparen(call.Fun).(*ast.SelectorExpr); okSel {
+			if id, okId := unparen(sel.X).(*ast.Ident); okId {
+				if obj := objOf(fa.pkg.Info, id); obj != nil {
+					if _, isVar := obj.(*types.Var); isVar {
+						delete(env.vars, obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// killAmpIdent invalidates x for a &x argument (and a plain identifier
+// argument of pointer type, which aliases the same way).
+func (fa *shapeFn) killAmpIdent(arg ast.Expr, env *shapeEnv) {
+	e := unparen(arg)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = unparen(ue.X)
+	} else if tv, okt := fa.pkg.Info.Types[e]; okt {
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); !isPtr {
+			return
+		}
+	} else {
+		return
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := objOf(fa.pkg.Info, id); obj != nil {
+			delete(env.vars, obj)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Checking
+// ---------------------------------------------------------------------
+
+func (fa *shapeFn) checkNode(n ast.Node, env *shapeEnv) {
+	// A RangeStmt node carries its whole body; only the range clause
+	// executes here (the body has its own blocks).
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if rs.X != nil {
+			fa.checkNode(rs.X, env)
+		}
+		return
+	}
+	if ret, ok := n.(*ast.ReturnStmt); ok {
+		fa.recordReturn(ret, env)
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if fa.pass != nil {
+				fa.lits = append(fa.lits, queuedLit{lit: x, env: copyEnv(env)})
+			}
+			return false
+		case *ast.CallExpr:
+			fa.checkCall(x, env)
+		case *ast.CompositeLit:
+			fa.checkComposite(x, env)
+		case *ast.SliceExpr:
+			fa.checkSliceBound(x, env)
+		}
+		return true
+	})
+}
+
+func (fa *shapeFn) checkCall(call *ast.CallExpr, env *shapeEnv) {
+	if _, handled := fa.evalBuiltinOrConv(call, env); handled {
+		return
+	}
+	fn := StaticCallee(fa.pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	if spec, ok := shapeAPI[shapeAPIKey(fn)]; ok {
+		if spec.check != nil {
+			spec.check(fa.callContext(call, fn, env))
+		}
+		return
+	}
+	if c := fa.sc.funcContracts[fn]; c != nil {
+		fa.applyFuncContract(fa.callContext(call, fn, env), c, true)
+		return
+	}
+	if sum := fa.summaryOf(fn); sum != nil {
+		fa.checkSummaryPreconds(call, fn, sum, env)
+	}
+}
+
+// checkEq relates two dimensions at a site. Conflicts always report.
+// An unknown relation reports only under strict (a contract-binding
+// site), and in summarize mode becomes a caller-checkable precondition
+// when both sides are parameter-rooted.
+func (fa *shapeFn) checkEq(pos token.Pos, site, labelA string, a *poly, labelB string, b *poly, strict bool) {
+	if a == nil || b == nil {
+		return
+	}
+	a, b = fa.applySubst(a), fa.applySubst(b)
+	switch relateDims(fa.sc.syms, a, b) {
+	case dimsEqual:
+	case dimsConflict:
+		fa.report(pos, fmt.Sprintf("%s: %s is %s but %s is %s",
+			site, labelA, a.render(fa.sc.syms), labelB, b.render(fa.sc.syms)))
+	case dimsUnknown:
+		if a.isTop() || b.isTop() {
+			return
+		}
+		if strict && fa.pass != nil {
+			fa.report(pos, fmt.Sprintf("%s: %s is %s but %s is %s (cannot prove them equal)",
+				site, labelA, a.render(fa.sc.syms), labelB, b.render(fa.sc.syms)))
+			return
+		}
+		fa.addPrecond(shapePrecond{labelA: labelA, labelB: labelB, a: a, b: b})
+	}
+}
+
+// checkMin enforces a minimum-length relation: have >= need. The
+// violation must be provable for every assignment of the symbols;
+// dimension symbols are nonnegative (lengths and extents), so a
+// difference whose constant term is negative and whose symbolic terms
+// all have nonpositive coefficients is provably negative.
+func (fa *shapeFn) checkMin(pos token.Pos, site, labelA string, have *poly, labelB string, need *poly) {
+	if have == nil || need == nil {
+		return
+	}
+	have, need = fa.applySubst(have), fa.applySubst(need)
+	if have.isTop() || need.isTop() {
+		return
+	}
+	d := subPoly(have, need)
+	if d.isTop() {
+		return
+	}
+	provablyNegative := false
+	if len(d.ms) > 0 {
+		provablyNegative = true
+		hasNegConst := false
+		for _, m := range d.ms {
+			if m.coeff > 0 {
+				provablyNegative = false
+				break
+			}
+			if len(m.syms) == 0 && m.coeff < 0 {
+				hasNegConst = true
+			}
+		}
+		if !hasNegConst {
+			provablyNegative = false
+		}
+	}
+	if provablyNegative {
+		fa.report(pos, fmt.Sprintf("%s: %s is %s but the contract requires at least %s (%s)",
+			site, labelA, have.render(fa.sc.syms), need.render(fa.sc.syms), labelB))
+		return
+	}
+	fa.addPrecond(shapePrecond{labelA: labelA, labelB: labelB, a: have, b: need, minlen: true})
+}
+
+func (fa *shapeFn) addPrecond(pc shapePrecond) {
+	if fa.sum == nil || len(fa.sum.preconds) >= summaryPrecondLimit {
+		return
+	}
+	if !fa.paramRooted(pc.a) || !fa.paramRooted(pc.b) {
+		return
+	}
+	for _, have := range fa.sum.preconds {
+		if have.minlen == pc.minlen && polyEqual(have.a, pc.a) && polyEqual(have.b, pc.b) {
+			return
+		}
+	}
+	fa.sum.preconds = append(fa.sum.preconds, pc)
+}
+
+// paramRooted reports whether every symbol of p is rooted at one of
+// this function's parameters or at a package-level variable — the
+// symbols a caller can substitute or keep verbatim.
+func (fa *shapeFn) paramRooted(p *poly) bool {
+	if p.isTop() {
+		return false
+	}
+	for _, m := range p.ms {
+		for _, s := range m.syms {
+			root := fa.sc.syms.keys[s].root
+			if root == nil {
+				return false
+			}
+			if fa.params[root] || isPackageLevel(root) {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}
+
+func (fa *shapeFn) report(pos token.Pos, msg string) {
+	if fa.pass == nil {
+		return
+	}
+	key := fmt.Sprintf("%d|%s", pos, msg)
+	if fa.sc.reported[key] {
+		return
+	}
+	fa.sc.reported[key] = true
+	if fa.pass.ExemptAt(pos, DirShapeOK) {
+		return
+	}
+	fa.pass.Reportf(pos, "%s", msg)
+}
+
+// checkSliceBound flags s[lo:hi] when hi provably exceeds the
+// capacity. Only capacities known exactly (make, literals) are
+// checked; reslicing beyond len but within cap is legal Go the
+// analysis must not flag.
+func (fa *shapeFn) checkSliceBound(se *ast.SliceExpr, env *shapeEnv) {
+	base := fa.evalExpr(se.X, env)
+	if base.kind != svSlice || base.b == nil {
+		return
+	}
+	check := func(bound ast.Expr) {
+		if bound == nil {
+			return
+		}
+		h := fa.applySubst(fa.evalExpr(bound, env).num())
+		d := subPoly(h, fa.applySubst(base.b))
+		if c, ok := d.isConst(); ok && c > 0 {
+			fa.report(se.Pos(), fmt.Sprintf("slice bound %s exceeds the capacity %s of %s",
+				h.render(fa.sc.syms), base.b.render(fa.sc.syms), types.ExprString(se.X)))
+		}
+	}
+	check(se.High)
+	check(se.Max)
+}
+
+// checkComposite binds a struct literal against its fields'
+// //nessa:shape contracts: the first known dimension for each contract
+// name binds it, later uses must agree (strict — the contract is the
+// declared truth at its own construction site). Matrix literals also
+// get a Data-length consistency check.
+func (fa *shapeFn) checkComposite(lit *ast.CompositeLit, env *shapeEnv) {
+	t := fa.pkg.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if isMatrixType(t) {
+		fa.checkMatrixLit(lit, env)
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	contracted := false
+	for i := 0; i < st.NumFields(); i++ {
+		if fa.sc.fieldContracts[st.Field(i)] != nil {
+			contracted = true
+			break
+		}
+	}
+	if !contracted {
+		return
+	}
+	// Pair each contracted field with its value expression.
+	type fieldVal struct {
+		field *types.Var
+		expr  ast.Expr
+	}
+	var fields []fieldVal
+	keyed := len(lit.Elts) > 0
+	if keyed {
+		_, keyed = lit.Elts[0].(*ast.KeyValueExpr)
+	}
+	if keyed {
+		for _, el := range lit.Elts {
+			kv, okkv := el.(*ast.KeyValueExpr)
+			if !okkv {
+				continue
+			}
+			key, okk := kv.Key.(*ast.Ident)
+			if !okk {
+				continue
+			}
+			if f, okf := fa.pkg.Info.Uses[key].(*types.Var); okf {
+				fields = append(fields, fieldVal{field: f, expr: kv.Value})
+			}
+		}
+	} else {
+		for i, el := range lit.Elts {
+			if i >= st.NumFields() {
+				break
+			}
+			fields = append(fields, fieldVal{field: st.Field(i), expr: el})
+		}
+	}
+	typeName := "struct"
+	if n, okn := t.(*types.Named); okn {
+		typeName = n.Obj().Name()
+	}
+	site := typeName + " literal"
+	bindings := make(map[string]*poly)
+	bind := func(name string) *poly { return bindings[name] }
+	// Pass 1: bare-identifier dims bind or check, in field order.
+	type deferredCheck struct {
+		key   string
+		expr  ast.Expr
+		label string
+		have  *poly
+		pos   token.Pos
+	}
+	var deferred []deferredCheck
+	for _, fv := range fields {
+		c := fa.sc.fieldContracts[fv.field]
+		if c == nil {
+			continue
+		}
+		cl := &c.Clauses[0]
+		v := fa.evalExpr(fv.expr, env)
+		for _, key := range []string{shapeKeyRows, shapeKeyCols, shapeKeyLen, shapeKeyMinLen} {
+			dimExpr, okd := cl.Dims[key]
+			if !okd {
+				continue
+			}
+			var have *poly
+			var label string
+			switch key {
+			case shapeKeyRows:
+				have, label = v.rows(), fv.field.Name()+" rows"
+			case shapeKeyCols:
+				have, label = v.cols(), fv.field.Name()+" cols"
+			case shapeKeyLen, shapeKeyMinLen:
+				have, label = v.slen(), "len("+fv.field.Name()+")"
+			}
+			if have.isTop() {
+				continue
+			}
+			have = fa.applySubst(have)
+			if id, okid := unparen(dimExpr).(*ast.Ident); okid && key != shapeKeyMinLen {
+				if bound, okb := bindings[id.Name]; okb {
+					fa.checkEq(fv.expr.Pos(), site, label, have, "contract dim "+id.Name, bound, true)
+				} else {
+					bindings[id.Name] = have
+				}
+				continue
+			}
+			deferred = append(deferred, deferredCheck{key: key, expr: dimExpr, label: label, have: have, pos: fv.expr.Pos()})
+		}
+	}
+	// Pass 2: compound expressions and minlen, with all bindings known.
+	for _, d := range deferred {
+		want := evalContractExpr(d.expr, bind)
+		if d.key == shapeKeyMinLen {
+			fa.checkMin(d.pos, site, d.label, d.have, "contract "+types.ExprString(d.expr), want)
+			continue
+		}
+		fa.checkEq(d.pos, site, d.label, d.have, "contract "+types.ExprString(d.expr), want, true)
+	}
+}
+
+// checkMatrixLit relates a Matrix literal's Data length to its
+// Rows*Cols product — the flattened-buffer invariant.
+func (fa *shapeFn) checkMatrixLit(lit *ast.CompositeLit, env *shapeEnv) {
+	v := fa.evalComposite(lit, env)
+	if v.kind != svMat {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return
+		}
+		key, okk := kv.Key.(*ast.Ident)
+		if !okk || key.Name != "Data" {
+			continue
+		}
+		dl := fa.evalExpr(kv.Value, env).slen()
+		fa.checkEq(kv.Value.Pos(), "Matrix literal", "len(Data)", dl, "Rows*Cols", mulPoly(v.a, v.b), false)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Contracted calls
+// ---------------------------------------------------------------------
+
+// applyFuncContract binds a call against the callee's //nessa:shape
+// contract. Bare-identifier dims bind from the first known actual and
+// check (strictly) thereafter; compound dims and minlen check once all
+// bindings are in. Returns the result shapes an untargeted clause
+// declares, if any.
+func (fa *shapeFn) applyFuncContract(ctx *callCtx, c *shapeContract, emit bool) []sval {
+	sig := ctx.fn.Type().(*types.Signature)
+	paramIdx := make(map[string]int)
+	for i := 0; i < sig.Params().Len(); i++ {
+		paramIdx[sig.Params().At(i).Name()] = i
+	}
+	bindings := make(map[string]*poly)
+	bind := func(name string) *poly { return bindings[name] }
+	type deferredCheck struct {
+		key   string
+		expr  ast.Expr
+		label string
+		have  *poly
+	}
+	var deferred []deferredCheck
+	for _, cl := range c.Clauses {
+		if cl.Target == "" {
+			continue
+		}
+		i, ok := paramIdx[cl.Target]
+		if !ok || i >= len(ctx.args) {
+			continue
+		}
+		v := ctx.args[i]
+		for _, key := range []string{shapeKeyRows, shapeKeyCols, shapeKeyLen, shapeKeyMinLen} {
+			dimExpr, okd := cl.Dims[key]
+			if !okd {
+				continue
+			}
+			var have *poly
+			var label string
+			switch key {
+			case shapeKeyRows:
+				have, label = v.rows(), cl.Target+" rows"
+			case shapeKeyCols:
+				have, label = v.cols(), cl.Target+" cols"
+			case shapeKeyLen, shapeKeyMinLen:
+				have, label = v.slen(), "len("+cl.Target+")"
+			}
+			if have.isTop() {
+				continue
+			}
+			have = fa.applySubst(have)
+			if id, okid := unparen(dimExpr).(*ast.Ident); okid && key != shapeKeyMinLen {
+				if bound, okb := bindings[id.Name]; okb {
+					if emit {
+						fa.checkEq(ctx.call.Pos(), ctx.site, label, have, "contract dim "+id.Name, bound, true)
+					}
+				} else {
+					bindings[id.Name] = have
+				}
+				continue
+			}
+			deferred = append(deferred, deferredCheck{key: key, expr: dimExpr, label: label, have: have})
+		}
+	}
+	for _, d := range deferred {
+		if !emit {
+			continue
+		}
+		want := evalContractExpr(d.expr, bind)
+		if d.key == shapeKeyMinLen {
+			fa.checkMin(ctx.call.Pos(), ctx.site, d.label, d.have, "contract "+types.ExprString(d.expr), want)
+			continue
+		}
+		fa.checkEq(ctx.call.Pos(), ctx.site, d.label, d.have, "contract "+types.ExprString(d.expr), want, true)
+	}
+	// Untargeted clause: the first result's declared shape.
+	cl := c.clauseFor("")
+	if cl == nil || sig.Results().Len() == 0 {
+		return nil
+	}
+	out := topSval()
+	switch fa.resultKind(sig.Results().At(0).Type()) {
+	case svMat:
+		r, cdim := topPoly(), topPoly()
+		if e, ok := cl.Dims[shapeKeyRows]; ok {
+			r = evalContractExpr(e, bind)
+		}
+		if e, ok := cl.Dims[shapeKeyCols]; ok {
+			cdim = evalContractExpr(e, bind)
+		}
+		out = matSval(r, cdim)
+	case svSlice:
+		if e, ok := cl.Dims[shapeKeyLen]; ok {
+			out = sliceSval(evalContractExpr(e, bind))
+		}
+	}
+	results := make([]sval, sig.Results().Len())
+	results[0] = out
+	return results
+}
+
+// resultKind probes which sval kind a result type would carry,
+// without interning any symbols.
+func (fa *shapeFn) resultKind(t types.Type) svalKind {
+	if isMatrixType(t) {
+		return svMat
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&types.IsInteger != 0 {
+			return svNum
+		}
+	case *types.Slice:
+		return svSlice
+	}
+	return svTop
+}
+
+// ---------------------------------------------------------------------
+// Summaries
+// ---------------------------------------------------------------------
+
+// summaryOf returns fn's interprocedural summary, computing and
+// memoizing it on first use. Cycles read in-progress callees as
+// unknown; a function whose computation touched an in-progress callee
+// is re-solved once after the cycle closes, which is a two-iteration
+// Kleene fixpoint over the call graph (further refinement cannot
+// change a summary that saw every callee's final value).
+func (sc *shapeCheck) summaryOf(fn *types.Func) *funcSummary {
+	if sum, ok := sc.summaries[fn]; ok {
+		return sum
+	}
+	ref, ok := sc.decls[fn]
+	if !ok {
+		return nil
+	}
+	if _, isAPI := shapeAPI[shapeAPIKey(fn)]; isAPI {
+		sc.summaries[fn] = nil
+		return nil
+	}
+	if sc.funcContracts[fn] != nil {
+		sc.summaries[fn] = nil
+		return nil
+	}
+	if sc.inProgress[fn] {
+		return nil
+	}
+	sc.inProgress[fn] = true
+	sum, sawCycle := sc.computeSummary(ref, fn)
+	if sawCycle {
+		sum, _ = sc.computeSummary(ref, fn)
+	}
+	delete(sc.inProgress, fn)
+	sc.summaries[fn] = sum
+	return sum
+}
+
+func (sc *shapeCheck) computeSummary(ref declRef, fn *types.Func) (*funcSummary, bool) {
+	params := funcParams(ref.pkg.Info, ref.decl)
+	fa := sc.newFn(ref.pkg, nil, fn, params)
+	fa.sum = &funcSummary{params: params}
+	fa.collectAssumes(ref.decl.Body)
+	fa.analyzeBody(ref.decl.Body, &shapeEnv{reached: true, vars: make(map[types.Object]sval)})
+	sawCycle := fa.sawInProgress
+	sum := fa.sum
+	if len(sum.results) == 0 && len(sum.preconds) == 0 {
+		return nil, sawCycle
+	}
+	return sum, sawCycle
+}
+
+// recordReturn folds one return's result shapes into the summary,
+// keeping only parameter-rooted dimensions.
+func (fa *shapeFn) recordReturn(ret *ast.ReturnStmt, env *shapeEnv) {
+	if fa.sum == nil || fa.fn == nil {
+		return
+	}
+	sig := fa.fn.Type().(*types.Signature)
+	n := sig.Results().Len()
+	if n == 0 {
+		return
+	}
+	vals := make([]sval, n)
+	if len(ret.Results) == n {
+		for i, e := range ret.Results {
+			vals[i] = fa.evalExpr(e, env)
+		}
+	}
+	for i := range vals {
+		vals[i] = fa.exportable(vals[i])
+	}
+	if fa.sum.results == nil {
+		fa.sum.results = vals
+		return
+	}
+	for i := range vals {
+		fa.sum.results[i] = joinSval(fa.sum.results[i], vals[i])
+	}
+}
+
+// exportable degrades dimensions a caller cannot interpret (rooted at
+// callee locals) to ⊤.
+func (fa *shapeFn) exportable(v sval) sval {
+	clean := func(p *poly) *poly {
+		if p == nil || p.isTop() {
+			return topPoly()
+		}
+		if !fa.paramRooted(p) {
+			return topPoly()
+		}
+		return p
+	}
+	switch v.kind {
+	case svNum, svSlice:
+		v.a = clean(v.a)
+		v.b = nil
+	case svMat:
+		v.a, v.b = clean(v.a), clean(v.b)
+	}
+	if v.kind != svTop && v.a.isTop() && (v.b == nil || v.b.isTop()) {
+		return topSval()
+	}
+	return v
+}
+
+// summaryResults substitutes the call's argument dimensions into the
+// callee's parameter symbols.
+func (fa *shapeFn) summaryResults(call *ast.CallExpr, fn *types.Func, sum *funcSummary, env *shapeEnv) []sval {
+	resolve := fa.summaryResolver(call, fn, sum, env)
+	if resolve == nil {
+		return nil
+	}
+	out := make([]sval, len(sum.results))
+	for i, r := range sum.results {
+		v := r
+		v.a = substParamPoly(r.a, resolve)
+		if r.b != nil {
+			v.b = substParamPoly(r.b, resolve)
+		}
+		if v.kind != svTop && v.a.isTop() && (v.b == nil || v.b.isTop()) {
+			v = topSval()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func (fa *shapeFn) checkSummaryPreconds(call *ast.CallExpr, fn *types.Func, sum *funcSummary, env *shapeEnv) {
+	if len(sum.preconds) == 0 {
+		return
+	}
+	ctx := fa.callContext(call, fn, env)
+	resolve := fa.summaryResolver(call, fn, sum, env)
+	if resolve == nil {
+		return
+	}
+	for _, pc := range sum.preconds {
+		a := substParamPoly(pc.a, resolve)
+		b := substParamPoly(pc.b, resolve)
+		if pc.minlen {
+			fa.checkMin(call.Pos(), ctx.site, pc.labelA, a, pc.labelB, b)
+			continue
+		}
+		fa.checkEq(call.Pos(), ctx.site, pc.labelA, a, pc.labelB, b, false)
+	}
+}
+
+// summaryResolver maps a callee parameter symbol to its dimension at
+// this call site. Package-level symbols pass through verbatim; deeper
+// selector paths are rebased onto identifier arguments.
+func (fa *shapeFn) summaryResolver(call *ast.CallExpr, fn *types.Func, sum *funcSummary, env *shapeEnv) func(symID) *poly {
+	sig := fn.Type().(*types.Signature)
+	var exprs []ast.Expr
+	if sig.Recv() != nil {
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		exprs = append(exprs, sel.X)
+	}
+	exprs = append(exprs, call.Args...)
+	if len(exprs) != len(sum.params) {
+		return nil
+	}
+	idx := make(map[types.Object]int, len(sum.params))
+	for i, p := range sum.params {
+		idx[p] = i
+	}
+	return func(id symID) *poly {
+		k := fa.sc.syms.keys[id]
+		if k.root == nil {
+			return nil
+		}
+		if isPackageLevel(k.root) {
+			return symPoly(id)
+		}
+		i, ok := idx[k.root]
+		if !ok {
+			return nil
+		}
+		argExpr := exprs[i]
+		v := fa.evalExpr(argExpr, env)
+		switch k.path {
+		case "":
+			if v.kind == svNum {
+				return v.a
+			}
+		case "~len":
+			if v.kind == svSlice {
+				return v.a
+			}
+		case "~rows":
+			if v.kind == svMat {
+				return v.a
+			}
+		case "~cols":
+			if v.kind == svMat {
+				return v.b
+			}
+		default:
+			// Deeper path: rebase onto the argument's own root.
+			root, prefix, okr := fa.rootAndPath(argExpr, env)
+			if okr {
+				return symPoly(fa.sc.intern(root, joinPath(prefix, k.path)))
+			}
+		}
+		return nil
+	}
+}
+
+// substParamPoly rewrites p through resolve; any unresolvable symbol
+// makes the whole dimension ⊤.
+func substParamPoly(p *poly, resolve func(symID) *poly) *poly {
+	if p == nil || p.isTop() {
+		return topPoly()
+	}
+	out := constPoly(0)
+	for _, m := range p.ms {
+		term := constPoly(m.coeff)
+		for _, s := range m.syms {
+			rep := resolve(s)
+			if rep == nil {
+				return topPoly()
+			}
+			term = mulPoly(term, rep)
+		}
+		out = addPoly(out, term)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Guard assumptions
+// ---------------------------------------------------------------------
+
+// collectAssumes harvests diverging equality guards —
+//
+//	if a != b || c != d { panic/return/continue }
+//
+// — as symbol substitutions (and, while summarizing, as caller-visible
+// preconditions). The substitutions are flow-insensitive, which is
+// sound here because they only ever relate opaque baseline symbols:
+// a variable that gets reassigned reads from the environment, not from
+// its baseline symbol, so stale equalities cannot bind it.
+func (fa *shapeFn) collectAssumes(body *ast.BlockStmt) {
+	empty := &shapeEnv{reached: true, vars: make(map[types.Object]sval)}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Else != nil || !bodyDiverges(ifs.Body) {
+			return true
+		}
+		for _, atom := range orAtoms(ifs.Cond) {
+			be, okb := unparen(atom).(*ast.BinaryExpr)
+			if !okb || be.Op != token.NEQ {
+				continue
+			}
+			a := fa.evalExpr(be.X, empty)
+			b := fa.evalExpr(be.Y, empty)
+			if a.kind != svNum || b.kind != svNum || a.a.isTop() || b.a.isTop() {
+				continue
+			}
+			fa.addAssume(be, a.a, b.a)
+		}
+		return true
+	})
+}
+
+func (fa *shapeFn) addAssume(be *ast.BinaryExpr, pa, pb *poly) {
+	if fa.sum != nil {
+		fa.addPrecond(shapePrecond{
+			labelA: types.ExprString(be.X),
+			labelB: types.ExprString(be.Y),
+			a:      pa,
+			b:      pb,
+		})
+	}
+	if s, ok := singleSym(pa); ok && !polyContains(pb, s) {
+		if _, dup := fa.subst[s]; !dup {
+			fa.subst[s] = pb
+			return
+		}
+	}
+	if s, ok := singleSym(pb); ok && !polyContains(pa, s) {
+		if _, dup := fa.subst[s]; !dup {
+			fa.subst[s] = pa
+		}
+	}
+}
+
+// applySubst rewrites p through the guard-derived equalities, a few
+// rounds deep for chained guards.
+func (fa *shapeFn) applySubst(p *poly) *poly {
+	if p == nil || p.isTop() || len(fa.subst) == 0 {
+		return p
+	}
+	for round := 0; round < 4; round++ {
+		q := p
+		for _, s := range polySyms(p) {
+			if rep, ok := fa.subst[s]; ok {
+				q = substPoly(q, s, rep)
+			}
+		}
+		if polyEqual(q, p) {
+			return q
+		}
+		p = q
+	}
+	return p
+}
+
+// polySyms returns the distinct symbols of p in ascending order.
+func polySyms(p *poly) []symID {
+	seen := make(map[symID]bool)
+	var out []symID
+	for _, m := range p.ms {
+		for _, s := range m.syms {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func singleSym(p *poly) (symID, bool) {
+	if p.isTop() || len(p.ms) != 1 {
+		return 0, false
+	}
+	m := p.ms[0]
+	if m.coeff != 1 || len(m.syms) != 1 {
+		return 0, false
+	}
+	return m.syms[0], true
+}
+
+func polyContains(p *poly, s symID) bool {
+	if p.isTop() {
+		return false
+	}
+	for _, m := range p.ms {
+		for _, x := range m.syms {
+			if x == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bodyDiverges reports whether a guard body leaves the straight-line
+// path: return, panic, or continue as its last statement.
+func bodyDiverges(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		return isPanicCall(s.X)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	}
+	return false
+}
+
+func orAtoms(e ast.Expr) []ast.Expr {
+	e = unparen(e)
+	if be, ok := e.(*ast.BinaryExpr); ok && be.Op == token.LOR {
+		return append(orAtoms(be.X), orAtoms(be.Y)...)
+	}
+	return []ast.Expr{e}
+}
+
+// ---------------------------------------------------------------------
+// The hardcoded tensor/nn API transfer table
+// ---------------------------------------------------------------------
+
+type callCtx struct {
+	fa       *shapeFn
+	env      *shapeEnv
+	call     *ast.CallExpr
+	fn       *types.Func
+	site     string
+	recvExpr ast.Expr
+	recv     sval
+	args     []sval
+}
+
+func (fa *shapeFn) callContext(call *ast.CallExpr, fn *types.Func, env *shapeEnv) *callCtx {
+	ctx := &callCtx{fa: fa, env: env, call: call, fn: fn}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && fn.Type().(*types.Signature).Recv() != nil {
+		ctx.recvExpr = sel.X
+		ctx.recv = fa.evalExpr(sel.X, env)
+	}
+	for _, a := range call.Args {
+		ctx.args = append(ctx.args, fa.evalExpr(a, env))
+	}
+	ctx.site = "call to " + calleeLabel(fa.pkg, fn)
+	return ctx
+}
+
+func calleeLabel(pkg *Package, fn *types.Func) string {
+	name := fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != pkg.Types {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+func (c *callCtx) arg(i int) sval {
+	if i < len(c.args) {
+		return c.args[i]
+	}
+	return topSval()
+}
+
+func (c *callCtx) eq(labelA string, a *poly, labelB string, b *poly) {
+	c.fa.checkEq(c.call.Pos(), c.site, labelA, a, labelB, b, false)
+}
+
+// recvNum reads an integer field of the receiver (m.In, m.Classes) as
+// a symbolic dimension.
+func (c *callCtx) recvNum(field string) *poly {
+	if c.recvExpr == nil {
+		return topPoly()
+	}
+	root, path, ok := c.fa.rootAndPath(c.recvExpr, c.env)
+	if !ok {
+		return topPoly()
+	}
+	return symPoly(c.fa.sc.intern(root, joinPath(path, field)))
+}
+
+type apiSpec struct {
+	result func(c *callCtx) sval
+	check  func(c *callCtx)
+	// kills lists argument indices whose shape the call may change
+	// (EnsureShape growing its argument in place).
+	kills []int
+}
+
+func shapeAPIKey(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	scope := shapePkgScope(pkg)
+	if scope == "" {
+		return ""
+	}
+	name := fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		n, ok := t.(*types.Named)
+		if !ok {
+			return ""
+		}
+		return scope + "." + n.Obj().Name() + "." + name
+	}
+	return scope + "." + name
+}
+
+var shapeAPI = map[string]apiSpec{
+	"tensor.NewMatrix": {
+		result: func(c *callCtx) sval { return matSval(c.arg(0).num(), c.arg(1).num()) },
+	},
+	"tensor.FromRows": {
+		result: func(c *callCtx) sval { return matSval(c.arg(0).slen(), topPoly()) },
+	},
+	"tensor.EnsureShape": {
+		result: func(c *callCtx) sval { return matSval(c.arg(1).num(), c.arg(2).num()) },
+		kills:  []int{0},
+	},
+	"tensor.GatherRows": {
+		check: func(c *callCtx) {
+			c.eq("dst rows", c.arg(0).rows(), "len(idx)", c.arg(2).slen())
+			c.eq("dst cols", c.arg(0).cols(), "src cols", c.arg(1).cols())
+		},
+	},
+	"tensor.MatMul": {
+		check: func(c *callCtx) {
+			c.eq("a cols", c.arg(1).cols(), "b rows", c.arg(2).rows())
+			c.eq("dst rows", c.arg(0).rows(), "a rows", c.arg(1).rows())
+			c.eq("dst cols", c.arg(0).cols(), "b cols", c.arg(2).cols())
+		},
+	},
+	"tensor.MatMulTransB": {
+		check: func(c *callCtx) {
+			c.eq("a cols", c.arg(1).cols(), "b cols", c.arg(2).cols())
+			c.eq("dst rows", c.arg(0).rows(), "a rows", c.arg(1).rows())
+			c.eq("dst cols", c.arg(0).cols(), "b rows", c.arg(2).rows())
+		},
+	},
+	"tensor.MatMulTransA": {
+		check: checkTransA,
+	},
+	"tensor.MatMulTransAAcc": {
+		check: checkTransA,
+	},
+	"tensor.AXPY": {
+		check: func(c *callCtx) {
+			c.eq("dst rows", c.arg(0).rows(), "src rows", c.arg(2).rows())
+			c.eq("dst cols", c.arg(0).cols(), "src cols", c.arg(2).cols())
+		},
+	},
+	"tensor.AddRowVec": {
+		check: checkAddRowVec,
+	},
+	"tensor.AddRowVecReLU": {
+		check: checkAddRowVec,
+	},
+	"tensor.Dot": {
+		check: func(c *callCtx) {
+			c.eq("len(a)", c.arg(0).slen(), "len(b)", c.arg(1).slen())
+		},
+	},
+	"tensor.Softmax": {
+		check: func(c *callCtx) {
+			c.eq("len(out)", c.arg(0).slen(), "len(logits)", c.arg(1).slen())
+		},
+	},
+	"tensor.Argmax": {},
+	"tensor.Matrix.Row": {
+		result: func(c *callCtx) sval { return sliceSval(c.recv.cols()) },
+	},
+	"tensor.Matrix.Clone": {
+		result: func(c *callCtx) sval { return matSval(c.recv.rows(), c.recv.cols()) },
+	},
+	"tensor.Matrix.At":         {},
+	"tensor.Matrix.Set":        {},
+	"tensor.Matrix.Zero":       {},
+	"tensor.Matrix.Scale":      {},
+	"tensor.Matrix.FillNormal": {},
+	"nn.SoftmaxCEInto": {
+		result: func(c *callCtx) sval { return c.arg(0) },
+		check: func(c *callCtx) {
+			c.eq("len(losses)", c.arg(0).slen(), "logits rows", c.arg(2).rows())
+			c.eq("len(labels)", c.arg(3).slen(), "logits rows", c.arg(2).rows())
+			c.eq("len(weights)", c.arg(4).slen(), "logits rows", c.arg(2).rows())
+			c.eq("dLogits rows", c.arg(5).rows(), "logits rows", c.arg(2).rows())
+			c.eq("dLogits cols", c.arg(5).cols(), "logits cols", c.arg(2).cols())
+		},
+	},
+	"nn.SoftmaxCE": {
+		result: func(c *callCtx) sval { return sliceSval(c.arg(0).rows()) },
+		check: func(c *callCtx) {
+			c.eq("len(labels)", c.arg(1).slen(), "logits rows", c.arg(0).rows())
+			c.eq("len(weights)", c.arg(2).slen(), "logits rows", c.arg(0).rows())
+			c.eq("dLogits rows", c.arg(3).rows(), "logits rows", c.arg(0).rows())
+			c.eq("dLogits cols", c.arg(3).cols(), "logits cols", c.arg(0).cols())
+		},
+	},
+	"nn.GradEmbeddingsInto": {
+		check: func(c *callCtx) {
+			c.eq("emb rows", c.arg(0).rows(), "logits rows", c.arg(1).rows())
+			c.eq("emb cols", c.arg(0).cols(), "logits cols", c.arg(1).cols())
+			c.eq("len(labels)", c.arg(2).slen(), "logits rows", c.arg(1).rows())
+		},
+	},
+	"nn.GradEmbeddings": {
+		result: func(c *callCtx) sval { return matSval(c.arg(0).rows(), c.arg(0).cols()) },
+		check: func(c *callCtx) {
+			c.eq("len(labels)", c.arg(1).slen(), "logits rows", c.arg(0).rows())
+		},
+	},
+	"nn.Accuracy": {
+		check: func(c *callCtx) {
+			c.eq("len(labels)", c.arg(1).slen(), "logits rows", c.arg(0).rows())
+		},
+	},
+	"nn.MLP.Forward": {
+		result: func(c *callCtx) sval { return matSval(c.arg(0).rows(), c.recvNum("Classes")) },
+		check: func(c *callCtx) {
+			c.eq("x cols", c.arg(0).cols(), "model In", c.recvNum("In"))
+		},
+	},
+	"nn.MLP.ForwardInto": {
+		result: func(c *callCtx) sval { return matSval(c.arg(1).rows(), c.recvNum("Classes")) },
+		check: func(c *callCtx) {
+			c.eq("x cols", c.arg(1).cols(), "model In", c.recvNum("In"))
+		},
+	},
+	"nn.MLP.Backward":  {},
+	"nn.MLP.Clone":     {},
+	"nn.MLP.NumParams": {},
+	"nn.NewGrads":      {},
+	"nn.NewMLP":        {},
+}
+
+func checkTransA(c *callCtx) {
+	c.eq("a rows", c.arg(1).rows(), "b rows", c.arg(2).rows())
+	c.eq("dst rows", c.arg(0).rows(), "a cols", c.arg(1).cols())
+	c.eq("dst cols", c.arg(0).cols(), "b cols", c.arg(2).cols())
+}
+
+func checkAddRowVec(c *callCtx) {
+	c.eq("len(v)", c.arg(1).slen(), "m cols", c.arg(0).cols())
+}

@@ -1,0 +1,317 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestShapeCheckFixture(t *testing.T) {
+	runFixture(t, "shapecheck", "shapecheck", "nessa/internal/fixture/shapecheck")
+}
+
+// TestByNameErrorListsValidAnalyzers pins the -run typo experience:
+// the error enumerates every valid name from both suites.
+func TestByNameErrorListsValidAnalyzers(t *testing.T) {
+	_, err := ByName([]string{"shapechekc"})
+	if err == nil {
+		t.Fatal("ByName accepted an unknown analyzer name")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"shapechekc"`) {
+		t.Errorf("error does not quote the unknown name: %s", msg)
+	}
+	for _, a := range All() {
+		if !strings.Contains(msg, a.Name) {
+			t.Errorf("error does not list source analyzer %s: %s", a.Name, msg)
+		}
+	}
+	for _, a := range CompilerAll() {
+		if !strings.Contains(msg, a.Name) {
+			t.Errorf("error does not list compiler analyzer %s: %s", a.Name, msg)
+		}
+	}
+}
+
+// TestParseShapeContract covers the //nessa:shape grammar edge cases
+// beyond what the golden fixture exercises positionally.
+func TestParseShapeContract(t *testing.T) {
+	cases := []struct {
+		name    string
+		text    string
+		wantErr string // substring of the expected error, "" for ok
+		clauses int
+	}{
+		{"single clause", "//nessa:shape(rows=n, cols=d)", "", 1},
+		{"targeted clauses", "//nessa:shape(a: rows=n, b: cols=n)", "", 2},
+		{"sticky target", "//nessa:shape(a: rows=n, cols=d)", "", 1},
+		{"affine expr", "//nessa:shape(buf: minlen=10+4*nf)", "", 1},
+		{"trailing justification", "//nessa:shape(len=k) header plus payload", "", 1},
+		{"missing argument list", "//nessa:shape", "missing argument list", 0},
+		{"unbalanced parens", "//nessa:shape(rows=(n", "missing closing parenthesis", 0},
+		{"not key=value", "//nessa:shape(rows)", "is not key=value", 0},
+		{"empty item", "//nessa:shape(rows=n,,cols=d)", "empty item", 0},
+		{"duplicate key", "//nessa:shape(rows=n, rows=d)", "duplicate key", 0},
+		{"duplicate key across sticky target", "//nessa:shape(a: rows=n, rows=d)", "duplicate key", 0},
+		{"duplicate target", "//nessa:shape(a: rows=n, b: rows=d, a: cols=m)", "duplicate target", 0},
+		{"unknown key", "//nessa:shape(width=3)", "unknown key", 0},
+		{"empty argument list", "//nessa:shape()", "empty item", 0},
+		{"bad expr operator", "//nessa:shape(rows=n/2)", "not allowed", 0},
+		{"non-integer literal", "//nessa:shape(rows=1.5)", "", -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := parseShapeContract(tc.text, token.NoPos)
+			if tc.wantErr == "" && tc.clauses >= 0 {
+				if err != nil {
+					t.Fatalf("parseShapeContract(%q): %v", tc.text, err)
+				}
+				if len(c.Clauses) != tc.clauses {
+					t.Fatalf("parseShapeContract(%q): %d clauses, want %d", tc.text, len(c.Clauses), tc.clauses)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseShapeContract(%q) succeeded, want error", tc.text)
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("parseShapeContract(%q) error %q does not contain %q", tc.text, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// copyPackage copies the non-test Go (and asm) sources of srcDir into
+// a temp dir, applying mutate to each file, and returns the copy's
+// path. The shared helper behind the shape mutation tests below.
+func copyPackage(t *testing.T, srcDir string, mutate func(name string, src []byte) []byte) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, ".s") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(srcDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = mutate(name, data)
+		if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// mustReplace asserts the mutation target still exists in the source
+// before substituting — a silent miss would make the test vacuous.
+func mustReplace(t *testing.T, name string, src []byte, old, new string) []byte {
+	t.Helper()
+	if !strings.Contains(string(src), old) {
+		t.Fatalf("%s no longer contains %q; update the mutation test", name, old)
+	}
+	return []byte(strings.ReplaceAll(string(src), old, new))
+}
+
+func shapeFindings(t *testing.T, pkgs []*Package) []Finding {
+	t.Helper()
+	az, err := ByName([]string{"shapecheck"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(pkgs, az)
+}
+
+func assertFindingContains(t *testing.T, findings []Finding, subs ...string) {
+	t.Helper()
+	for _, f := range findings {
+		ok := true
+		for _, sub := range subs {
+			if !strings.Contains(f.Message, sub) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+	}
+	t.Errorf("no finding contains all of %q; got %d finding(s):", subs, len(findings))
+	for _, f := range findings {
+		t.Logf("  %s", f)
+	}
+}
+
+func assertNoFindings(t *testing.T, findings []Finding) {
+	t.Helper()
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestShapeMutationTransposedGEMM is the first acceptance mutation:
+// swap the transposed GEMM in the nn forward pass for the plain one
+// (same arguments) and shapecheck must name the out/in contract dims
+// that stop agreeing; strip the Dense contracts from the same copy and
+// the finding must disappear.
+func TestShapeMutationTransposedGEMM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("package copies and repeated type checks are slow; skipped in -short mode")
+	}
+	root := repoRoot(t)
+	nnDir := filepath.Join(root, "internal", "nn")
+	const forward = "tensor.MatMulTransB(out, cur, l.W)"
+	const transposed = "tensor.MatMul(out, cur, l.W)"
+
+	load := func(t *testing.T, dir string) []Finding {
+		t.Helper()
+		l, err := NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := l.LoadDir(dir, "nessa/internal/nn")
+		if err != nil {
+			t.Fatalf("loading mutated copy: %v", err)
+		}
+		return shapeFindings(t, []*Package{pkg})
+	}
+
+	t.Run("contracted layer flags transposed GEMM", func(t *testing.T) {
+		dir := copyPackage(t, nnDir, func(name string, src []byte) []byte {
+			if name != "model.go" {
+				return src
+			}
+			return mustReplace(t, name, src, forward, transposed)
+		})
+		assertFindingContains(t, load(t, dir), "dst cols is out", "b cols is in")
+	})
+	t.Run("stripped contract is silent", func(t *testing.T) {
+		dir := copyPackage(t, nnDir, func(name string, src []byte) []byte {
+			if name != "model.go" {
+				return src
+			}
+			src = mustReplace(t, name, src, forward, transposed)
+			src = mustReplace(t, name, src, "//nessa:shape(rows=out, cols=in)\n", "")
+			return mustReplace(t, name, src, "//nessa:shape(len=out)\n", "")
+		})
+		assertNoFindings(t, load(t, dir))
+	})
+}
+
+// TestShapeMutationSwappedHiddenWidths is the second acceptance
+// mutation: transpose newDense's NewMatrix arguments (an in×out weight
+// for an out×in contract) and the Dense literal must flag the swap by
+// its contract dims; stripping the contracts silences it.
+func TestShapeMutationSwappedHiddenWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("package copies and repeated type checks are slow; skipped in -short mode")
+	}
+	root := repoRoot(t)
+	nnDir := filepath.Join(root, "internal", "nn")
+	const alloc = "tensor.NewMatrix(out, in)"
+	const swapped = "tensor.NewMatrix(in, out)"
+
+	load := func(t *testing.T, dir string) []Finding {
+		t.Helper()
+		l, err := NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := l.LoadDir(dir, "nessa/internal/nn")
+		if err != nil {
+			t.Fatalf("loading mutated copy: %v", err)
+		}
+		return shapeFindings(t, []*Package{pkg})
+	}
+
+	t.Run("contracted Dense flags swapped widths", func(t *testing.T) {
+		dir := copyPackage(t, nnDir, func(name string, src []byte) []byte {
+			if name != "model.go" {
+				return src
+			}
+			return mustReplace(t, name, src, alloc, swapped)
+		})
+		assertFindingContains(t, load(t, dir), "len(B) is out", "contract dim out is in")
+	})
+	t.Run("stripped contract is silent", func(t *testing.T) {
+		dir := copyPackage(t, nnDir, func(name string, src []byte) []byte {
+			if name != "model.go" {
+				return src
+			}
+			src = mustReplace(t, name, src, alloc, swapped)
+			src = mustReplace(t, name, src, "//nessa:shape(rows=out, cols=in)\n", "")
+			return mustReplace(t, name, src, "//nessa:shape(len=out)\n", "")
+		})
+		assertNoFindings(t, load(t, dir))
+	})
+}
+
+// TestShapeMutationShrunkenDecodeBuffer is the third acceptance
+// mutation: shrink the streaming scan's per-record window below the
+// codec's affine floor (header + 4 bytes per feature) and the
+// DecodeRecordInto minlen contract must flag the window against the
+// symbolic feature count; stripping the contract from the data package
+// silences it. The data package is loaded explicitly so the bench
+// copy's import resolves to it and its contract (or absence) is in the
+// analysis universe.
+func TestShapeMutationShrunkenDecodeBuffer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("package copies and repeated type checks are slow; skipped in -short mode")
+	}
+	root := repoRoot(t)
+	benchDir := filepath.Join(root, "internal", "bench")
+	dataDir := filepath.Join(root, "internal", "data")
+	const window = "buf[off:off+rec]"
+	const shrunken = "buf[off : off+8]"
+	const contract = "//nessa:shape(features: len=nf, buf: minlen=10+4*nf) header is recordHeader bytes, then 4 bytes per feature\n"
+
+	load := func(t *testing.T, dataSrc, benchSrc string) []Finding {
+		t.Helper()
+		l, err := NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dataPkg, err := l.LoadDir(dataSrc, "nessa/internal/data")
+		if err != nil {
+			t.Fatalf("loading data package: %v", err)
+		}
+		benchPkg, err := l.LoadDir(benchSrc, "nessa/internal/bench")
+		if err != nil {
+			t.Fatalf("loading mutated bench copy: %v", err)
+		}
+		return shapeFindings(t, []*Package{dataPkg, benchPkg})
+	}
+
+	mutateBench := func(t *testing.T) string {
+		return copyPackage(t, benchDir, func(name string, src []byte) []byte {
+			if name != "streambench.go" {
+				return src
+			}
+			return mustReplace(t, name, src, window, shrunken)
+		})
+	}
+
+	t.Run("contracted decode flags shrunken window", func(t *testing.T) {
+		findings := load(t, dataDir, mutateBench(t))
+		assertFindingContains(t, findings, "len(buf) is 8", "requires at least")
+	})
+	t.Run("stripped contract is silent", func(t *testing.T) {
+		strippedData := copyPackage(t, dataDir, func(name string, src []byte) []byte {
+			if name != "codec.go" {
+				return src
+			}
+			return mustReplace(t, name, src, contract, "")
+		})
+		assertNoFindings(t, load(t, strippedData, mutateBench(t)))
+	})
+}

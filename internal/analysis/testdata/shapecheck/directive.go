@@ -1,0 +1,23 @@
+// Directive-hygiene cases for //nessa:shape: malformed contracts are
+// findings at the directive, and a directive detached from its
+// declaration by a blank line (the gofmt hazard) is flagged rather
+// than silently unenforced.
+package fixture
+
+import "nessa/internal/tensor"
+
+//nessa:shape(rows) // want "is not key=value"
+func MalformedItem(m *tensor.Matrix) { _ = m }
+
+//nessa:shape(rows=n, rows=d) // want "duplicate key"
+func DuplicateKey(m *tensor.Matrix) { _ = m }
+
+//nessa:shape(width=3) // want "unknown key"
+func UnknownKey(m *tensor.Matrix) { _ = m }
+
+//nessa:shape(q: rows=n) // want "not a parameter"
+func WrongTarget(m *tensor.Matrix) { _ = m }
+
+//nessa:shape(rows=n, cols=d) // want "not attached to a function or struct field declaration"
+
+func Detached(m *tensor.Matrix) { _ = m }

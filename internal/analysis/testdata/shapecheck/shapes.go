@@ -1,0 +1,164 @@
+// Fixture for the shapecheck analyzer: symbolic tensor-dimension
+// mismatches across the tensor/nn APIs, //nessa:shape contracts on
+// functions and struct fields, and interprocedural guard
+// preconditions. Clean functions prove the analysis stays silent on
+// the idioms the real packages use.
+package fixture
+
+import (
+	"nessa/internal/nn"
+	"nessa/internal/tensor"
+)
+
+// ConstMatMul feeds a GEMM an inner dimension that disagrees by
+// constants.
+func ConstMatMul() *tensor.Matrix {
+	a := tensor.NewMatrix(4, 8)
+	b := tensor.NewMatrix(9, 3)
+	dst := tensor.NewMatrix(4, 3)
+	tensor.MatMul(dst, a, b) // want "a cols is 8 but b rows is 9"
+	return dst
+}
+
+// CleanMatMul is the same wiring with agreeing dimensions.
+func CleanMatMul(n, k, m int) *tensor.Matrix {
+	a := tensor.NewMatrix(n, k)
+	b := tensor.NewMatrix(k, m)
+	dst := tensor.NewMatrix(n, m)
+	tensor.MatMul(dst, a, b)
+	return dst
+}
+
+// GatherOffByOne sizes the destination one row past the index set.
+func GatherOffByOne(src *tensor.Matrix, idx []int) *tensor.Matrix {
+	dst := tensor.NewMatrix(len(idx)+1, src.Cols)
+	tensor.GatherRows(dst, src, idx) // want "dst rows is 1+len(idx) but len(idx) is len(idx)"
+	return dst
+}
+
+// GatherClean threads len(idx) and src.Cols through symbolically.
+func GatherClean(src *tensor.Matrix, idx []int) *tensor.Matrix {
+	dst := tensor.NewMatrix(len(idx), src.Cols)
+	tensor.GatherRows(dst, src, idx)
+	return dst
+}
+
+// BiasTooWide adds a row vector one element wider than the matrix.
+func BiasTooWide(m *tensor.Matrix) {
+	v := make([]float32, m.Cols+1)
+	tensor.AddRowVec(m, v) // want "len(v) is 1+m.Cols but m cols is m.Cols"
+}
+
+// FlatDotClean compares a flattened buffer against the rows*cols
+// product — symbolically equal.
+func FlatDotClean(m *tensor.Matrix) float32 {
+	buf := make([]float32, m.Rows*m.Cols)
+	return tensor.Dot(buf, m.Data)
+}
+
+// FlatDotPad pads the flattened buffer, breaking the product.
+func FlatDotPad(m *tensor.Matrix) float32 {
+	buf := make([]float32, m.Rows*m.Cols+4)
+	return tensor.Dot(buf, m.Data) // want "len(a) is 4+m.Rows*m.Cols but len(b) is m.Rows*m.Cols"
+}
+
+// EmbMismatch sizes the embedding buffer off the batch by one.
+func EmbMismatch(logits *tensor.Matrix, labels []int) {
+	emb := tensor.NewMatrix(logits.Rows+1, logits.Cols)
+	nn.GradEmbeddingsInto(emb, logits, labels) // want "emb rows is 1+logits.Rows but logits rows is logits.Rows"
+}
+
+// scale is an uncontracted helper whose guard becomes a caller-side
+// precondition through its interprocedural summary.
+func scale(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("scale: length mismatch")
+	}
+	for i := range dst {
+		dst[i] *= src[i]
+	}
+}
+
+// UseScaleBad violates scale's guard with constant lengths.
+func UseScaleBad() {
+	a := make([]float32, 8)
+	b := make([]float32, 9)
+	scale(a, b) // want "len(dst) is 8 but len(src) is 9"
+}
+
+// UseScaleClean satisfies the guard symbolically.
+func UseScaleClean(n int) {
+	a := make([]float32, n)
+	b := make([]float32, n)
+	scale(a, b)
+}
+
+// Patch pairs a matrix with the row indices it was gathered from; the
+// contracts tie both to one k.
+type Patch struct {
+	//nessa:shape(rows=k, cols=d)
+	M *tensor.Matrix
+	//nessa:shape(len=k)
+	Idx []int
+}
+
+// NewPatch threads m.Rows into both contracted fields.
+func NewPatch(m *tensor.Matrix) *Patch {
+	return &Patch{M: m, Idx: make([]int, m.Rows)}
+}
+
+// BadPatch binds k to m.Rows via M, then contradicts it via Idx.
+func BadPatch(m *tensor.Matrix) *Patch {
+	return &Patch{M: m, Idx: make([]int, m.Cols)} // want "len(Idx) is m.Cols but contract dim k is m.Rows"
+}
+
+// perSample writes one value per logits row; the contract ties the
+// output length to the batch size.
+//
+//nessa:shape(out: len=n, logits: rows=n)
+func perSample(out []float32, logits *tensor.Matrix) {
+	for i := range out {
+		out[i] = float32(i)
+	}
+}
+
+// UsePerSample exercises both a satisfying and a violating binding.
+func UsePerSample(logits *tensor.Matrix) {
+	out := make([]float32, logits.Rows)
+	perSample(out, logits)
+	bad := make([]float32, logits.Cols)
+	perSample(bad, logits) // want "logits rows is logits.Rows but contract dim n is logits.Cols"
+}
+
+// unpack's buffer floor is an affine expression of the index count.
+//
+//nessa:shape(buf: minlen=3*k+2, idx: len=k)
+func unpack(buf []byte, idx []int) {
+	for i := range idx {
+		idx[i] = int(buf[2+3*i])
+	}
+}
+
+// UseUnpackShort undershoots the affine floor by one byte.
+func UseUnpackShort() {
+	idx := make([]int, 5)
+	buf := make([]byte, 16)
+	unpack(buf, idx) // want "len(buf) is 16 but the contract requires at least 17"
+}
+
+// UseUnpackClean meets the floor exactly.
+func UseUnpackClean() {
+	idx := make([]int, 5)
+	buf := make([]byte, 17)
+	unpack(buf, idx)
+}
+
+// Waived is ConstMatMul's mismatch under a //nessa:shape-ok waiver —
+// no finding.
+func Waived() {
+	a := tensor.NewMatrix(4, 8)
+	b := tensor.NewMatrix(9, 3)
+	dst := tensor.NewMatrix(4, 3)
+	//nessa:shape-ok fixture: deliberate mismatch kept as a waiver probe
+	tensor.MatMul(dst, a, b)
+}

@@ -19,10 +19,15 @@ import (
 )
 
 // Dense is one fully connected layer. Weights are stored row-major as
-// (out × in) so a forward pass is X·Wᵀ + b.
+// (out × in) so a forward pass is X·Wᵀ + b. The //nessa:shape
+// contracts tie both tensors to one out/in pair per layer, so
+// nessa-vet's shapecheck can prove every construction site and every
+// kernel call against them.
 type Dense struct {
+	//nessa:shape(rows=out, cols=in)
 	W *tensor.Matrix // out × in
-	B []float32      // out
+	//nessa:shape(len=out)
+	B []float32 // out
 }
 
 // MLP is a feed-forward classifier: zero or more ReLU hidden layers
@@ -48,27 +53,35 @@ type MLP struct {
 
 // NewMLP builds an MLP with the given input dimension, hidden layer
 // widths, and class count, initialized with He-style scaling from r.
+// Each layer's input width is the previous layer's output width, so
+// the whole in→hidden...→classes chain threads one running dimension.
 func NewMLP(r *tensor.RNG, in int, hidden []int, classes int) *MLP {
 	if in <= 0 || classes <= 0 {
 		panic(fmt.Sprintf("nn: invalid MLP dims in=%d classes=%d", in, classes))
 	}
-	dims := append([]int{in}, hidden...)
-	dims = append(dims, classes)
 	m := &MLP{In: in, Classes: classes}
-	for i := 0; i < len(dims)-1; i++ {
-		l := &Dense{
-			W: tensor.NewMatrix(dims[i+1], dims[i]),
-			B: make([]float32, dims[i+1]),
-		}
-		// He initialization keeps ReLU activations well-scaled.
-		std := float32(1.0)
-		if dims[i] > 0 {
-			std = float32(math.Sqrt(2 / float64(dims[i])))
-		}
-		l.W.FillNormal(r, std)
-		m.Layers = append(m.Layers, l)
+	prev := in
+	for _, h := range hidden {
+		m.Layers = append(m.Layers, newDense(r, h, prev))
+		prev = h
 	}
+	m.Layers = append(m.Layers, newDense(r, classes, prev))
 	return m
+}
+
+// newDense builds one out×in layer with He-initialized weights
+// (std = sqrt(2/in)), which keeps ReLU activations well-scaled.
+func newDense(r *tensor.RNG, out, in int) *Dense {
+	l := &Dense{
+		W: tensor.NewMatrix(out, in),
+		B: make([]float32, out),
+	}
+	std := float32(1.0)
+	if in > 0 {
+		std = float32(math.Sqrt(2 / float64(in)))
+	}
+	l.W.FillNormal(r, std)
+	return l
 }
 
 // Clone returns a deep copy of the model (weights and biases).

@@ -10,17 +10,30 @@ cd "$(dirname "$0")/.."
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
-echo "== go vet =="
+# gate prints a section header and, for the section it closes, the
+# elapsed wall time — so CI logs show where the minutes go.
+gate_name=""
+gate_start=$SECONDS
+gate() {
+	if [[ -n "$gate_name" ]]; then
+		echo "-- ${gate_name}: $((SECONDS - gate_start))s"
+	fi
+	gate_name="$1"
+	gate_start=$SECONDS
+	echo "== $1 =="
+}
+
+gate "go vet"
 go vet ./...
 
-echo "== go build =="
+gate "go build"
 go build ./...
 # The repo's own tools are built once and invoked as binaries below —
 # repeated `go run` pays the link step on every invocation.
 go build -o "$tmpdir/nessa-vet" ./cmd/nessa-vet
 go build -o "$tmpdir/nessa-bench" ./cmd/nessa-bench
 
-echo "== gofmt =="
+gate "gofmt"
 # gofmt placement is load-bearing for nessa-vet: a mis-formatted
 # //nessa: directive (no blank // separator, wrong indentation) can
 # silently detach from its declaration and stop exempting anything.
@@ -31,7 +44,7 @@ if [[ -n "$unformatted" ]]; then
 	exit 1
 fi
 
-echo "== nessa-vet =="
+gate "nessa-vet"
 # The repo's own analyzers: determinism (no wall clock / math/rand in
 # device code), maporder (no order-sensitive folds over map iteration),
 # hotpath (//nessa:hotpath functions stay allocation-free), fma (no
@@ -40,10 +53,12 @@ echo "== nessa-vet =="
 # concurrency (loop capture, shared writes, copied locks, lock-state
 # paths), scratchlife (pooled/arena scratch escaping its epoch —
 # including parallel.WorkerLocal slots, whose Get results carry the
-# same taint as sync.Pool buffers), and seedflow (RNG seeds must flow
-# from configuration). hotpath additionally rejects sync.Pool on
-# annotated hot paths: the GC drains pools, so steady state keeps
-# missing and allocating — worker arenas or free lists instead.
+# same taint as sync.Pool buffers), seedflow (RNG seeds must flow
+# from configuration), and shapecheck (tensor dimensions must agree
+# symbolically across the tensor/nn/data APIs and //nessa:shape
+# contracts). hotpath additionally rejects sync.Pool on annotated hot
+# paths: the GC drains pools, so steady state keeps missing and
+# allocating — worker arenas or free lists instead.
 #
 # The baseline diff gates on NEW findings only: accepted historical
 # findings live in scripts/vet-baseline.json (currently empty — the
@@ -51,7 +66,7 @@ echo "== nessa-vet =="
 # with: nessa-vet -baseline scripts/vet-baseline.json -write-baseline ./...
 "$tmpdir/nessa-vet" -baseline scripts/vet-baseline.json ./...
 
-echo "== nessa-vet -compiler =="
+gate "nessa-vet -compiler"
 # Machine-level verification: rebuild with gc diagnostics
 # (-gcflags='-m=2 -S -d=ssa/check_bce/debug=1' — cached after the first
 # compile) and check the hot-path contracts against what the compiler
@@ -96,16 +111,16 @@ go1.2[2-6] | go1.2[2-6].* | go1.2[2-6][!0-9]*)
 	;;
 esac
 
-echo "== go test -race =="
+gate "go test -race"
 go test -race ./...
 
-echo "== benchmarks (short mode) =="
+gate "benchmarks (short mode)"
 # One pass over the hot-path benchmarks so a perf-destroying change
 # shows up in CI logs even when every test still passes.
 go test -run xxx -bench 'BenchmarkTrainEpoch|BenchmarkGEMMKernels' -benchtime 1x \
 	./internal/trainer/ ./internal/tensor/
 
-echo "== determinism gate =="
+gate "determinism gate"
 # The bench emitters recompute selection subsets and training
 # trajectories across the worker sweep (1, 2, all cores) and exit
 # non-zero on any divergence — the repo-wide reproducibility contract:
@@ -134,4 +149,5 @@ echo "== determinism gate =="
 "$tmpdir/nessa-bench" -quick -results "$tmpdir/results" \
 	-only bench-selection,bench-training,bench-streaming,bench-faults,bench-gemmtune,bench-recovery >/dev/null
 
+echo "-- ${gate_name}: $((SECONDS - gate_start))s"
 echo "OK"
